@@ -1,0 +1,1 @@
+bench/bench_common.ml: Adp_core Adp_datagen Adp_exec Adp_optimizer Adp_query Adp_stats Corrective Hashtbl Lazy Printf Report Source Strategy Sys Tpch Workload

@@ -1,0 +1,1 @@
+bench/bench_figure2.ml: Adp_core Adp_query Bench_common List Printf Report Workload

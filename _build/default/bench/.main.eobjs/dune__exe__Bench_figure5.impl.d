@@ -1,0 +1,1 @@
+bench/bench_figure5.ml: Adp_core Adp_datagen Adp_exec Adp_relation Bench_common Comp_join Ctx Driver Lazy List Perturb Printf Prng Relation Report Source String Sym_join Tpch

@@ -1,0 +1,1 @@
+bench/bench_figure6.ml: Adp_core Adp_exec Adp_optimizer Adp_query Bench_common Lazy List Optimizer Printf Report Source Strategy Workload

@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Adp_core Adp_exec Adp_query Bench_common Corrective List Report Stitchup Strategy Workload

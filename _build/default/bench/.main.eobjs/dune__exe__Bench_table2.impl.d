@@ -1,0 +1,1 @@
+bench/bench_table2.ml: Bench_common Bench_table1

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_common Bench_figure2 Bench_figure3 Bench_figure5 Bench_figure6 Bench_micro Bench_sec45 Bench_table1 Bench_table2 List Printf Sys

@@ -1,0 +1,62 @@
+(* Table 1: breakdown of corrective query processing on local data —
+   number of phases, stitch-up time, tuples reused from prior phases, and
+   registered tuples not reused. *)
+
+open Adp_core
+open Adp_query
+open Bench_common
+
+let breakdown ?(model = Adp_exec.Source.Local) ~title () =
+  let variants =
+    [ "No statistics",
+      { label = "Adaptive - No Statistics";
+        strategy = Strategy.Corrective corrective_config; with_cards = false };
+      "Given cardinalities",
+      { label = "Adaptive - Cardinalities";
+        strategy = Strategy.Corrective corrective_config; with_cards = true } ]
+  in
+  let header =
+    "statistics" :: "metric"
+    :: List.concat_map
+         (fun qid ->
+           List.map
+             (fun (ds, _) -> Workload.name qid ^ " " ^ ds)
+             datasets)
+         queries
+  in
+  let rows =
+    List.concat_map
+      (fun (stats_label, variant) ->
+        let outcomes =
+          List.concat_map
+            (fun qid ->
+              List.map
+                (fun dataset -> run_cqp ~model ~variant ~query:qid ~dataset ())
+                datasets)
+            queries
+        in
+        let metric name f =
+          stats_label :: name :: List.map f outcomes
+        in
+        let cqp (o : Strategy.outcome) =
+          match o.Strategy.corrective_stats with
+          | Some s -> s
+          | None -> failwith "corrective stats missing"
+        in
+        [ metric "Phases" (fun o -> string_of_int (cqp o).Corrective.phases);
+          metric "Stitch-up time" (fun o ->
+              seconds ((cqp o).Corrective.stitch.Stitchup.time /. 1e6));
+          metric "Reused tuples" (fun o ->
+              Report.human_int (cqp o).Corrective.reused_tuples);
+          metric "Discarded tuples" (fun o ->
+              Report.human_int (cqp o).Corrective.discarded_tuples) ])
+      variants
+  in
+  Report.table ~title ~header rows
+
+let run () =
+  breakdown
+    ~title:
+      "Table 1: corrective query processing breakdown (local data): phases, \
+       stitch-up time, reuse"
+    ()

@@ -1,0 +1,9 @@
+(* Table 2: the stitch-up breakdown for the wireless-network experiment of
+   Figure 3. *)
+
+let run () =
+  Bench_table1.breakdown ~model:Bench_common.wireless
+    ~title:
+      "Table 2: corrective query processing breakdown over the bursty \
+       wireless network"
+    ()

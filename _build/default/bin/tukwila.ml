@@ -1,0 +1,233 @@
+(* Tukwila ADP command-line interface.
+
+   Subcommands:
+     generate   print rows of a generated TPC-H-style table
+     plan       show the optimizer's plan for a SQL query
+     query      execute a SQL query under a chosen adaptive strategy
+     explain    parse a SQL query and print its logical structure *)
+
+open Cmdliner
+open Adp_relation
+open Adp_datagen
+open Adp_exec
+open Adp_optimizer
+open Adp_core
+open Adp_query
+
+(* ---------------- shared arguments ---------------- *)
+
+let scale_arg =
+  let doc = "TPC-H scale factor (0.1 reproduces the paper's 100 MB)." in
+  Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"SF" ~doc)
+
+let skew_arg =
+  let doc = "Zipf skew factor for the generated data (0 = uniform)." in
+  Arg.(value & opt float 0.0 & info [ "skew" ] ~docv:"Z" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for data generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let sql_arg =
+  let doc = "The SQL query (select-project-join-aggregate subset)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+let cards_arg =
+  let doc =
+    "Give the optimizer the true source cardinalities (otherwise it \
+     assumes the default 20,000)."
+  in
+  Arg.(value & flag & info [ "cardinalities"; "cards" ] ~doc)
+
+let dataset scale skew seed =
+  let distribution = if skew > 0.0 then Tpch.Skewed skew else Tpch.Uniform in
+  Tpch.generate { Tpch.scale; distribution; seed }
+
+let parse_query sql =
+  try Sql_parser.parse ~schema_of:Tpch.schema_of sql
+  with Sql_parser.Parse_error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    exit 2
+
+let parse_query_with_order sql =
+  try Sql_parser.parse_with_order ~schema_of:Tpch.schema_of sql
+  with Sql_parser.Parse_error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    exit 2
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let table_arg =
+    let doc = "Table to print (region, nation, supplier, customer, orders, lineitem)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE" ~doc)
+  in
+  let limit_arg =
+    let doc = "Rows to print." in
+    Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc)
+  in
+  let run table limit scale skew seed =
+    match Tpch.table (dataset scale skew seed) table with
+    | rel -> Format.printf "%a" (Relation.pp ~limit) rel
+    | exception Not_found ->
+      Printf.eprintf "unknown table %s (expected one of: %s)\n" table
+        (String.concat ", " Tpch.table_names);
+      exit 2
+  in
+  let doc = "Generate and print rows of a TPC-H-style table." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const run $ table_arg $ limit_arg $ scale_arg $ skew_arg $ seed_arg)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let run sql =
+    let q = parse_query sql in
+    Format.printf "%a@." Logical.pp q;
+    Format.printf "sources:@.";
+    List.iter
+      (fun (s : Logical.source) ->
+        Format.printf "  %s%s@." s.Logical.name
+          (if s.Logical.filter = Predicate.tt then ""
+           else " σ[" ^ Predicate.to_string s.Logical.filter ^ "]"))
+      q.Logical.sources;
+    if q.Logical.join_preds <> [] then begin
+      Format.printf "join predicates:@.";
+      List.iter
+        (fun (a, b) -> Format.printf "  %s = %s@." a b)
+        q.Logical.join_preds
+    end;
+    (match Optimizer.preagg_point q with
+     | Some (rel, groups) ->
+       Format.printf "pre-aggregation point: %s grouped by %s@." rel
+         (String.concat ", " groups)
+     | None -> ())
+  in
+  let doc = "Parse a SQL query and print its logical structure." in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ sql_arg)
+
+(* ---------------- plan ---------------- *)
+
+let plan_cmd =
+  let run sql scale skew seed cards =
+    let ds = dataset scale skew seed in
+    let q = parse_query sql in
+    let catalog = Workload.catalog ~with_cardinalities:cards ds q in
+    let sels = Adp_stats.Selectivity.create () in
+    let r = Optimizer.optimize ~preagg:Optimizer.Auto q catalog sels in
+    Format.printf "plan: %a@." Plan.pp_spec r.Optimizer.spec;
+    Format.printf "estimated cost: %.0f, estimated output: %.0f rows@."
+      r.Optimizer.est_cost r.Optimizer.est_card;
+    Format.printf "alternatives:@.";
+    List.iter
+      (fun (alt : Optimizer.result) ->
+        Format.printf "  %a  (cost %.0f)@." Plan.pp_spec alt.Optimizer.spec
+          alt.Optimizer.est_cost)
+      (Optimizer.alternatives ~k:3 q catalog sels)
+  in
+  let doc = "Show the optimizer's plan for a SQL query over generated data." in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(const run $ sql_arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg)
+
+(* ---------------- query ---------------- *)
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum
+      [ "static", `Static; "corrective", `Corrective; "planpart", `Planpart;
+        "competitive", `Competitive; "eddy", `Eddy ]
+  in
+  let doc =
+    "Execution strategy: static, corrective, planpart, competitive, eddy."
+  in
+  Arg.(value & opt strategy_conv `Corrective
+       & info [ "strategy"; "s" ] ~docv:"STRAT" ~doc)
+
+let preagg_arg =
+  let preagg_conv =
+    Arg.enum
+      [ "none", Optimizer.No_preagg; "auto", Optimizer.Auto;
+        "windowed",
+        Optimizer.Force (Plan.Windowed { initial = 64; max_window = 65536 });
+        "traditional", Optimizer.Force Plan.Traditional ]
+  in
+  let doc = "Pre-aggregation strategy: none, auto, windowed, traditional." in
+  Arg.(value & opt preagg_conv Optimizer.No_preagg
+       & info [ "preagg" ] ~docv:"MODE" ~doc)
+
+let model_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "local" ] -> Ok Source.Local
+    | [ "bandwidth"; r ] ->
+      (try Ok (Source.Bandwidth (float_of_string r))
+       with Failure _ -> Error (`Msg "bandwidth:<tuples-per-second>"))
+    | [ "wireless" ] ->
+      Ok (Source.Bursty { rate = 120_000.0; mean_burst = 600; mean_gap = 0.03 })
+    | _ -> Error (`Msg "expected local, bandwidth:<rate>, or wireless")
+  in
+  let print fmt = function
+    | Source.Local -> Format.fprintf fmt "local"
+    | Source.Bandwidth r -> Format.fprintf fmt "bandwidth:%g" r
+    | Source.Bursty _ -> Format.fprintf fmt "wireless"
+  in
+  let doc = "Source arrival model: local, bandwidth:RATE, wireless." in
+  let model_conv = Arg.conv (parse, print) in
+  Arg.(value & opt model_conv Source.Local
+       & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let limit_arg =
+  let doc = "Result rows to print." in
+  Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc)
+
+let query_cmd =
+  let run sql scale skew seed cards strategy preagg model limit =
+    let ds = dataset scale skew seed in
+    let q, order = parse_query_with_order sql in
+    let catalog = Workload.catalog ~with_cardinalities:cards ds q in
+    let sources () = Workload.sources ~model ds q () in
+    let strategy =
+      match strategy with
+      | `Static -> Strategy.Static
+      | `Corrective ->
+        Strategy.Corrective
+          { Corrective.default_config with poll_interval = 2e4 }
+      | `Planpart -> Strategy.Plan_partitioned { break_after = 3 }
+      | `Competitive ->
+        Strategy.Competitive { candidates = 3; explore_budget = 5e4 }
+      | `Eddy -> Strategy.Eddying
+    in
+    let o = Strategy.run ~preagg ~label:"query" strategy q catalog ~sources in
+    Format.printf "%a@.@." Report.pp_run o.Strategy.report;
+    (match o.Strategy.corrective_stats with
+     | Some stats when stats.Corrective.phases > 1 ->
+       List.iter
+         (fun (p : Corrective.phase_info) ->
+           Format.printf "phase %d (read %d, emitted %d): %s@." p.Corrective.id
+             p.Corrective.read p.Corrective.emitted p.Corrective.plan_desc)
+         stats.Corrective.phase_log;
+       Format.printf "@."
+     | Some _ | None -> ());
+    (* The engine pipelines unordered answers; the front end (this CLI)
+       performs any final sorting, as in the paper's architecture. *)
+    let result =
+      if order = [] then o.Strategy.result
+      else Relation.order_by o.Strategy.result order
+    in
+    Format.printf "%a" (Relation.pp ~limit) result
+  in
+  let doc = "Execute a SQL query over generated data under an adaptive strategy." in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(const run $ sql_arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
+          $ strategy_arg $ preagg_arg $ model_arg $ limit_arg)
+
+let () =
+  let doc =
+    "Tukwila-style adaptive query processing over generated data-integration \
+     workloads (reproduction of Ives, Halevy & Weld, SIGMOD 2004)"
+  in
+  let info = Cmd.info "tukwila" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; explain_cmd; plan_cmd; query_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_preagg.ml: Adp_core Adp_datagen Adp_exec Adp_optimizer Adp_query Adp_relation Optimizer Plan Printf Relation Report Source Strategy Tpch Workload

@@ -1,0 +1,1 @@
+examples/corrective_flights.ml: Adp_core Adp_datagen Adp_exec Adp_optimizer Adp_query Adp_relation Array Corrective Flights Format List Plan Prng Relation Source Stitchup Tuple Value Workload

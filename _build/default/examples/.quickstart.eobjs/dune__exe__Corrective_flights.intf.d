@@ -1,0 +1,1 @@
+examples/corrective_flights.mli:

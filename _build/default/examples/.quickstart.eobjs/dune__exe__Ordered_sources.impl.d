@@ -1,0 +1,1 @@
+examples/ordered_sources.ml: Adp_datagen Adp_exec Adp_relation Comp_join Ctx Driver List Perturb Printf Prng Relation Source Tpch

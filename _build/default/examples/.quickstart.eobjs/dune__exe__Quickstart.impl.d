@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adp_core Adp_datagen Adp_optimizer Adp_query Adp_relation Format Relation Report Sql_parser Strategy Tpch Workload

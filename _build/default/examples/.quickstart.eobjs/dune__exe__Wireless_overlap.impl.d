@@ -1,0 +1,1 @@
+examples/wireless_overlap.ml: Adp_core Adp_datagen Adp_exec Adp_query Printf Report Source Strategy Tpch Workload

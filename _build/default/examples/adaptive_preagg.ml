@@ -1,0 +1,63 @@
+(* §6: adjustable-window pre-aggregation.  A revenue-per-order report over
+   a streamed LINEITEM: when the stream repeats order keys, pre-aggregating
+   before the join collapses tuples and the window grows; when every key is
+   unique, the window shrinks to a pass-through and the operator costs
+   almost nothing.
+
+     dune exec examples/adaptive_preagg.exe *)
+
+open Adp_relation
+open Adp_datagen
+open Adp_exec
+open Adp_optimizer
+open Adp_core
+open Adp_query
+
+let run_with preagg label q catalog sources =
+  let o = Strategy.run ~preagg ~label Strategy.Static q catalog ~sources in
+  Printf.printf "  %-34s %7.3f virtual s  (%d result rows)\n" label
+    o.Strategy.report.Report.time_s o.Strategy.report.Report.result_card;
+  o.Strategy.result
+
+let compare_modes title q catalog sources =
+  print_endline title;
+  let base = run_with Optimizer.No_preagg "single final aggregation" q catalog sources in
+  let windowed =
+    run_with
+      (Optimizer.Force (Plan.Windowed { initial = 64; max_window = 65536 }))
+      "adjustable-window pre-aggregation" q catalog sources
+  in
+  let traditional =
+    run_with (Optimizer.Force Plan.Traditional)
+      "traditional (blocking) pre-agg" q catalog sources
+  in
+  assert (Relation.cardinality base = Relation.cardinality windowed);
+  assert (Relation.cardinality base = Relation.cardinality traditional);
+  print_newline ()
+
+let () =
+  let ds =
+    Tpch.generate { Tpch.scale = 0.01; distribution = Tpch.Skewed 0.5; seed = 9 }
+  in
+  (* Q10A joins the full ORDERS table — lots of repetition to collapse. *)
+  let q = Workload.query Workload.Q10A in
+  let catalog = Workload.catalog ~with_cardinalities:true ds q in
+  let sources () =
+    Workload.sources ~model:(Source.Bandwidth 600_000.0) ds q ()
+  in
+  compare_modes
+    "Q10A (skewed, streamed): pre-aggregation collapses repeated orders"
+    q catalog sources;
+  (* Q5 groups by nation but pre-aggregates on (l_orderkey, l_suppkey) —
+     nearly unique, so pre-aggregation finds nothing to collapse.  The
+     adjustable window detects that and shrinks to a pass-through, adding
+     only ~1% overhead where the blocking operator would still buffer
+     everything. *)
+  let q5 = Workload.query Workload.Q5 in
+  let catalog5 = Workload.catalog ~with_cardinalities:true ds q5 in
+  let sources5 () =
+    Workload.sources ~model:(Source.Bandwidth 600_000.0) ds q5 ()
+  in
+  compare_modes
+    "Q5 (skewed, streamed): nothing to collapse - the window backs off"
+    q5 catalog5 sources5

@@ -1,0 +1,74 @@
+(* §5: exploiting order that the source descriptions never promised.
+   Two sources are "mostly sorted" (bulk-loaded in key order, then lightly
+   updated).  A complementary join pair speculates on that order: a merge
+   join consumes the conforming tuples, a pipelined hash join catches the
+   violations, and a mini stitch-up combines the four hash tables at the
+   end.
+
+     dune exec examples/ordered_sources.exe *)
+
+open Adp_relation
+open Adp_datagen
+open Adp_exec
+
+let describe label (stats : Comp_join.stats) time =
+  let ml, mr = stats.Comp_join.merge_routed in
+  let hl, hr = stats.Comp_join.hash_routed in
+  Printf.printf "%-28s %7.3fs   merge:%7d hash:%7d   outputs m/h/stitch: %d/%d/%d\n"
+    label time (ml + mr) (hl + hr) stats.Comp_join.merge_out
+    stats.Comp_join.hash_out stats.Comp_join.stitch_out
+
+let run_variant variant li orders =
+  let ctx = Ctx.create () in
+  let j =
+    Comp_join.create ctx ~variant ~left_schema:(Relation.schema li)
+      ~right_schema:(Relation.schema orders)
+      ~left_key:[ "lineitem.l_orderkey" ] ~right_key:[ "orders.o_orderkey" ]
+  in
+  let l_src = Source.create ~name:"lineitem" li Source.Local in
+  let o_src = Source.create ~name:"orders" orders Source.Local in
+  let outputs = ref 0 in
+  let consume src t =
+    let side = if Source.name src = "lineitem" then Comp_join.L else Comp_join.R in
+    outputs := !outputs + List.length (Comp_join.insert j side t)
+  in
+  ignore (Driver.run ctx ~sources:[ l_src; o_src ] ~consume ());
+  outputs := !outputs + List.length (Comp_join.finish j);
+  Comp_join.stats j, Ctx.now ctx /. 1e6, !outputs
+
+let () =
+  let ds =
+    Tpch.generate { Tpch.scale = 0.01; distribution = Tpch.Uniform; seed = 5 }
+  in
+  let rng = Prng.create 17 in
+  print_endline "LINEITEM ⋈ ORDERS with mostly-sorted sources (1% displaced):";
+  let li = Perturb.swap_fraction rng ds.Tpch.lineitem 0.01 in
+  let orders = Perturb.swap_fraction rng ds.Tpch.orders 0.01 in
+  Printf.printf "  lineitem sortedness: %.3f, orders sortedness: %.3f\n\n"
+    (Perturb.sortedness li "lineitem.l_orderkey")
+    (Perturb.sortedness orders "orders.o_orderkey");
+  let reference = ref None in
+  List.iter
+    (fun (label, variant) ->
+      let stats, time, outputs = run_variant variant li orders in
+      describe label stats time;
+      (match !reference with
+       | None -> reference := Some outputs
+       | Some r -> assert (r = outputs)))
+    [ "naive routing", Comp_join.Naive;
+      "priority queue (1024)", Comp_join.Priority_queue 1024 ];
+  print_endline
+    "\nThe naive router is poisoned by the first out-of-place high key;\n\
+     the bounded priority queue re-orders the stream locally, so nearly\n\
+     everything flows through the (cheaper) merge join.";
+  (* Speculation is safe: on fully random data the pair degrades into an
+     ordinary pipelined hash join, still producing the exact answer. *)
+  print_endline "\nSame join over fully shuffled inputs:";
+  let li_r = Perturb.shuffle rng ds.Tpch.lineitem in
+  let orders_r = Perturb.shuffle rng ds.Tpch.orders in
+  List.iter
+    (fun (label, variant) ->
+      let stats, time, _ = run_variant variant li_r orders_r in
+      describe label stats time)
+    [ "naive routing", Comp_join.Naive;
+      "priority queue (1024)", Comp_join.Priority_queue 1024 ]

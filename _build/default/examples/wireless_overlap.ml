@@ -1,0 +1,40 @@
+(* Figure 3's setting in miniature: sources arrive over a bursty,
+   bandwidth-limited (802.11b-style) link.  Adaptive scheduling — the
+   driver always consumes whichever source has data — overlaps the burst
+   gaps with computation, so completion time approaches
+   max(arrival, computation) instead of their sum.
+
+     dune exec examples/wireless_overlap.exe *)
+
+open Adp_datagen
+open Adp_exec
+open Adp_core
+open Adp_query
+
+let run label model =
+  let ds =
+    Tpch.generate { Tpch.scale = 0.01; distribution = Tpch.Uniform; seed = 4 }
+  in
+  let q = Workload.query Workload.Q10A in
+  let catalog = Workload.catalog ~with_cardinalities:true ds q in
+  let sources () = Workload.sources ~model ds q () in
+  let o = Strategy.run ~label Strategy.Static q catalog ~sources in
+  let r = o.Strategy.report in
+  Printf.printf "%-28s total %6.3fs = cpu %6.3fs + idle %6.3fs\n" label
+    r.Report.time_s r.Report.cpu_s r.Report.idle_s;
+  r
+
+let () =
+  print_endline "Q10A under three source models (static plan, true stats):\n";
+  let local = run "local (computation only)" Source.Local in
+  let steady = run "steady 300K tuples/s" (Source.Bandwidth 300_000.0) in
+  let bursty =
+    run "bursty wireless"
+      (Source.Bursty { rate = 400_000.0; mean_burst = 1000; mean_gap = 0.004 })
+  in
+  ignore steady;
+  Printf.printf
+    "\nEvery variant does the same %.3fs of computation; over the bursty\n\
+     link, only %.3fs of its silences could not be overlapped with work —\n\
+     completion stays near max(arrival, computation), not their sum.\n"
+    local.Report.cpu_s bursty.Report.idle_s

@@ -1,0 +1,1 @@
+lib/core/competition.ml: Adp_exec Adp_optimizer Adp_relation Adp_stats Catalog Clock Cost_model Ctx Driver Format List Optimizer Plan Relation Sink Source

@@ -1,0 +1,1 @@
+lib/core/competition.mli: Adp_exec Adp_optimizer Adp_relation Catalog Cost_model Logical Relation Source

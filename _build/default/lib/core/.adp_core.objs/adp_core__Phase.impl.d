@@ -1,0 +1,1 @@
+lib/core/phase.ml: Adp_exec Adp_storage List Plan Registry

@@ -1,0 +1,1 @@
+lib/core/phase.mli: Adp_exec Adp_relation Adp_storage Ctx Plan Registry Schema Tuple

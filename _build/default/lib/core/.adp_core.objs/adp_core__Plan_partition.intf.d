@@ -1,0 +1,1 @@
+lib/core/plan_partition.mli: Adp_exec Adp_optimizer Adp_relation Catalog Cost_model Logical Optimizer Relation Source

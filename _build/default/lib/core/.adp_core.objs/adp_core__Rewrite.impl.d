@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Adp_relation Expr Predicate

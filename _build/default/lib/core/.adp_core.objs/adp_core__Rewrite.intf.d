@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Adp_relation Expr Predicate

@@ -1,0 +1,1 @@
+lib/core/sink.ml: Adp_exec Adp_optimizer Adp_relation Adp_storage Agg Aggregate Array List Logical Relation Schema Tuple Tuple_adapter

@@ -1,0 +1,1 @@
+lib/core/sink.mli: Adp_exec Adp_optimizer Adp_relation Ctx Logical Relation Schema Tuple

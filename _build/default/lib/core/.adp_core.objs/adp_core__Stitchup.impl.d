@@ -1,0 +1,1 @@
+lib/core/stitchup.ml: Adp_exec Adp_optimizer Adp_relation Adp_storage Array Ctx Hash_table List Logical Phase Plan Printf Registry Schema Sink String Sys Tuple Tuple_adapter

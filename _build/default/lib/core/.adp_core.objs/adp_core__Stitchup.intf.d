@@ -1,0 +1,1 @@
+lib/core/stitchup.mli: Adp_exec Adp_optimizer Adp_storage Ctx Logical Phase Plan Registry Sink

@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Adp_exec Adp_optimizer Adp_relation Catalog Corrective Cost_model Logical Optimizer Plan Relation Report Source

@@ -1,0 +1,584 @@
+open Adp_exec
+open Adp_storage
+open Adp_optimizer
+
+type config = {
+  poll_interval : float;
+  switch_threshold : float;
+  max_phases : int;
+  min_leaf_seen : int;
+  preagg : Optimizer.preagg_strategy;
+  costs : Cost_model.t;
+  reuse_intermediates : bool;
+  initial_plan : Plan.spec option;
+  memory_budget : int option;
+  min_remaining_fraction : float;
+  use_histograms : bool;
+}
+
+let default_config =
+  { poll_interval = 1e6; switch_threshold = 0.7; max_phases = 8;
+    min_leaf_seen = 100; preagg = Optimizer.No_preagg;
+    costs = Cost_model.default; reuse_intermediates = true;
+    initial_plan = None; memory_budget = None;
+    min_remaining_fraction = 0.25; use_histograms = false }
+
+type phase_info = {
+  id : int;
+  plan_desc : string;
+  emitted : int;
+  read : int;
+}
+
+type stats = {
+  phases : int;
+  stitch : Stitchup.stats;
+  total_time : float;
+  cpu : float;
+  idle : float;
+  result_card : int;
+  reused_tuples : int;
+  discarded_tuples : int;
+  phase_log : phase_info list;
+}
+
+(* Order detection (plus a distinct sketch and the value range) on every
+   join attribute is always on: it costs a comparison and a hash per tuple
+   (the paper found such per-operator bookkeeping had no measurable
+   penalty), and §4.5 shows it is what makes join sizes predictable on
+   sorted sources: a sorted prefix reveals the key density and
+   multiplicity, and the full range extrapolates from the fraction
+   consumed. *)
+type col_tracker = {
+  t_order : Adp_stats.Order_detector.t;
+  t_distinct : Adp_stats.Distinct.t;
+  mutable t_lo : float;
+  mutable t_hi : float;
+  mutable t_count : int;
+}
+
+let attach_order_detectors (query : Logical.query) sources =
+  List.concat_map
+    (fun src ->
+      let name = Source.name src in
+      let cols =
+        List.concat_map
+          (fun (a, b) ->
+            List.filter
+              (fun c -> Logical.relation_of_column c = name)
+              [ a; b ])
+          query.join_preds
+        |> List.sort_uniq String.compare
+      in
+      List.map
+        (fun col ->
+          let tr =
+            { t_order = Adp_stats.Order_detector.create ();
+              t_distinct = Adp_stats.Distinct.create ();
+              t_lo = infinity; t_hi = neg_infinity; t_count = 0 }
+          in
+          let idx = Adp_relation.Schema.index (Source.schema src) col in
+          Source.observe src (fun t ->
+              let v = t.(idx) in
+              Adp_stats.Order_detector.add tr.t_order v;
+              Adp_stats.Distinct.add tr.t_distinct v;
+              tr.t_count <- tr.t_count + 1;
+              match v with
+              | Adp_relation.Value.Int _ | Adp_relation.Value.Float _
+              | Adp_relation.Value.Date _ ->
+                let x = Adp_relation.Value.to_float v in
+                if x < tr.t_lo then tr.t_lo <- x;
+                if x > tr.t_hi then tr.t_hi <- x
+              | Adp_relation.Value.Null | Adp_relation.Value.Str _ -> ());
+          (col, tr))
+        cols)
+    sources
+
+
+(* Fold the monitor's counters for the running phase into the selectivity
+   registry: per-leaf filter pass rates, per-join-subexpression
+   selectivities (out over the product of raw leaf reads), and
+   multiplicative-join flags (§4.2). *)
+let update_observations cfg query catalog sels sources order_detectors plan =
+  (* Source cardinalities: the consumed count is a sound lower bound, and
+     an exhausted sequential source reveals its exact cardinality —
+     whatever the source description claimed. *)
+  List.iter
+    (fun src ->
+      let name = Source.name src in
+      Adp_stats.Selectivity.observe_cardinality sels ~relation:name
+        ~seen:(Source.consumed src);
+      if Source.exhausted src then
+        Adp_stats.Selectivity.observe_final_cardinality sels ~relation:name
+          ~total:(Source.cardinality src))
+    sources;
+  let seen = Plan.leaf_seen plan in
+  let seen_of r = Option.value ~default:0 (List.assoc_opt r seen) in
+  (* Expected total cardinality of a source: exact after exhaustion,
+     otherwise the catalog floored by what was read. *)
+  let expected_total r =
+    match Adp_stats.Selectivity.final_cardinality sels r with
+    | Some total -> float_of_int (max 1 total)
+    | None ->
+      (* Growth prior for an unexhausted source: once it has outgrown the
+         catalog's guess, assume at least as much again is still coming —
+         otherwise estimates go stale and declare the query nearly done. *)
+      max (Catalog.cardinality catalog r) (2.0 *. float_of_int (seen_of r))
+  in
+  (* Extrapolating a subexpression's final output from a prefix: the
+     product form (selectivity times the product of remaining input
+     ratios) over-predicts badly when sources are sorted on the join key —
+     aligned prefixes over-match (cf. §4.5) — while the linear form
+     (output grows with the largest input, the key-FK behaviour §4.2
+     leans on) under-predicts when more matching mass lies ahead.  Their
+     geometric mean hedges both failure modes, in the same averaging
+     spirit as the paper's estimator. *)
+  let predict_output ?(aligned = false) out rels =
+    let ratios =
+      List.filter_map
+        (fun r ->
+          if seen_of r = 0 then None
+          else Some (max 1.0 (expected_total r /. float_of_int (seen_of r))))
+        rels
+    in
+    let linear = List.fold_left max 1.0 ratios in
+    let product = List.fold_left ( *. ) 1.0 ratios in
+    (* Sorted-aligned inputs: the prefixes over-match, so the product form
+       is invalid and output grows linearly with the dominant input. *)
+    if aligned then float_of_int out *. linear
+    else float_of_int out *. sqrt (linear *. product)
+  in
+  let sorted_col col =
+    match List.assoc_opt col order_detectors with
+    | Some tr ->
+      Adp_stats.Order_detector.count tr.t_order >= 2
+      && Adp_stats.Order_detector.perfectly_sorted tr.t_order
+      && Adp_stats.Order_detector.ascending_fraction tr.t_order >= 0.5
+    | None -> false
+  in
+  let canon a b =
+    if String.compare a b <= 0 then a ^ "=" ^ b else b ^ "=" ^ a
+  in
+  let aligned_pred p =
+    List.exists
+      (fun (a, b) -> canon a b = p && sorted_col a && sorted_col b)
+      query.Logical.join_preds
+  in
+  (* Sorted-aligned two-way joins are predictable from the prefix alone
+     (§4.5): each side's prefix reveals its value density and average
+     multiplicity, and the full key range extrapolates from the fraction
+     consumed. *)
+  let sorted_pair_estimate (a, b) =
+    match List.assoc_opt a order_detectors, List.assoc_opt b order_detectors with
+    | Some ta, Some tb
+      when sorted_col a && sorted_col b && ta.t_count > 0 && tb.t_count > 0
+           && ta.t_hi > ta.t_lo && tb.t_hi > tb.t_lo ->
+      let ra = Logical.relation_of_column a
+      and rb = Logical.relation_of_column b in
+      let range tr r =
+        let frac =
+          min 1.0 (float_of_int (seen_of r) /. expected_total r)
+        in
+        tr.t_lo, tr.t_lo +. ((tr.t_hi -. tr.t_lo) /. max frac 1e-6)
+      in
+      let lo_a, hi_a = range ta ra and lo_b, hi_b = range tb rb in
+      let lo = max lo_a lo_b and hi = min hi_a hi_b in
+      if hi < lo then Some 0.0
+      else begin
+        let mult tr =
+          let d = Adp_stats.Distinct.estimate tr.t_distinct in
+          if d <= 0.0 then 1.0 else float_of_int tr.t_count /. d
+        in
+        let density r (lo_r, hi_r) =
+          expected_total r /. max 1.0 (hi_r -. lo_r)
+        in
+        let ma = mult ta and mb = mult tb in
+        let da = density ra (lo_a, hi_a)
+        and db = density rb (lo_b, hi_b) in
+        let key_density = min (da /. ma) (db /. mb) in
+        (* The trackers see the raw streams; scale by the leaves'
+           selection pass rates. *)
+        let filter_sel r =
+          let sig_r = Logical.signature_of_set query [ r ] in
+          match Adp_stats.Selectivity.lookup sels sig_r with
+          | Some sel -> sel
+          | None ->
+            let s =
+              List.find (fun s -> s.Logical.name = r) query.Logical.sources
+            in
+            Cardinality.filter_selectivity s.Logical.filter
+        in
+        Some
+          ((hi -. lo) *. key_density *. ma *. mb *. filter_sel ra
+          *. filter_sel rb)
+      end
+    | _ -> None
+  in
+  List.iter
+    (fun (name, _schema, tuples, signature) ->
+      let leaf_sig = Logical.signature_of_set query [ name ] in
+      if signature = leaf_sig && seen_of name >= cfg.min_leaf_seen then begin
+        let passed = List.length tuples in
+        Adp_stats.Selectivity.observe sels ~signature:leaf_sig
+          ~output:(float_of_int passed)
+          ~input_product:(float_of_int (seen_of name));
+        Adp_stats.Selectivity.observe_output sels ~signature:leaf_sig
+          ~cardinality:(predict_output passed [ name ])
+      end)
+    (Plan.leaf_partitions plan);
+  List.iter
+    (fun (info : Plan.join_info) ->
+      let enough =
+        List.for_all (fun r -> seen_of r >= cfg.min_leaf_seen) info.relations
+      in
+      if enough then begin
+        let product =
+          List.fold_left
+            (fun acc r -> acc *. float_of_int (seen_of r))
+            1.0 info.relations
+        in
+        Adp_stats.Selectivity.observe sels ~signature:info.signature
+          ~output:(float_of_int info.out_count) ~input_product:product;
+        let aligned = List.exists aligned_pred info.predicate in
+        Adp_stats.Selectivity.observe_output sels ~signature:info.signature
+          ~cardinality:(predict_output ~aligned info.out_count info.relations);
+        (* For a sorted-aligned two-way join, the range-extrapolated
+           prediction sees the full output long before the monitor's
+           counters do. *)
+        (if List.length info.relations = 2 then
+           let est =
+             List.find_map
+               (fun (a, b) ->
+                 if List.mem (canon a b) info.predicate then
+                   sorted_pair_estimate (a, b)
+                 else None)
+               query.Logical.join_preds
+           in
+           match est with
+           | Some est when est > 0.0 ->
+             Adp_stats.Selectivity.observe_output sels
+               ~signature:info.signature ~cardinality:est
+           | Some _ | None -> ());
+        let biggest_input = max info.left_out info.right_out in
+        if biggest_input >= cfg.min_leaf_seen
+           && info.out_count > biggest_input
+        then begin
+          let factor =
+            float_of_int info.out_count /. float_of_int biggest_input
+          in
+          List.iter
+            (fun p ->
+              Adp_stats.Selectivity.flag_multiplicative sels ~predicate:p
+                ~factor)
+            info.predicate
+        end
+      end)
+    (Plan.join_infos plan)
+
+let plan_desc spec = Format.asprintf "%a" Plan.pp_spec spec
+
+(* §4.5 extension: incremental histograms + order detectors on every join
+   attribute of every source.  At poll time they predict *two-way* join
+   outputs — including joins the running plan is not executing, which pure
+   monitoring can never observe. *)
+type hist_attr = {
+  h_relation : string;
+  h_column : string;
+  h_side : Adp_stats.Join_estimator.side;
+}
+
+let attach_histograms ctx (query : Logical.query) sources =
+  List.concat_map
+    (fun src ->
+      let name = Source.name src in
+      let cols =
+        List.concat_map
+          (fun (a, b) ->
+            List.filter
+              (fun c -> Logical.relation_of_column c = name)
+              [ a; b ])
+          query.join_preds
+        |> List.sort_uniq String.compare
+      in
+      List.map
+        (fun col ->
+          let side = Adp_stats.Join_estimator.side () in
+          let idx = Adp_relation.Schema.index (Source.schema src) col in
+          Source.observe src (fun t ->
+              Ctx.charge ctx ctx.Ctx.costs.histogram_add;
+              Adp_stats.Join_estimator.observe side t.(idx));
+          { h_relation = name; h_column = col; h_side = side })
+        cols)
+    sources
+
+let feed_histogram_predictions cfg (query : Logical.query) catalog sels attrs
+    sources =
+  let consumed r =
+    match List.find_opt (fun s -> Source.name s = r) sources with
+    | Some s -> Source.consumed s
+    | None -> 0
+  in
+  let expected_total r =
+    match Adp_stats.Selectivity.final_cardinality sels r with
+    | Some total -> float_of_int (max 1 total)
+    | None -> max (Catalog.cardinality catalog r) (float_of_int (consumed r))
+  in
+  let filter_sel r =
+    let src = List.find (fun s -> s.Logical.name = r) query.Logical.sources in
+    let sig_r = Logical.signature_of_set query [ r ] in
+    match Adp_stats.Selectivity.lookup sels sig_r with
+    | Some sel -> sel
+    | None -> Cardinality.filter_selectivity src.Logical.filter
+  in
+  List.iter
+    (fun (a, b) ->
+      let ra = Logical.relation_of_column a
+      and rb = Logical.relation_of_column b in
+      let find r col =
+        List.find_opt
+          (fun h -> h.h_relation = r && h.h_column = col)
+          attrs
+      in
+      match find ra a, find rb b with
+      | Some ha, Some hb
+        when consumed ra >= cfg.min_leaf_seen
+             && consumed rb >= cfg.min_leaf_seen ->
+        let frac r =
+          min 1.0 (float_of_int (consumed r) /. expected_total r)
+        in
+        let raw_est =
+          Adp_stats.Join_estimator.estimate
+            ~left:(ha.h_side, frac ra)
+            ~right:(hb.h_side, frac rb)
+        in
+        (* The histograms see the raw streams; scale by the leaves'
+           selection pass rates. *)
+        let est = raw_est *. filter_sel ra *. filter_sel rb in
+        Adp_stats.Selectivity.observe_output sels
+          ~signature:(Logical.signature_of_set query [ ra; rb ])
+          ~cardinality:est
+      | _ -> ())
+    query.Logical.join_preds
+
+let run ?(config = default_config) query catalog sources =
+  let cfg = config in
+  let sels = Adp_stats.Selectivity.create () in
+  let ctx = Ctx.create ~costs:cfg.costs () in
+  let order_detectors = attach_order_detectors query sources in
+  let hist_attrs =
+    if cfg.use_histograms then attach_histograms ctx query sources else []
+  in
+  let registry = Registry.create () in
+  let schema_of = Catalog.schema_of catalog in
+  let initial_spec =
+    match cfg.initial_plan with
+    | Some spec ->
+      (* Every plan of one execution must carry the same pre-aggregation
+         treatment so equivalent subexpressions share schemas (§3.2). *)
+      Optimizer.apply_preagg_strategy cfg.preagg query spec
+    | None ->
+      (Optimizer.optimize ~preagg:cfg.preagg ~costs:cfg.costs query catalog
+         sels)
+        .spec
+  in
+  let record_outputs = cfg.max_phases > 1 in
+  let current =
+    ref (Phase.create ~record_outputs ~id:0 ctx initial_spec ~schema_of)
+  in
+  let sink = Sink.create ctx query ~canonical:(Plan.schema !current.Phase.plan) in
+  let completed = ref [] in
+  let next_spec = ref None in
+  let phase_count () = List.length !completed + 1 in
+  let consume src tuple =
+    let ph = !current in
+    let outs = Plan.push ph.Phase.plan ~source:(Source.name src) tuple in
+    if outs <> [] then begin
+      ph.Phase.emitted <- ph.Phase.emitted + List.length outs;
+      Sink.feed sink ~from:(Plan.schema ph.Phase.plan) outs
+    end
+  in
+  let poll () =
+    let ph = !current in
+    if cfg.use_histograms then
+      feed_histogram_predictions cfg query catalog sels hist_attrs sources;
+    (match cfg.memory_budget with
+     | Some budget ->
+       let sw = Plan.apply_memory_pressure ph.Phase.plan ~budget in
+       if Sys.getenv_opt "ADP_DEBUG" <> None then
+         Printf.eprintf "poll: swapped=%d in_use=%d\n%!" sw (Plan.memory_in_use ph.Phase.plan)
+     | None -> ());
+    update_observations cfg query catalog sels sources order_detectors ph.Phase.plan;
+    (* §4.3: factor in work already performed — late in the input there
+       is not enough left for a better plan to amortize the stitch-up. *)
+    let remaining_fraction =
+      let read, expected =
+        List.fold_left
+          (fun (r, e) src ->
+            let name = Source.name src in
+            let total =
+              if Source.exhausted src then
+                float_of_int (Source.cardinality src)
+              else
+                max
+                  (Catalog.cardinality catalog name)
+                  (2.0 *. float_of_int (Source.consumed src))
+            in
+            r +. float_of_int (Source.consumed src), e +. total)
+          (0.0, 0.0) sources
+      in
+      if expected <= 0.0 then 0.0 else 1.0 -. (read /. expected)
+    in
+    if
+      phase_count () >= cfg.max_phases
+      || remaining_fraction < cfg.min_remaining_fraction
+    then `Continue
+    else begin
+      (* Background re-optimization: cost-to-go of the running plan vs the
+         best plan under the refreshed estimates. *)
+      let est = Cardinality.create query catalog sels in
+      let current_cost = Cost.query_cost cfg.costs est ph.Phase.spec in
+      let best =
+        Optimizer.optimize ~preagg:cfg.preagg ~costs:cfg.costs query catalog
+          sels
+      in
+      (* Switching is not free: the regions already consumed must later be
+         stitched against everything the new plan reads — work roughly
+         proportional to the input fraction already processed.  Charging
+         it here is the other half of §4.3's "factor in the amount of
+         computation already performed". *)
+      let switch_cost =
+        best.est_cost *. (1.0 +. (1.0 -. remaining_fraction))
+      in
+      if Sys.getenv_opt "ADP_DEBUG" <> None then
+        Printf.eprintf "poll t=%.0f current=%.0f best=%.0f switch=%.0f same=%b\n%!"
+          (Ctx.now ctx) current_cost best.est_cost switch_cost
+          (best.spec = ph.Phase.spec);
+      if best.spec <> ph.Phase.spec
+         && switch_cost < cfg.switch_threshold *. current_cost
+      then begin
+        next_spec := Some best.spec;
+        `Switch
+      end
+      else `Continue
+    end
+  in
+  let reads_before = ref 0 in
+  let finish_phase () =
+    let ph = !current in
+    let outs = Plan.flush ph.Phase.plan in
+    if outs <> [] then begin
+      ph.Phase.emitted <- ph.Phase.emitted + List.length outs;
+      Sink.feed sink ~from:(Plan.schema ph.Phase.plan) outs
+    end;
+    update_observations cfg query catalog sels sources order_detectors ph.Phase.plan;
+    Phase.register ph registry;
+    let read = ctx.Ctx.tuples_read - !reads_before in
+    reads_before := ctx.Ctx.tuples_read;
+    completed := (ph, read) :: !completed
+  in
+  let rec drive () =
+    match
+      Driver.run ctx ~sources ~consume ~poll:(cfg.poll_interval, poll) ()
+    with
+    | Driver.Switched ->
+      finish_phase ();
+      let spec =
+        match !next_spec with
+        | Some s -> s
+        | None -> invalid_arg "Corrective: switch without a plan"
+      in
+      next_spec := None;
+      current :=
+        Phase.create ~record_outputs ~id:(List.length !completed) ctx spec
+          ~schema_of;
+      drive ()
+    | Driver.Exhausted -> finish_phase ()
+  in
+  drive ();
+  let phases = List.rev_map fst !completed in
+  let stitch =
+    if List.length phases <= 1 then
+      { Stitchup.combos_possible = 0; output = 0; reused = 0;
+        recomputed_uniform = 0; time = 0.0 }
+    else begin
+      (* §3.4.2: the stitch-up plan is chosen taking existing state
+         structures into account — for every candidate tree, the cost of
+         producing the *unavailable* intermediate results is its estimated
+         cost minus a credit for every registered subexpression its shape
+         can reuse.  Candidates: the re-optimizer's choice and each
+         phase's own shape. *)
+      let optimized =
+        (Optimizer.optimize ~preagg:cfg.preagg ~costs:cfg.costs query catalog
+           sels)
+          .spec
+      in
+      let join_tree =
+        if not cfg.reuse_intermediates then optimized
+        else begin
+          let est = Cardinality.create query catalog sels in
+          let total = List.length (Logical.source_names query) in
+          let reuse_credit spec =
+            let rec signatures s =
+              match s with
+              | Plan.Scan _ -> []
+              | Plan.Preagg { child; _ } -> signatures child
+              | Plan.Join { left; right; _ } ->
+                let own =
+                  if List.length (Plan.relations s) < total then
+                    [ Plan.signature_of s ]
+                  else []
+                in
+                own @ signatures left @ signatures right
+            in
+            List.fold_left
+              (fun acc signature ->
+                List.fold_left
+                  (fun acc phase ->
+                    match Registry.find registry ~signature ~phase with
+                    | Some e ->
+                      acc
+                      +. (float_of_int e.Registry.cardinality
+                         *. (cfg.costs.hash_build +. cfg.costs.per_match))
+                    | None -> acc)
+                  acc
+                  (Registry.phases_with registry ~signature))
+              0.0 (signatures spec)
+          in
+          let score spec =
+            Cost.query_cost cfg.costs est spec -. reuse_credit spec
+          in
+          let candidates =
+            optimized
+            :: List.map (fun (ph, _) -> ph.Phase.spec) !completed
+          in
+          List.fold_left
+            (fun best cand -> if score cand < score best then cand else best)
+            (List.hd candidates) (List.tl candidates)
+        end
+      in
+      let stitch_registry =
+        if cfg.reuse_intermediates then registry else Registry.create ()
+      in
+      Stitchup.run ctx query ~join_tree ~phases ~registry:stitch_registry
+        ~sink
+    end
+  in
+  let result = Sink.result sink in
+  let phase_log =
+    List.rev_map
+      (fun ((ph : Phase.t), read) ->
+        { id = ph.Phase.id; plan_desc = plan_desc ph.Phase.spec;
+          emitted = ph.Phase.emitted; read })
+      !completed
+  in
+  ( result,
+    { phases = List.length phases; stitch;
+      total_time = Ctx.now ctx; cpu = Clock.cpu ctx.Ctx.clock;
+      idle = Clock.idle ctx.Ctx.clock;
+      result_card = Adp_relation.Relation.cardinality result;
+      reused_tuples =
+        (if List.length phases <= 1 then 0 else Registry.reused_tuples registry);
+      discarded_tuples =
+        (if List.length phases <= 1 then 0
+         else Registry.discarded_tuples registry);
+      phase_log } )

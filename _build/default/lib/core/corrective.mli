@@ -1,0 +1,81 @@
+open Adp_relation
+open Adp_exec
+open Adp_optimizer
+
+(** Corrective query processing (§4).
+
+    The query starts on the optimizer's initial plan.  A re-optimizer polls
+    execution on a fixed virtual-time interval (the paper uses an extreme 1
+    second): it folds the monitor's observed selectivities into the
+    estimator, re-optimizes, and — when a plan substantially better than
+    the cost-to-go of the running plan appears — suspends the current
+    phase mid-pipeline, brings it to a consistent state (pre-aggregation
+    windows flushed), and routes the remaining source data into the new
+    plan.  After the sources are exhausted, the stitch-up phase combines
+    the cross-phase regions, and the shared sink finalizes the answer. *)
+
+type config = {
+  poll_interval : float;  (** virtual µs between re-optimizer polls *)
+  switch_threshold : float;
+      (** switch when [best < threshold × cost-to-go(current)] *)
+  max_phases : int;  (** stop switching after this many phases *)
+  min_leaf_seen : int;
+      (** ignore selectivity observations until every participating leaf
+          has produced this many tuples *)
+  preagg : Optimizer.preagg_strategy;
+  costs : Cost_model.t;
+  reuse_intermediates : bool;
+      (** when false, stitch-up ignores the registry and recomputes all
+          uniform combinations (ablation of §3.4's reuse) *)
+  initial_plan : Adp_exec.Plan.spec option;
+      (** start from this plan instead of the optimizer's choice (used by
+          experiments that reproduce a specific Phase 0) *)
+  memory_budget : int option;
+      (** cap (in tuples) on resident join state structures; beyond it,
+          structures are paged out most-complex-first (§3.4.2) and their
+          probes pay the I/O penalty *)
+  min_remaining_fraction : float;
+      (** §4.3: the optimizer "factors in the amount of computation that
+          has already been performed" — a switch is only worthwhile while
+          enough input remains for the better plan to pay for the
+          stitch-up; below this remaining fraction of the expected total
+          input, the running plan is kept (default 0.25) *)
+  use_histograms : bool;
+      (** §4.5 extension (off by default, as in Tukwila): attach
+          incremental histograms + order detectors to every source join
+          attribute and feed predicted two-way join selectivities to the
+          re-optimizer — predictions cover joins the current plan is not
+          executing, at the cost of per-tuple maintenance *)
+}
+
+val default_config : config
+(** 1 virtual second polls, threshold 0.7, at most 8 phases, 100-tuple
+    observation guard, no pre-aggregation, reuse enabled. *)
+
+type phase_info = {
+  id : int;
+  plan_desc : string;
+  emitted : int;  (** result tuples this phase emitted *)
+  read : int;  (** source tuples this phase consumed *)
+}
+
+type stats = {
+  phases : int;
+  stitch : Stitchup.stats;
+  total_time : float;  (** virtual µs, including stitch-up *)
+  cpu : float;
+  idle : float;
+  result_card : int;
+  reused_tuples : int;  (** registry tuples reused by stitch-up *)
+  discarded_tuples : int;  (** registry tuples never reused *)
+  phase_log : phase_info list;
+}
+
+(** Execute the query under corrective query processing.  Sources are
+    consumed sequentially and never rewound. *)
+val run :
+  ?config:config ->
+  Logical.query ->
+  Catalog.t ->
+  Source.t list ->
+  Relation.t * stats

@@ -1,0 +1,60 @@
+type run = {
+  label : string;
+  time_s : float;
+  cpu_s : float;
+  idle_s : float;
+  wall_s : float;
+  phases : int;
+  stitch_time_s : float;
+  reused : int;
+  discarded : int;
+  result_card : int;
+}
+
+let human_int n =
+  let f = float_of_int n in
+  if n >= 1_000_000 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.0fK" (f /. 1e3)
+  else if n >= 1_000 then Printf.sprintf "%.1fK" (f /. 1e3)
+  else string_of_int n
+
+let seconds s =
+  if s = 0.0 then "-"
+  else if s < 0.01 then Printf.sprintf "%.4fs" s
+  else if s < 10.0 then Printf.sprintf "%.2fs" s
+  else Printf.sprintf "%.1fs" s
+
+let pp_run fmt r =
+  Format.fprintf fmt
+    "%s: %s (cpu %s, idle %s), %d phase(s), stitch %s, reused %s, discarded %s, %d rows"
+    r.label (seconds r.time_s) (seconds r.cpu_s) (seconds r.idle_s) r.phases
+    (seconds r.stitch_time_s) (human_int r.reused) (human_int r.discarded)
+    r.result_card
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         row)
+  in
+  print_newline ();
+  print_endline title;
+  print_endline (String.make (String.length title) '=');
+  print_endline (render header);
+  print_endline
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (render row)) rows

@@ -1,0 +1,26 @@
+(** Uniform reporting of experiment runs: one record per (strategy, query,
+    dataset) execution, plus plain-text table rendering used by the
+    benchmark harness to print paper-style tables. *)
+
+type run = {
+  label : string;
+  time_s : float;  (** virtual completion time, seconds *)
+  cpu_s : float;
+  idle_s : float;
+  wall_s : float;  (** real processor time of the run *)
+  phases : int;
+  stitch_time_s : float;
+  reused : int;
+  discarded : int;
+  result_card : int;
+}
+
+val pp_run : Format.formatter -> run -> unit
+
+(** [table ~title ~header rows] prints an aligned plain-text table. *)
+val table : title:string -> header:string list -> string list list -> unit
+
+(** Compact number rendering: 12345 -> "12.3K". *)
+val human_int : int -> string
+
+val seconds : float -> string

@@ -1,0 +1,19 @@
+open Adp_relation
+
+let rec expr f = function
+  | Expr.Col c -> Expr.Col (f c)
+  | Expr.Const v -> Expr.Const v
+  | Expr.Add (a, b) -> Expr.Add (expr f a, expr f b)
+  | Expr.Sub (a, b) -> Expr.Sub (expr f a, expr f b)
+  | Expr.Mul (a, b) -> Expr.Mul (expr f a, expr f b)
+  | Expr.Div (a, b) -> Expr.Div (expr f a, expr f b)
+
+let rec predicate f = function
+  | Predicate.True -> Predicate.True
+  | Predicate.Cmp (op, c, v) -> Predicate.Cmp (op, f c, v)
+  | Predicate.Col_cmp (op, a, b) -> Predicate.Col_cmp (op, f a, f b)
+  | Predicate.Between (c, lo, hi) -> Predicate.Between (f c, lo, hi)
+  | Predicate.In (c, vs) -> Predicate.In (f c, vs)
+  | Predicate.Not p -> Predicate.Not (predicate f p)
+  | Predicate.And (a, b) -> Predicate.And (predicate f a, predicate f b)
+  | Predicate.Or (a, b) -> Predicate.Or (predicate f a, predicate f b)

@@ -1,0 +1,8 @@
+open Adp_relation
+
+(** Column-renaming rewrites over expressions and predicates, used when a
+    materialization point turns an intermediate result into a base source
+    for the remainder of the query (plan partitioning, §2.1). *)
+
+val expr : (string -> string) -> Expr.t -> Expr.t
+val predicate : (string -> string) -> Predicate.t -> Predicate.t

@@ -1,0 +1,77 @@
+open Adp_relation
+open Adp_exec
+open Adp_storage
+open Adp_optimizer
+
+type mode =
+  | Aggregating of Agg.t
+  | Collecting of { out : Relation.t; project : int array option }
+
+type t = {
+  canonical : Schema.t;
+  mode : mode;
+  mutable consumed : int;
+  mutable cached_adapter : (Schema.t * Tuple_adapter.t) option;
+      (* feeds arrive in long runs from one plan; cache its adapter *)
+}
+
+let create ctx (q : Logical.query) ~canonical =
+  let mode =
+    if q.aggs = [] && q.group_cols = [] then begin
+      let project =
+        match q.projection with
+        | [] -> None
+        | cols ->
+          Some (Array.of_list (List.map (Schema.index canonical) cols))
+      in
+      let out_schema =
+        match q.projection with
+        | [] -> canonical
+        | cols -> Schema.project canonical cols
+      in
+      Collecting { out = Relation.create out_schema; project }
+    end
+    else begin
+      (* Partial inputs are detected by the presence of the partial
+         accumulator columns in the canonical schema. *)
+      let input =
+        match Aggregate.partial_names q.aggs with
+        | first :: _ when Schema.mem canonical first -> Agg.Partial
+        | _ :: _ | [] -> Agg.Raw
+      in
+      Aggregating
+        (Agg.create ctx ~group_cols:q.group_cols ~aggs:q.aggs ~input canonical)
+    end
+  in
+  { canonical; mode; consumed = 0; cached_adapter = None }
+
+let adapter_for t from =
+  match t.cached_adapter with
+  | Some (s, a) when s == from -> a
+  | Some _ | None ->
+    let a = Tuple_adapter.create ~from ~into:t.canonical in
+    t.cached_adapter <- Some (from, a);
+    a
+
+let feed t ~from tuples =
+  if tuples <> [] then begin
+    let adapter = adapter_for t from in
+    let tuples = Tuple_adapter.adapt_all adapter tuples in
+    t.consumed <- t.consumed + List.length tuples;
+    match t.mode with
+    | Aggregating agg -> Agg.add_all agg tuples
+    | Collecting c ->
+      List.iter
+        (fun tuple ->
+          match c.project with
+          | None -> Relation.append c.out tuple
+          | Some idx -> Relation.append c.out (Tuple.project tuple idx))
+        tuples
+  end
+
+let consumed t = t.consumed
+
+let result t =
+  match t.mode with
+  | Aggregating agg -> Agg.result agg
+  | Collecting c -> c.out

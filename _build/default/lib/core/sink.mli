@@ -1,0 +1,28 @@
+open Adp_relation
+open Adp_exec
+open Adp_optimizer
+
+(** The shared query sink: Figure 1's "shared group-by operator".
+
+    All phase plans and the stitch-up plan of one query feed the same sink.
+    Because different plan shapes concatenate attributes in different
+    orders, the sink fixes a canonical schema (the first plan's root
+    schema) and adapts every feed through a {!Adp_storage.Tuple_adapter}
+    (§3.2).  Aggregation queries run a blocking hash aggregate that
+    coalesces raw or partial (pre-aggregated) inputs; pure SPJ queries
+    collect and project. *)
+
+type t
+
+(** [create ctx q ~canonical] — [canonical] is the root schema of the
+    first plan instantiated for [q]. *)
+val create : Ctx.t -> Logical.query -> canonical:Schema.t -> t
+
+(** Feed root output tuples produced under schema [from]. *)
+val feed : t -> from:Schema.t -> Tuple.t list -> unit
+
+(** Tuples consumed so far. *)
+val consumed : t -> int
+
+(** Finalized query result. *)
+val result : t -> Relation.t

@@ -1,0 +1,188 @@
+open Adp_relation
+open Adp_exec
+open Adp_optimizer
+
+type t =
+  | Static
+  | Corrective of Corrective.config
+  | Plan_partitioned of { break_after : int }
+  | Competitive of { candidates : int; explore_budget : float }
+  | Eddying
+
+let corrective_default = Corrective (Corrective.default_config)
+
+type outcome = {
+  result : Relation.t;
+  report : Report.run;
+  corrective_stats : Corrective.stats option;
+}
+
+let us_to_s v = v /. 1e6
+
+let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
+    ?(label = "run") ?initial_plan strategy query catalog ~sources =
+  let wall0 = Sys.time () in
+  let outcome =
+    match strategy with
+    | Static | Corrective _ ->
+      let config =
+        match strategy with
+        | Corrective c -> { c with preagg; costs; initial_plan }
+        | Static | Plan_partitioned _ | Competitive _ | Eddying ->
+          (* Static = corrective that never polls and never switches. *)
+          { Corrective.default_config with
+            poll_interval = infinity; max_phases = 1; preagg; costs;
+            initial_plan }
+      in
+      let result, stats = Corrective.run ~config query catalog (sources ()) in
+      let report =
+        { Report.label; time_s = us_to_s stats.total_time;
+          cpu_s = us_to_s stats.cpu; idle_s = us_to_s stats.idle;
+          wall_s = 0.0; phases = stats.phases;
+          stitch_time_s = us_to_s stats.stitch.Stitchup.time;
+          reused = stats.reused_tuples; discarded = stats.discarded_tuples;
+          result_card = stats.result_card }
+      in
+      { result; report; corrective_stats = Some stats }
+    | Plan_partitioned { break_after } ->
+      let result, stats =
+        Plan_partition.run ~preagg ~costs ~break_after ?initial_plan query
+          catalog (sources ())
+      in
+      let report =
+        { Report.label; time_s = us_to_s stats.total_time;
+          cpu_s = us_to_s stats.cpu; idle_s = us_to_s stats.idle;
+          wall_s = 0.0; phases = stats.stages; stitch_time_s = 0.0;
+          reused = 0; discarded = 0; result_card = stats.result_card }
+      in
+      { result; report; corrective_stats = None }
+    | Competitive { candidates; explore_budget } ->
+      let result, stats =
+        Competition.run ~costs ~candidates ~explore_budget query catalog
+          ~sources
+      in
+      let report =
+        { Report.label; time_s = us_to_s stats.total_time;
+          cpu_s = us_to_s stats.cpu; idle_s = us_to_s stats.idle;
+          wall_s = 0.0; phases = 1; stitch_time_s = 0.0; reused = 0;
+          discarded = 0; result_card = stats.result_card }
+      in
+      { result; report; corrective_stats = None }
+    | Eddying ->
+      let ctx = Ctx.create ~costs () in
+      let eddy =
+        Eddy.create ctx
+          ~sources:
+            (List.map
+               (fun (s : Logical.source) ->
+                 s.Logical.name, Catalog.schema_of catalog s.Logical.name)
+               query.Logical.sources)
+          ~filters:
+            (List.map
+               (fun (s : Logical.source) -> s.Logical.name, s.Logical.filter)
+               query.Logical.sources)
+          ~preds:query.Logical.join_preds
+      in
+      let sink = Sink.create ctx query ~canonical:(Eddy.schema eddy) in
+      let consume src tuple =
+        let outs = Eddy.insert eddy ~source:(Source.name src) tuple in
+        Sink.feed sink ~from:(Eddy.schema eddy) outs
+      in
+      (match Driver.run ctx ~sources:(sources ()) ~consume () with
+       | Driver.Exhausted -> ()
+       | Driver.Switched -> assert false);
+      let result = Sink.result sink in
+      let report =
+        { Report.label; time_s = us_to_s (Ctx.now ctx);
+          cpu_s = us_to_s (Clock.cpu ctx.Ctx.clock);
+          idle_s = us_to_s (Clock.idle ctx.Ctx.clock); wall_s = 0.0;
+          phases = 1; stitch_time_s = 0.0; reused = 0; discarded = 0;
+          result_card = Relation.cardinality result }
+      in
+      { result; report; corrective_stats = None }
+  in
+  let wall = Sys.time () -. wall0 in
+  { outcome with report = { outcome.report with Report.wall_s = wall } }
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference evaluator (test oracle)                             *)
+(* ------------------------------------------------------------------ *)
+
+let reference (query : Logical.query) catalog ~sources =
+  let srcs = sources () in
+  let relation_of name =
+    let src = List.find (fun s -> Source.name s = name) srcs in
+    let filter =
+      let lsrc = List.find (fun s -> s.Logical.name = name) query.sources in
+      Predicate.compile lsrc.Logical.filter (Source.schema src)
+    in
+    let rel = Relation.create (Source.schema src) in
+    let rec drain () =
+      match Source.next src with
+      | None -> ()
+      | Some (tuple, _) ->
+        if filter tuple then Relation.append rel tuple;
+        drain ()
+    in
+    drain ();
+    rel
+  in
+  ignore catalog;
+  (* Join predicates are applied as soon as both columns are in scope, and
+     checked per tuple pair while the nested loop runs — never materialize
+     an unfiltered cross product. *)
+  let applied = Hashtbl.create 16 in
+  let ready_checks schema =
+    List.filter_map
+      (fun (a, b) ->
+        if (not (Hashtbl.mem applied (a, b)))
+           && Schema.mem schema a && Schema.mem schema b
+        then begin
+          Hashtbl.replace applied (a, b) ();
+          let ia = Schema.index schema a and ib = Schema.index schema b in
+          Some (fun (t : Tuple.t) -> Value.eq_sql t.(ia) t.(ib))
+        end
+        else None)
+      query.join_preds
+  in
+  let joined =
+    match query.sources with
+    | [] -> invalid_arg "Strategy.reference: no sources"
+    | first :: rest ->
+      List.fold_left
+        (fun acc (s : Logical.source) ->
+          let r = relation_of s.name in
+          let schema = Schema.concat (Relation.schema acc) (Relation.schema r) in
+          let checks = ready_checks schema in
+          let out = Relation.create schema in
+          Relation.iter
+            (fun t1 ->
+              Relation.iter
+                (fun t2 ->
+                  let t = Tuple.concat t1 t2 in
+                  if List.for_all (fun chk -> chk t) checks then
+                    Relation.append out t)
+                r)
+            acc;
+          out)
+        (relation_of first.Logical.name)
+        rest
+  in
+  if query.aggs = [] && query.group_cols = [] then begin
+    match query.projection with
+    | [] -> joined
+    | cols ->
+      let schema = Relation.schema joined in
+      let idx = Array.of_list (List.map (Schema.index schema) cols) in
+      Relation.of_list (Schema.project schema cols)
+        (List.map (fun t -> Tuple.project t idx) (Relation.to_list joined))
+  end
+  else begin
+    let ctx = Ctx.create () in
+    let agg =
+      Agg.create ctx ~group_cols:query.group_cols ~aggs:query.aggs
+        ~input:Agg.Raw (Relation.schema joined)
+    in
+    Relation.iter (Agg.add agg) joined;
+    Agg.result agg
+  end

@@ -1,0 +1,55 @@
+open Adp_relation
+open Adp_exec
+open Adp_optimizer
+
+(** Unified entry point over the four adaptive-processing strategies the
+    paper compares:
+
+    - {!Static}: optimize once, execute to completion (no adaptation);
+    - {!Corrective}: adaptive data partitioning with corrective query
+      processing (§4);
+    - {!Plan_partitioned}: materialize after a fixed number of joins and
+      re-optimize (the plan-partitioning baseline);
+    - {!Competitive}: redundant computation over the top-k plans.
+
+    [sources] is a factory because competitive execution needs an
+    independent read cursor per candidate plan; the other strategies call
+    it once. *)
+
+type t =
+  | Static
+  | Corrective of Corrective.config
+  | Plan_partitioned of { break_after : int }
+  | Competitive of { candidates : int; explore_budget : float }
+  | Eddying
+      (** the eddy/SteM baseline (§2.1's "data partitioning" prior work):
+          per-tuple greedy routing instead of ADP's global planning *)
+
+(** [Corrective Corrective.default_config] *)
+val corrective_default : t
+
+type outcome = {
+  result : Relation.t;
+  report : Report.run;
+  corrective_stats : Corrective.stats option;
+      (** present for {!Corrective} runs (Table 1/2 details) *)
+}
+
+(** [initial_plan] overrides the first plan choice for {!Static},
+    {!Corrective} and {!Plan_partitioned} runs (ignored by
+    {!Competitive}); used by experiments reproducing a documented poor
+    starting plan. *)
+val run :
+  ?preagg:Optimizer.preagg_strategy ->
+  ?costs:Cost_model.t ->
+  ?label:string ->
+  ?initial_plan:Plan.spec ->
+  t ->
+  Logical.query ->
+  Catalog.t ->
+  sources:(unit -> Source.t list) ->
+  outcome
+
+(** Reference evaluation: naive in-memory nested-loop join + aggregation,
+    bypassing the engine entirely.  Slow; used as a test oracle. *)
+val reference : Logical.query -> Catalog.t -> sources:(unit -> Source.t list) -> Relation.t

@@ -1,0 +1,1 @@
+lib/datagen/flights.ml: Adp_relation Array Prng Relation Schema Value Zipf

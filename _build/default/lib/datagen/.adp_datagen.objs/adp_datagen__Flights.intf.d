@@ -1,0 +1,1 @@
+lib/datagen/flights.mli: Adp_relation Relation Schema

@@ -1,0 +1,1 @@
+lib/datagen/perturb.ml: Adp_relation Array Prng Relation Schema Value

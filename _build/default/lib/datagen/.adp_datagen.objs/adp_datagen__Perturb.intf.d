@@ -1,0 +1,1 @@
+lib/datagen/perturb.mli: Adp_relation Prng Relation

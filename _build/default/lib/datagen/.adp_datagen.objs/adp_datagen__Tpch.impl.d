@@ -1,0 +1,1 @@
+lib/datagen/tpch.ml: Adp_relation Array List Printf Prng Relation Schema Value Zipf

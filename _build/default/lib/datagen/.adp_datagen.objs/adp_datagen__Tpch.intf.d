@@ -1,0 +1,1 @@
+lib/datagen/tpch.mli: Adp_relation Relation Schema

@@ -1,0 +1,75 @@
+open Adp_relation
+
+type config = {
+  n_flights : int;
+  n_travelers : int;
+  trips_per_traveler : int;
+  frequent_flyers : bool;
+  seed : int;
+}
+
+let default_config =
+  { n_flights = 2000; n_travelers = 1000; trips_per_traveler = 3;
+    frequent_flyers = false; seed = 7 }
+
+type t = {
+  config : config;
+  flights : Relation.t;
+  travelers : Relation.t;
+  children : Relation.t;
+}
+
+let flights_schema =
+  Schema.make [ "f.fid"; "f.from_city"; "f.to_city"; "f.when_day" ]
+
+let travelers_schema = Schema.make [ "t.ssn"; "t.flight" ]
+let children_schema = Schema.make [ "c.parent"; "c.num" ]
+
+let cities =
+  [| "SEA"; "SFO"; "LAX"; "ORD"; "JFK"; "BOS"; "PHL"; "IAD"; "ATL"; "DFW" |]
+
+let generate config =
+  let rng = Prng.create config.seed in
+  let flights = Relation.create flights_schema in
+  for fid = 1 to config.n_flights do
+    let from_city = Prng.choice rng cities in
+    let to_city = ref (Prng.choice rng cities) in
+    while !to_city = from_city do
+      to_city := Prng.choice rng cities
+    done;
+    Relation.append flights
+      [| Value.Int fid; Value.Str from_city; Value.Str !to_city;
+         Value.Int (Prng.int rng 365) |]
+  done;
+  let travelers = Relation.create travelers_schema in
+  let trips_zipf =
+    if config.frequent_flyers then
+      Some (Zipf.create ~n:(8 * config.trips_per_traveler) ~z:1.2)
+    else None
+  in
+  let trips = ref [] in
+  for ssn = 1 to config.n_travelers do
+    let count =
+      match trips_zipf with
+      | Some zipf -> Zipf.sample zipf rng
+      | None -> 1 + Prng.int rng (2 * config.trips_per_traveler - 1)
+    in
+    for _ = 1 to count do
+      trips := (ssn, 1 + Prng.int rng config.n_flights) :: !trips
+    done
+  done;
+  (* Random distribution order, per the example's premise. *)
+  let trips_arr = Array.of_list !trips in
+  Prng.shuffle rng trips_arr;
+  Array.iter
+    (fun (ssn, flight) ->
+      Relation.append travelers [| Value.Int ssn; Value.Int flight |])
+    trips_arr;
+  let children = Relation.create children_schema in
+  let parents = Array.init config.n_travelers (fun i -> i + 1) in
+  Prng.shuffle rng parents;
+  Array.iter
+    (fun p ->
+      Relation.append children [| Value.Int p; Value.Int (Prng.int rng 6) |])
+    parents;
+  { config; flights; travelers; children }

@@ -1,0 +1,42 @@
+open Adp_relation
+
+let relation_of_array schema arr =
+  Relation.of_list schema (Array.to_list arr)
+
+let swap_fraction rng rel frac =
+  if frac < 0.0 || frac > 1.0 then invalid_arg "Perturb.swap_fraction";
+  let n = Relation.cardinality rel in
+  let arr = Array.init n (Relation.get rel) in
+  let target = int_of_float (frac *. float_of_int n) in
+  let moved = ref 0 in
+  (* Each swap displaces two tuples (almost surely). *)
+  while !moved < target && n > 1 do
+    let i = Prng.int rng n and j = Prng.int rng n in
+    if i <> j then begin
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp;
+      moved := !moved + 2
+    end
+  done;
+  relation_of_array (Relation.schema rel) arr
+
+let shuffle rng rel =
+  let n = Relation.cardinality rel in
+  let arr = Array.init n (Relation.get rel) in
+  Prng.shuffle rng arr;
+  relation_of_array (Relation.schema rel) arr
+
+let sortedness rel col =
+  let n = Relation.cardinality rel in
+  if n < 2 then 1.0
+  else begin
+    let i = Schema.index (Relation.schema rel) col in
+    let ok = ref 0 in
+    for k = 0 to n - 2 do
+      if Value.compare (Relation.get rel k).(i) (Relation.get rel (k + 1)).(i)
+         <= 0
+      then incr ok
+    done;
+    float_of_int !ok /. float_of_int (n - 1)
+  end

@@ -1,0 +1,20 @@
+open Adp_relation
+
+(** Order perturbation for the §5 complementary-join experiments.
+
+    The paper builds "mostly sorted" variants of LINEITEM and ORDERS by
+    randomly swapping 1 %, 10 % or 50 % of the data. *)
+
+(** [swap_fraction rng rel frac] returns a copy of [rel] in which roughly
+    [frac] of the tuples have been displaced (pairs of random positions are
+    exchanged until [frac * n] tuples have moved).  [frac = 0.] is the
+    identity; [frac] must be in [0, 1]. *)
+val swap_fraction : Prng.t -> Relation.t -> float -> Relation.t
+
+(** Fully random permutation of the tuples. *)
+val shuffle : Prng.t -> Relation.t -> Relation.t
+
+(** Fraction of adjacent tuple pairs that are non-decreasing on the given
+    column — 1.0 for sorted input, ~0.5 for random.  Used by tests and by
+    order speculation heuristics. *)
+val sortedness : Relation.t -> string -> float

@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_u64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  { state = next_u64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  (* Keep the value within OCaml's 63-bit native int range (non-negative). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_u64 t) 2) in
+  v mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_u64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/exec/agg.ml: Adp_relation Aggregate Array Ctx Hashtbl List Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/agg.mli: Adp_relation Aggregate Ctx Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/exec/aggregate.ml: Adp_relation Array Expr List Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/aggregate.mli: Adp_relation Expr Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/comp_join.ml: Adp_relation Adp_storage Array Ctx Hash_table Hashtbl Heap List Option Schema Sym_join Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/comp_join.mli: Adp_relation Ctx Schema Tuple

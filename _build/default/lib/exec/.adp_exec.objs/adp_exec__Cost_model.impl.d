@@ -1,0 +1,1 @@
+lib/exec/cost_model.ml:

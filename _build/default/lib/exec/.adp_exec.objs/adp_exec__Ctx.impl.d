@@ -1,0 +1,1 @@
+lib/exec/ctx.ml: Clock Cost_model

@@ -1,0 +1,1 @@
+lib/exec/ctx.mli: Clock Cost_model

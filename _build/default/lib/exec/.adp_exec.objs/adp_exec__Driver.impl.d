@@ -1,0 +1,1 @@
+lib/exec/driver.ml: Array Clock Ctx Source

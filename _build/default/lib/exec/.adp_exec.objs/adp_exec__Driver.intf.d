@@ -1,0 +1,1 @@
+lib/exec/driver.mli: Adp_relation Ctx Source

@@ -1,0 +1,1 @@
+lib/exec/eddy.ml: Adp_relation Adp_storage Array Ctx Fun Hash_table List Predicate Schema String Tuple Value

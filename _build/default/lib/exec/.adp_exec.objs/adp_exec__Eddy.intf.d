@@ -1,0 +1,1 @@
+lib/exec/eddy.mli: Adp_relation Ctx Predicate Schema Tuple

@@ -1,0 +1,1 @@
+lib/exec/heap.ml: Array

@@ -1,0 +1,1 @@
+lib/exec/plan.ml: Adp_relation Adp_storage Aggregate Array Ctx Expr Format Hash_table Hashtbl Int List Predicate Printf Schema String Tuple Value

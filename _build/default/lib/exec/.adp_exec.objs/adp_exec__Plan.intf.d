@@ -1,0 +1,1 @@
+lib/exec/plan.mli: Adp_relation Aggregate Ctx Format Predicate Schema Tuple

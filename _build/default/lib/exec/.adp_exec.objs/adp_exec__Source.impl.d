@@ -1,0 +1,1 @@
+lib/exec/source.ml: Adp_datagen Adp_relation List Printf Prng Relation Tuple

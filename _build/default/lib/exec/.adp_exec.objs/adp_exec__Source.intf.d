@@ -1,0 +1,1 @@
+lib/exec/source.mli: Adp_relation Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/exec/sym_join.ml: Adp_relation Adp_storage Ctx Hash_table List Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/sym_join.mli: Adp_relation Adp_storage Ctx Hash_table Schema Tuple

@@ -1,0 +1,39 @@
+open Adp_relation
+
+(** Final (blocking) hash aggregation — the shared group-by operator of
+    Figure 1.  One instance is shared by all phase plans and the stitch-up
+    plan of a query: every plan's root output is fed into it, and the final
+    result is emitted once all plans complete.
+
+    The operator consumes either raw tuples (evaluating aggregate input
+    expressions directly) or partial-aggregate tuples produced by
+    pre-aggregation / pseudogroup operators, which it "coalesces". *)
+
+type input = Raw | Partial
+
+type t
+
+(** [create ctx ~group_cols ~aggs ~input schema] — [schema] is the schema
+    of the tuples that will be fed in. *)
+val create :
+  Ctx.t ->
+  group_cols:string list ->
+  aggs:Aggregate.spec list ->
+  input:input ->
+  Schema.t ->
+  t
+
+val add : t -> Tuple.t -> unit
+val add_all : t -> Tuple.t list -> unit
+
+(** Tuples consumed so far. *)
+val consumed : t -> int
+
+(** Current number of groups. *)
+val groups : t -> int
+
+(** Output schema: group columns followed by aggregate output names. *)
+val out_schema : t -> Schema.t
+
+(** Finalized result (can be called repeatedly; does not clear state). *)
+val result : t -> Relation.t

@@ -1,0 +1,136 @@
+open Adp_relation
+
+type fn = Count | Sum | Min | Max | Avg
+
+type spec = { fn : fn; expr : Expr.t; name : string }
+
+let count_all ~name = { fn = Count; expr = Expr.int 1; name }
+let sum ~name expr = { fn = Sum; expr; name }
+let min_of ~name expr = { fn = Min; expr; name }
+let max_of ~name expr = { fn = Max; expr; name }
+let avg ~name expr = { fn = Avg; expr; name }
+
+type slot = Acc_sum | Acc_cnt | Acc_min | Acc_max
+
+let slots_of = function
+  | Count -> [ Acc_cnt ]
+  | Sum -> [ Acc_sum ]
+  | Min -> [ Acc_min ]
+  | Max -> [ Acc_max ]
+  | Avg -> [ Acc_sum; Acc_cnt ]
+
+let slot_suffix = function
+  | Acc_sum -> "_sum"
+  | Acc_cnt -> "_cnt"
+  | Acc_min -> "_min"
+  | Acc_max -> "_max"
+
+let partial_names specs =
+  List.concat_map
+    (fun s ->
+      List.map (fun sl -> "pa." ^ s.name ^ slot_suffix sl) (slots_of s.fn))
+    specs
+
+let partial_schema ~group_cols specs =
+  Schema.make (group_cols @ partial_names specs)
+
+type input_kind =
+  | Raw of (Tuple.t -> Value.t) array  (* one eval per slot's spec *)
+  | Partial of int array  (* source column index per slot *)
+
+type compiled = {
+  specs : spec list;
+  slots : slot array;
+  spec_of_slot : int array;  (* slot index -> spec index *)
+  input : input_kind;
+}
+
+let layout specs =
+  let slots = ref [] and owners = ref [] in
+  List.iteri
+    (fun si s ->
+      List.iter
+        (fun sl ->
+          slots := sl :: !slots;
+          owners := si :: !owners)
+        (slots_of s.fn))
+    specs;
+  Array.of_list (List.rev !slots), Array.of_list (List.rev !owners)
+
+let compile specs schema =
+  let slots, spec_of_slot = layout specs in
+  let spec_arr = Array.of_list specs in
+  let evals =
+    Array.map (fun si -> Expr.compile spec_arr.(si).expr schema) spec_of_slot
+  in
+  { specs; slots; spec_of_slot; input = Raw evals }
+
+let compile_partial specs schema =
+  let slots, spec_of_slot = layout specs in
+  let idx =
+    Array.of_list (List.map (Schema.index schema) (partial_names specs))
+  in
+  { specs; slots; spec_of_slot; input = Partial idx }
+
+let width c = Array.length c.slots
+
+let neutral = function
+  | Acc_sum -> Value.Int 0
+  | Acc_cnt -> Value.Int 0
+  | Acc_min | Acc_max -> Value.Null
+
+let init c = Array.map neutral c.slots
+
+let combine slot acc v =
+  match slot with
+  | Acc_sum -> Value.add acc v
+  | Acc_cnt -> Value.add acc v
+  | Acc_min -> Value.min_v acc v
+  | Acc_max -> Value.max_v acc v
+
+let update c acc tuple =
+  match c.input with
+  | Raw evals ->
+    Array.iteri
+      (fun i slot ->
+        let v =
+          match slot with Acc_cnt -> Value.Int 1 | _ -> evals.(i) tuple
+        in
+        acc.(i) <- combine slot acc.(i) v)
+      c.slots
+  | Partial idx ->
+    Array.iteri
+      (fun i slot -> acc.(i) <- combine slot acc.(i) tuple.(idx.(i)))
+      c.slots
+
+let to_partial _c acc = Array.copy acc
+
+let finalize c acc =
+  let spec_arr = Array.of_list c.specs in
+  let slot_for si kind =
+    let found = ref None in
+    Array.iteri
+      (fun i owner ->
+        if owner = si && c.slots.(i) = kind && !found = None then
+          found := Some i)
+      c.spec_of_slot;
+    match !found with
+    | Some i -> acc.(i)
+    | None -> invalid_arg "Aggregate.finalize: missing slot"
+  in
+  Array.mapi
+    (fun si s ->
+      match s.fn with
+      | Count -> slot_for si Acc_cnt
+      | Sum -> slot_for si Acc_sum
+      | Min -> slot_for si Acc_min
+      | Max -> slot_for si Acc_max
+      | Avg ->
+        let s_ = slot_for si Acc_sum and cnt = slot_for si Acc_cnt in
+        if Value.is_null s_ || Value.is_null cnt then Value.Null
+        else begin
+          let n = Value.to_float cnt in
+          if n = 0.0 then Value.Null
+          else Value.Float (Value.to_float s_ /. n)
+        end)
+    spec_arr

@@ -1,0 +1,60 @@
+open Adp_relation
+
+(** Aggregate functions and partial-aggregate plumbing.
+
+    The common aggregates distribute over union (average via sum+count,
+    §2.2 footnote), which is what makes both adaptive data partitioning and
+    pre-aggregation sound: partial results computed over any partition of
+    the input can be merged.  A partial accumulator is a flat value vector
+    whose layout is derived from the aggregate list; pre-aggregation
+    operators emit tuples of [group columns @ partial columns], and the
+    final aggregation merges either raw input tuples or such partials. *)
+
+type fn = Count | Sum | Min | Max | Avg
+
+type spec = {
+  fn : fn;
+  expr : Expr.t;  (** ignored by [Count] *)
+  name : string;  (** output column name, e.g. ["revenue"] *)
+}
+
+val count_all : name:string -> spec
+val sum : name:string -> Expr.t -> spec
+val min_of : name:string -> Expr.t -> spec
+val max_of : name:string -> Expr.t -> spec
+val avg : name:string -> Expr.t -> spec
+
+(** Names of the partial-accumulator columns, e.g. ["pa.revenue_sum"].
+    Their order defines the accumulator layout. *)
+val partial_names : spec list -> string list
+
+(** Schema of a pre-aggregated stream: the group columns (unchanged names,
+    so joins above the pre-aggregation still resolve) followed by
+    {!partial_names}. *)
+val partial_schema : group_cols:string list -> spec list -> Schema.t
+
+type compiled
+
+(** [compile specs schema] resolves aggregate input expressions against the
+    raw input schema. *)
+val compile : spec list -> Schema.t -> compiled
+
+(** [compile_partial specs schema] prepares merging of partial tuples whose
+    schema contains {!partial_names}. *)
+val compile_partial : spec list -> Schema.t -> compiled
+
+(** Fresh neutral accumulator. *)
+val init : compiled -> Value.t array
+
+(** Fold one input tuple (raw or partial, according to how the aggregator
+    was compiled) into the accumulator. *)
+val update : compiled -> Value.t array -> Tuple.t -> unit
+
+(** Accumulator as a partial-column vector (layout of {!partial_names}). *)
+val to_partial : compiled -> Value.t array -> Value.t array
+
+(** Final aggregate values, one per spec ([Avg] divides sum by count). *)
+val finalize : compiled -> Value.t array -> Value.t array
+
+(** Number of value slots in the accumulator. *)
+val width : compiled -> int

@@ -1,0 +1,23 @@
+type t = { mutable now : float; mutable cpu : float; mutable idle : float }
+
+let create () = { now = 0.0; cpu = 0.0; idle = 0.0 }
+
+let now t = t.now
+
+let charge t c =
+  t.now <- t.now +. c;
+  t.cpu <- t.cpu +. c
+
+let wait_until t when_ =
+  if when_ > t.now then begin
+    t.idle <- t.idle +. (when_ -. t.now);
+    t.now <- when_
+  end
+
+let cpu t = t.cpu
+let idle t = t.idle
+
+let reset t =
+  t.now <- 0.0;
+  t.cpu <- 0.0;
+  t.idle <- 0.0

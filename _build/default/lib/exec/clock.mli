@@ -1,0 +1,31 @@
+(** Virtual clock.
+
+    Execution time in this reproduction is deterministic: operators charge
+    CPU cost to the clock and sources impose arrival times; waiting for a
+    source advances the clock without charging CPU.  This models the
+    paper's single-server engine, where adaptive scheduling overlaps I/O
+    delay with computation — the event loop in [Driver] only waits when no
+    source tuple has arrived yet, exactly the situation where the paper's
+    engine idles too. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time (µs). *)
+val now : t -> float
+
+(** Charge CPU work. *)
+val charge : t -> float -> unit
+
+(** [wait_until t when_] advances the clock to [when_] if it is in the
+    future, recording the difference as idle time. *)
+val wait_until : t -> float -> unit
+
+(** Total CPU charged so far. *)
+val cpu : t -> float
+
+(** Total idle (waiting-for-source) time so far. *)
+val idle : t -> float
+
+val reset : t -> unit

@@ -1,0 +1,71 @@
+open Adp_relation
+
+(** Complementary join pair (§5, Figure 4).
+
+    The pair speculates that both inputs are (mostly) sorted on the join
+    key.  Memory is divided into four hash tables — h(R) and h(S) inside a
+    merge join, and h(R) and h(S) inside a pipelined hash join.  A split
+    (router) operator sends each arriving tuple to the merge join when it
+    conforms to that side's current ordering, otherwise to the hash join.
+    The [Priority_queue] variant first passes tuples through a bounded
+    min-heap that re-orders recently received elements (the paper uses
+    1024 entries), dramatically increasing the share of data the merge
+    join can consume on mostly-sorted inputs.
+
+    When both inputs are exhausted, {!finish} runs the mini stitch-up:
+    the merge join's h(R) is combined with the hash join's h(S) and
+    vice versa (the two same-operator combinations were already produced
+    during execution).
+
+    Overflow (§5): when [memory_budget] is set and the four tables exceed
+    it, the pair lazily partitions all four hash tables along the same
+    hash boundaries and spills whole regions; tuples of spilled regions
+    arriving later go straight to the overflow partitions.  At {!finish}
+    the spilled regions are joined XJoin-style: every left/right pair of
+    a region is produced except pairs that were both memory-resident
+    before the spill (those were already joined — the epoch check
+    replaces XJoin's timestamps). *)
+
+type variant =
+  | Naive  (** route on raw arrival order *)
+  | Priority_queue of int  (** re-order through a bounded min-heap *)
+
+type side = L | R
+
+type t
+
+(** [memory_budget] caps the tuples resident across the four hash tables
+    (default unbounded); [regions] is the number of overflow partitions
+    (default 8). *)
+val create :
+  ?memory_budget:int ->
+  ?regions:int ->
+  Ctx.t ->
+  variant:variant ->
+  left_schema:Schema.t ->
+  right_schema:Schema.t ->
+  left_key:string list ->
+  right_key:string list ->
+  t
+
+val schema : t -> Schema.t
+
+(** Feed one input tuple; returns join outputs produced immediately. *)
+val insert : t -> side -> Tuple.t -> Tuple.t list
+
+(** Drain priority queues and run the mini stitch-up; returns the
+    remaining outputs.  Call exactly once, after both inputs end. *)
+val finish : t -> Tuple.t list
+
+type stats = {
+  merge_routed : int * int;  (** tuples routed to the merge join (L, R) *)
+  hash_routed : int * int;  (** tuples routed to the hash join (L, R) *)
+  merge_out : int;  (** outputs produced by the merge join *)
+  hash_out : int;  (** outputs produced by the hash join *)
+  stitch_out : int;  (** outputs produced by the mini stitch-up *)
+  spilled_regions : int;  (** overflow partitions spilled to disk *)
+  spilled_tuples : int;  (** tuples written to overflow partitions *)
+  overflow_out : int;  (** outputs produced by overflow resolution *)
+}
+
+val stats : t -> stats

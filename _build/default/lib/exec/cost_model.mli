@@ -1,0 +1,35 @@
+(** Per-operation CPU cost constants, in abstract microseconds of virtual
+    time.
+
+    The paper isolates computation cost by running in memory; we make the
+    computation cost explicit and deterministic instead.  The same
+    constants drive both the virtual clock during execution and the
+    optimizer's cost estimates, so the re-optimizer's predictions are
+    commensurable with observed progress.  Relative magnitudes encode the
+    paper's assumptions: merge-join operations are slightly cheaper than
+    hash operations (§5), pre-aggregation updates cost little more than a
+    projection (§3.2), and probing a swapped-out structure pays an I/O
+    penalty. *)
+
+type t = {
+  hash_build : float;  (** insert a tuple into a hash state structure *)
+  hash_probe : float;  (** one probe (excludes per-match cost) *)
+  per_match : float;  (** per join output tuple constructed *)
+  merge_append : float;  (** append to a sorted run *)
+  merge_probe : float;  (** binary-search probe of a sorted run *)
+  filter_atom : float;  (** per atomic predicate comparison *)
+  preagg_update : float;  (** windowed pre-aggregation update *)
+  pseudo_update : float;
+      (** pseudogroup pass-through: little more than a projection (§3.2) *)
+  agg_update : float;  (** final aggregation update *)
+  output : float;  (** emit a result tuple *)
+  route : float;  (** split-operator routing decision *)
+  pq_op : float;  (** priority-queue push or pop *)
+  histogram_add : float;  (** per-value histogram maintenance (§4.5) *)
+  swap_penalty : float;  (** extra cost probing a swapped-out structure *)
+  spill_write : float;  (** write one tuple to an overflow partition *)
+  spill_read : float;  (** read one tuple back from an overflow partition *)
+  reopt : float;  (** one optimizer invocation (background thread) *)
+}
+
+val default : t

@@ -1,0 +1,12 @@
+type t = {
+  clock : Clock.t;
+  costs : Cost_model.t;
+  mutable tuples_read : int;
+  mutable tuples_output : int;
+}
+
+let create ?(costs = Cost_model.default) () =
+  { clock = Clock.create (); costs; tuples_read = 0; tuples_output = 0 }
+
+let charge t c = Clock.charge t.clock c
+let now t = Clock.now t.clock

@@ -1,0 +1,16 @@
+(** Execution context: the virtual clock, the cost constants, and global
+    tuple counters shared by all operators of one query execution. *)
+
+type t = {
+  clock : Clock.t;
+  costs : Cost_model.t;
+  mutable tuples_read : int;  (** source tuples consumed *)
+  mutable tuples_output : int;  (** result tuples emitted *)
+}
+
+val create : ?costs:Cost_model.t -> unit -> t
+
+(** Charge CPU cost. *)
+val charge : t -> float -> unit
+
+val now : t -> float

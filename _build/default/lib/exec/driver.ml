@@ -1,0 +1,43 @@
+type outcome = Exhausted | Switched
+
+let run ctx ~sources ~consume ?poll () =
+  let srcs = Array.of_list sources in
+  let n = Array.length srcs in
+  let cursor = ref 0 in
+  let next_poll =
+    ref (match poll with Some (iv, _) -> Ctx.now ctx +. iv | None -> infinity)
+  in
+  let pick () =
+    (* Earliest arrival among unexhausted sources; ties broken round-robin
+       starting after the last pick. *)
+    let best = ref None in
+    for off = 0 to n - 1 do
+      let i = (!cursor + off) mod n in
+      match Source.peek_arrival srcs.(i) with
+      | None -> ()
+      | Some a ->
+        (match !best with
+         | Some (_, ba) when ba <= a -> ()
+         | Some _ | None -> best := Some (i, a))
+    done;
+    !best
+  in
+  let rec loop () =
+    match pick () with
+    | None -> Exhausted
+    | Some (i, arrival) ->
+      cursor := (i + 1) mod n;
+      Clock.wait_until ctx.Ctx.clock arrival;
+      (match Source.next srcs.(i) with
+       | None -> ()
+       | Some (tuple, _) ->
+         ctx.Ctx.tuples_read <- ctx.Ctx.tuples_read + 1;
+         consume srcs.(i) tuple);
+      (match poll with
+       | Some (iv, cb) when Ctx.now ctx >= !next_poll ->
+         Ctx.charge ctx ctx.Ctx.costs.reopt;
+         next_poll := Ctx.now ctx +. iv;
+         (match cb () with `Continue -> loop () | `Switch -> Switched)
+       | Some _ | None -> loop ())
+  in
+  loop ()

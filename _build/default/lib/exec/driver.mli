@@ -1,0 +1,23 @@
+(** Event loop driving sources into a consumer.
+
+    The driver repeatedly picks the unexhausted source whose next tuple has
+    the earliest arrival time (round-robin among ties, which implements
+    data-availability-driven adaptive scheduling: a delayed source never
+    blocks work available on another), advances the virtual clock, and
+    hands the tuple to the consumer.
+
+    An optional poll hook fires whenever the given virtual-time interval
+    has elapsed — this is the corrective query processor's background
+    re-optimizer (§4.1), whose invocation cost is charged to the clock.
+    Returning [`Switch] suspends the loop (sources keep their positions, so
+    a new plan resumes reading exactly where the old one stopped). *)
+
+type outcome = Exhausted | Switched
+
+val run :
+  Ctx.t ->
+  sources:Source.t list ->
+  consume:(Source.t -> Adp_relation.Tuple.t -> unit) ->
+  ?poll:float * (unit -> [ `Continue | `Switch ]) ->
+  unit ->
+  outcome

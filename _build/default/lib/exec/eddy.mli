@@ -1,0 +1,46 @@
+open Adp_relation
+
+(** An eddy with state modules (SteMs) — the data-partitioning baseline the
+    paper positions ADP against (§2.1, §7: Avnur & Hellerstein's eddies,
+    Raman et al.'s SteMs).
+
+    Each base relation has a state module: its tuples, hash-indexed on
+    every join column the query mentions.  Every arriving tuple is filtered,
+    inserted into its SteM, and then routed through the remaining relations
+    one probe at a time; the routing policy picks, per tuple, the next
+    relation with the lowest observed expansion ratio (a local, greedy
+    decision — exactly the contrast with ADP's global, long-term planning).
+    A result is emitted when a routed combination covers every relation.
+
+    Correctness follows the n-ary symmetric hash join argument: probes only
+    see previously-arrived tuples, so each result combination is produced
+    exactly once, at the arrival of its last component, regardless of probe
+    order.
+
+    Output tuples use the canonical schema: the concatenation of the source
+    schemas in query-source order, independent of routing order. *)
+
+type t
+
+(** [create ctx ~sources ~filters ~preds] — [sources] in canonical order
+    with their schemas; [filters] per-source selection predicates;
+    [preds] the equi-join column pairs (each column qualified). *)
+val create :
+  Ctx.t ->
+  sources:(string * Schema.t) list ->
+  filters:(string * Predicate.t) list ->
+  preds:(string * string) list ->
+  t
+
+(** Canonical output schema. *)
+val schema : t -> Schema.t
+
+(** Feed one source tuple; returns completed result tuples. *)
+val insert : t -> source:string -> Tuple.t -> Tuple.t list
+
+(** Routing statistics: per relation, (probes into it, matches produced),
+    exposing where the eddy spent its exploration. *)
+val routing_stats : t -> (string * int * int) list
+
+(** Tuples routed (routing decisions taken). *)
+val decisions : t -> int

@@ -1,0 +1,508 @@
+open Adp_relation
+open Adp_storage
+
+type preagg_mode =
+  | Windowed of { initial : int; max_window : int }
+  | Traditional
+  | Pseudogroup
+  | Punctuated
+
+type spec =
+  | Scan of { source : string; filter : Predicate.t }
+  | Join of {
+      left : spec;
+      right : spec;
+      left_key : string list;
+      right_key : string list;
+    }
+  | Preagg of {
+      child : spec;
+      group_cols : string list;
+      aggs : Aggregate.spec list;
+      mode : preagg_mode;
+    }
+
+let scan ?(filter = Predicate.tt) source = Scan { source; filter }
+
+let join left right ~on =
+  let left_key = List.map fst on and right_key = List.map snd on in
+  Join { left; right; left_key; right_key }
+
+let preagg ?(mode = Windowed { initial = 64; max_window = 65536 }) ~group_cols
+    ~aggs child =
+  Preagg { child; group_cols; aggs; mode }
+
+let rec relations = function
+  | Scan s -> [ s.source ]
+  | Join j -> List.sort String.compare (relations j.left @ relations j.right)
+  | Preagg p -> relations p.child
+
+let canon_pred l r = if String.compare l r <= 0 then l ^ "=" ^ r else r ^ "=" ^ l
+
+let rec predicates = function
+  | Scan _ -> []
+  | Join j ->
+    let own = List.map2 canon_pred j.left_key j.right_key in
+    List.sort String.compare (own @ predicates j.left @ predicates j.right)
+  | Preagg p -> predicates p.child
+
+let scan_token ~source ~filter =
+  if filter = Predicate.tt then source
+  else Printf.sprintf "%s{%s}" source (Predicate.to_string filter)
+
+let preagg_token ~group_cols ~aggs ~over =
+  Printf.sprintf "pre[%s|%s|%s]"
+    (String.concat "," over)
+    (String.concat "," group_cols)
+    (String.concat ","
+       (List.map
+          (fun (a : Aggregate.spec) ->
+            let fn =
+              match a.fn with
+              | Aggregate.Count -> "count"
+              | Sum -> "sum"
+              | Min -> "min"
+              | Max -> "max"
+              | Avg -> "avg"
+            in
+            fn ^ "(" ^ Expr.to_string a.expr ^ ")")
+          aggs))
+
+let rec tokens = function
+  | Scan s -> [ scan_token ~source:s.source ~filter:s.filter ]
+  | Join j -> tokens j.left @ tokens j.right
+  | Preagg p -> tokens p.child
+
+let rec preagg_descrs = function
+  | Scan _ -> []
+  | Join j -> preagg_descrs j.left @ preagg_descrs j.right
+  | Preagg p ->
+    preagg_token ~group_cols:p.group_cols ~aggs:p.aggs
+      ~over:(relations p.child)
+    :: preagg_descrs p.child
+
+let signature_of_parts ~relations ~predicates ~preaggs =
+  Printf.sprintf "R{%s}|P{%s}|G{%s}"
+    (String.concat ";" (List.sort String.compare relations))
+    (String.concat ";" (List.sort String.compare predicates))
+    (String.concat ";" (List.sort String.compare preaggs))
+
+let signature_of spec =
+  signature_of_parts ~relations:(tokens spec) ~predicates:(predicates spec)
+    ~preaggs:(preagg_descrs spec)
+
+let rec pp_spec fmt = function
+  | Scan s ->
+    if s.filter = Predicate.tt then Format.pp_print_string fmt s.source
+    else Format.fprintf fmt "σ[%a](%s)" Predicate.pp s.filter s.source
+  | Join j ->
+    Format.fprintf fmt "(%a ⋈[%s] %a)" pp_spec j.left
+      (String.concat "," (List.map2 canon_pred j.left_key j.right_key))
+      pp_spec j.right
+  | Preagg p ->
+    let mode =
+      match p.mode with
+      | Windowed w -> Printf.sprintf "win%d" w.initial
+      | Traditional -> "trad"
+      | Pseudogroup -> "pseudo"
+      | Punctuated -> "punct"
+    in
+    Format.fprintf fmt "γ%s[%s](%a)" mode
+      (String.concat "," p.group_cols)
+      pp_spec p.child
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Ktbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal = Tuple.equal_key
+  let hash = Tuple.hash_key
+end)
+
+type preagg_rt = {
+  p_group_idx : int array;
+  p_comp : Aggregate.compiled;
+  p_mode : preagg_mode;
+  mutable p_window : int;
+  mutable p_in_window : int;
+  p_buffer : Value.t array Ktbl.t;  (* group key -> accumulator *)
+  mutable p_order : Value.t array list;  (* keys, newest first *)
+  mutable p_in_total : int;
+  mutable p_out_total : int;
+}
+
+type node = {
+  n_spec : spec;
+  n_schema : Schema.t;
+  n_signature : string;
+  n_relations : string list;
+  n_sources : string list;  (* scan sources in subtree *)
+  n_predicates : string list;
+  mutable n_outputs : Tuple.t list;  (* newest first *)
+  mutable n_out_count : int;
+  impl : impl;
+}
+
+and leaf_rt = {
+  source : string;
+  filter : Tuple.t -> bool;
+  filter_atoms : int;
+  mutable seen : int;
+}
+
+and join_rt = {
+  left : node;
+  right : node;
+  lkey : int array;
+  rkey : int array;
+  ltbl : Hash_table.t;
+  rtbl : Hash_table.t;
+  preds : string list;  (* this join's own predicates *)
+}
+
+and preagg_node_rt = { child : node; pa : preagg_rt }
+
+and impl =
+  | RLeaf of leaf_rt
+  | RJoin of join_rt
+  | RPreagg of preagg_node_rt
+
+type t = { ctx : Ctx.t; root : node; record_outputs : bool }
+
+let rec build ctx spec ~schema_of =
+  match spec with
+  | Scan s ->
+    let schema = schema_of s.source in
+    { n_spec = spec; n_schema = schema;
+      n_signature = signature_of spec; n_relations = [ s.source ];
+      n_sources = [ s.source ]; n_predicates = []; n_outputs = [];
+      n_out_count = 0;
+      impl =
+        RLeaf
+          { source = s.source; filter = Predicate.compile s.filter schema;
+            filter_atoms = Predicate.size s.filter; seen = 0 } }
+  | Join j ->
+    let left = build ctx j.left ~schema_of in
+    let right = build ctx j.right ~schema_of in
+    let overlap =
+      List.filter (fun s -> List.mem s right.n_sources) left.n_sources
+    in
+    if overlap <> [] then
+      invalid_arg
+        ("Plan.instantiate: duplicate source " ^ String.concat "," overlap);
+    let schema = Schema.concat left.n_schema right.n_schema in
+    let lkey =
+      Array.of_list (List.map (Schema.index left.n_schema) j.left_key)
+    in
+    let rkey =
+      Array.of_list (List.map (Schema.index right.n_schema) j.right_key)
+    in
+    { n_spec = spec; n_schema = schema; n_signature = signature_of spec;
+      n_relations = relations spec;
+      n_sources = left.n_sources @ right.n_sources;
+      n_predicates = predicates spec; n_outputs = []; n_out_count = 0;
+      impl =
+        RJoin
+          { left; right; lkey; rkey;
+            ltbl = Hash_table.create left.n_schema ~key_cols:j.left_key;
+            rtbl = Hash_table.create right.n_schema ~key_cols:j.right_key;
+            preds = List.map2 canon_pred j.left_key j.right_key } }
+  | Preagg p ->
+    let child = build ctx p.child ~schema_of in
+    let schema = Aggregate.partial_schema ~group_cols:p.group_cols p.aggs in
+    let p_group_idx =
+      Array.of_list (List.map (Schema.index child.n_schema) p.group_cols)
+    in
+    let initial =
+      match p.mode with
+      | Windowed w -> max 1 w.initial
+      | Traditional | Punctuated -> max_int
+      | Pseudogroup -> 1
+    in
+    { n_spec = spec; n_schema = schema; n_signature = signature_of spec;
+      n_relations = child.n_relations; n_sources = child.n_sources;
+      n_predicates = child.n_predicates; n_outputs = []; n_out_count = 0;
+      impl =
+        RPreagg
+          { child;
+            pa =
+              { p_group_idx;
+                p_comp = Aggregate.compile p.aggs child.n_schema;
+                p_mode = p.mode; p_window = initial; p_in_window = 0;
+                p_buffer = Ktbl.create 256; p_order = [];
+                p_in_total = 0; p_out_total = 0 } } }
+
+let instantiate ?(record_outputs = true) ctx spec ~schema_of =
+  { ctx; root = build ctx spec ~schema_of; record_outputs }
+
+let spec t = t.root.n_spec
+let schema t = t.root.n_schema
+let sources t = t.root.n_sources
+
+let record ~keep node outs =
+  if outs <> [] then begin
+    if keep then node.n_outputs <- List.rev_append outs node.n_outputs;
+    node.n_out_count <- node.n_out_count + List.length outs
+  end;
+  outs
+
+let probe_cost ctx tbl matches =
+  let c = ctx.Ctx.costs in
+  let io = if Hash_table.swapped tbl then c.swap_penalty else 0.0 in
+  Ctx.charge ctx (c.hash_probe +. io +. (c.per_match *. float_of_int matches))
+
+let join_side ctx j ~from_left tuple =
+  let c = ctx.Ctx.costs in
+  if from_left then begin
+    Ctx.charge ctx c.hash_build;
+    Hash_table.insert j.ltbl tuple;
+    let k = Tuple.key tuple j.lkey in
+    let matches = Hash_table.probe j.rtbl k in
+    probe_cost ctx j.rtbl (List.length matches);
+    List.rev_map (fun m -> Tuple.concat tuple m) matches
+  end
+  else begin
+    Ctx.charge ctx c.hash_build;
+    Hash_table.insert j.rtbl tuple;
+    let k = Tuple.key tuple j.rkey in
+    let matches = Hash_table.probe j.ltbl k in
+    probe_cost ctx j.ltbl (List.length matches);
+    List.rev_map (fun m -> Tuple.concat m tuple) matches
+  end
+
+let preagg_flush_window ctx pa =
+  let outs =
+    List.rev_map
+      (fun k ->
+        let acc = Ktbl.find pa.p_buffer k in
+        Array.append k (Aggregate.to_partial pa.p_comp acc))
+      pa.p_order
+  in
+  Ktbl.reset pa.p_buffer;
+  pa.p_order <- [];
+  let n_out = List.length outs in
+  pa.p_out_total <- pa.p_out_total + n_out;
+  (match pa.p_mode with
+   | Windowed w when pa.p_in_window > 0 ->
+     let ratio = float_of_int n_out /. float_of_int pa.p_in_window in
+     if ratio <= 0.8 then pa.p_window <- min (2 * pa.p_window) w.max_window
+     else pa.p_window <- max (pa.p_window / 2) 1
+   | Windowed _ | Traditional | Pseudogroup | Punctuated -> ());
+  pa.p_in_window <- 0;
+  ignore ctx;
+  outs
+
+let preagg_insert ctx pa tuple =
+  (* At window size 1 the operator degenerates into the pseudogroup
+     pass-through, which costs little more than a projection (§3.2). *)
+  let cost =
+    if pa.p_window <= 1 then ctx.Ctx.costs.pseudo_update
+    else ctx.Ctx.costs.preagg_update
+  in
+  Ctx.charge ctx cost;
+  pa.p_in_total <- pa.p_in_total + 1;
+  let k = Tuple.key tuple pa.p_group_idx in
+  (* Punctuated iterator: a group-key change on group-sorted input closes
+     the previous group. *)
+  let punct_flush =
+    match pa.p_mode with
+    | Punctuated ->
+      (match pa.p_order with
+       | last :: _ when not (Tuple.equal_key last k) ->
+         preagg_flush_window ctx pa
+       | _ :: _ | [] -> [])
+    | Windowed _ | Traditional | Pseudogroup -> []
+  in
+  pa.p_in_window <- pa.p_in_window + 1;
+  (match Ktbl.find_opt pa.p_buffer k with
+   | Some acc -> Aggregate.update pa.p_comp acc tuple
+   | None ->
+     let acc = Aggregate.init pa.p_comp in
+     Aggregate.update pa.p_comp acc tuple;
+     Ktbl.replace pa.p_buffer k acc;
+     pa.p_order <- k :: pa.p_order);
+  let window_flush =
+    if pa.p_in_window >= pa.p_window then preagg_flush_window ctx pa else []
+  in
+  punct_flush @ window_flush
+
+(* Push one tuple into the subtree containing [source]; [None] when the
+   source is not below this node. *)
+let rec do_push ctx ~keep node ~source tuple =
+  if not (List.mem source node.n_sources) then None
+  else
+    match node.impl with
+    | RLeaf l ->
+      l.seen <- l.seen + 1;
+      Ctx.charge ctx
+        (ctx.Ctx.costs.filter_atom *. float_of_int (max 1 l.filter_atoms));
+      if l.filter tuple then Some (record ~keep node [ tuple ]) else Some []
+    | RJoin j ->
+      (match do_push ctx ~keep j.left ~source tuple with
+       | Some outs ->
+         Some
+           (record ~keep node
+              (List.concat_map (join_side ctx j ~from_left:true) outs))
+       | None ->
+         (match do_push ctx ~keep j.right ~source tuple with
+          | Some outs ->
+            Some
+              (record ~keep node
+                 (List.concat_map (join_side ctx j ~from_left:false) outs))
+          | None -> None))
+    | RPreagg p ->
+      (match do_push ctx ~keep p.child ~source tuple with
+       | Some outs ->
+         Some (record ~keep node (List.concat_map (preagg_insert ctx p.pa) outs))
+       | None -> None)
+
+let push t ~source tuple =
+  match do_push t.ctx ~keep:t.record_outputs t.root ~source tuple with
+  | Some outs -> outs
+  | None -> invalid_arg ("Plan.push: unknown source " ^ source)
+
+let rec do_flush ctx ~keep node =
+  match node.impl with
+  | RLeaf _ -> []
+  | RJoin j ->
+    let louts = do_flush ctx ~keep j.left in
+    let from_left =
+      List.concat_map (join_side ctx j ~from_left:true) louts
+    in
+    let routs = do_flush ctx ~keep j.right in
+    let from_right =
+      List.concat_map (join_side ctx j ~from_left:false) routs
+    in
+    record ~keep node (from_left @ from_right)
+  | RPreagg p ->
+    let child_outs = do_flush ctx ~keep p.child in
+    let cascaded = List.concat_map (preagg_insert ctx p.pa) child_outs in
+    let drained = preagg_flush_window ctx p.pa in
+    record ~keep node (cascaded @ drained)
+
+let flush t = do_flush t.ctx ~keep:t.record_outputs t.root
+
+type join_info = {
+  signature : string;
+  relations : string list;
+  predicate : string list;
+  out_count : int;
+  left_out : int;
+  right_out : int;
+  complexity : int;
+}
+
+let rec fold_nodes f acc node =
+  let acc =
+    match node.impl with
+    | RLeaf _ -> acc
+    | RJoin j -> fold_nodes f (fold_nodes f acc j.left) j.right
+    | RPreagg p -> fold_nodes f acc p.child
+  in
+  f acc node
+
+let join_infos t =
+  fold_nodes
+    (fun acc node ->
+      match node.impl with
+      | RJoin j ->
+        { signature = node.n_signature; relations = node.n_relations;
+          predicate = j.preds; out_count = node.n_out_count;
+          left_out = j.left.n_out_count; right_out = j.right.n_out_count;
+          complexity = List.length node.n_relations }
+        :: acc
+      | RLeaf _ | RPreagg _ -> acc)
+    [] t.root
+  |> List.rev
+
+let node_results t =
+  fold_nodes
+    (fun acc node ->
+      match node.impl with
+      | RJoin _ ->
+        (node.n_signature, node.n_schema, List.rev node.n_outputs,
+         List.length node.n_relations)
+        :: acc
+      | RLeaf _ | RPreagg _ -> acc)
+    [] t.root
+  |> List.rev
+
+let leaf_partitions t =
+  (* A pre-aggregation directly over a scan acts as the effective leaf:
+     its partial tuples are what the stitch-up phase must combine. *)
+  let rec walk acc node =
+    match node.impl with
+    | RLeaf l ->
+      (l.source, node.n_schema, List.rev node.n_outputs, node.n_signature)
+      :: acc
+    | RPreagg p ->
+      (match p.child.impl with
+       | RLeaf l ->
+         (l.source, node.n_schema, List.rev node.n_outputs, node.n_signature)
+         :: acc
+       | RJoin _ | RPreagg _ -> walk acc p.child)
+    | RJoin j -> walk (walk acc j.left) j.right
+  in
+  List.rev (walk [] t.root)
+
+let leaf_seen t =
+  fold_nodes
+    (fun acc node ->
+      match node.impl with
+      | RLeaf l -> (l.source, l.seen) :: acc
+      | RJoin _ | RPreagg _ -> acc)
+    [] t.root
+  |> List.rev
+
+let preagg_stats t =
+  fold_nodes
+    (fun acc node ->
+      match node.impl with
+      | RPreagg p ->
+        (node.n_signature, p.pa.p_in_total, p.pa.p_out_total, p.pa.p_window)
+        :: acc
+      | RLeaf _ | RJoin _ -> acc)
+    [] t.root
+  |> List.rev
+
+let join_tables t =
+  fold_nodes
+    (fun acc node ->
+      match node.impl with
+      | RJoin j ->
+        (List.length node.n_relations, j.ltbl)
+        :: (List.length node.n_relations, j.rtbl)
+        :: acc
+      | RLeaf _ | RPreagg _ -> acc)
+    [] t.root
+
+let memory_in_use t =
+  List.fold_left
+    (fun acc (_, tbl) ->
+      if Hash_table.swapped tbl then acc else acc + Hash_table.length tbl)
+    0 (join_tables t)
+
+let apply_memory_pressure t ~budget =
+  (* Keep the simplest expressions resident (they are the likeliest to be
+     shared); page out from the most complex end once the budget runs out. *)
+  let tables =
+    List.sort (fun (ca, _) (cb, _) -> Int.compare ca cb) (join_tables t)
+  in
+  let swapped = ref 0 in
+  let used = ref 0 in
+  List.iter
+    (fun (_, tbl) ->
+      let size = Hash_table.length tbl in
+      if !used + size <= budget then begin
+        used := !used + size;
+        Hash_table.swap_in tbl
+      end
+      else begin
+        incr swapped;
+        Hash_table.swap_out tbl
+      end)
+    tables;
+  !swapped

@@ -1,0 +1,151 @@
+open Adp_relation
+
+(** Physical plan trees and their push-based pipelined execution.
+
+    A plan is a tree of scans, equi-joins and pre-aggregation operators.
+    Execution is data-driven, as in the pipelined hash join: the driver
+    pushes each arriving source tuple into its leaf; the tuple is filtered,
+    buffered in the hash tables of every join on its path, probed against
+    the opposite sides, and resulting tuples cascade to the root.  Every
+    join therefore buffers its inputs — the requirement §3.4 places on all
+    plans participating in adaptive data partitioning — and every join
+    node's intermediate result is materialized for registration in the
+    {!Adp_storage.Registry}.
+
+    Signatures: every node carries a canonical signature built from its
+    base-relation set, its join-predicate set and its pre-aggregation
+    descriptors, so logically equivalent subexpressions in differently
+    shaped plans (e.g. [(A ⋈ B) ⋈ C] and [A ⋈ (B ⋈ C)]) share signatures —
+    the key to sharing observed selectivities (§4.2) and reusing state
+    across plans (§3.1). *)
+
+type preagg_mode =
+  | Windowed of { initial : int; max_window : int }
+      (** adjustable sliding window (§6) *)
+  | Traditional  (** blocking pre-aggregation: emits only when flushed *)
+  | Pseudogroup  (** singleton windows: schema-compatibility pass-through *)
+  | Punctuated
+      (** for input sorted by the group columns: emit the aggregate when
+          the group key changes (§3.1's punctuated iterator).  Safe on
+          unsorted input too — repeated keys then produce several partials
+          per group, which the final aggregation coalesces. *)
+
+type spec =
+  | Scan of { source : string; filter : Predicate.t }
+  | Join of {
+      left : spec;
+      right : spec;
+      left_key : string list;
+      right_key : string list;
+    }
+  | Preagg of {
+      child : spec;
+      group_cols : string list;
+      aggs : Aggregate.spec list;
+      mode : preagg_mode;
+    }
+
+(** {2 Spec construction and inspection} *)
+
+val scan : ?filter:Predicate.t -> string -> spec
+
+(** [join l r ~on:[(lcol, rcol); ...]] *)
+val join : spec -> spec -> on:(string * string) list -> spec
+
+val preagg :
+  ?mode:preagg_mode ->
+  group_cols:string list ->
+  aggs:Aggregate.spec list ->
+  spec ->
+  spec
+
+(** Base relation (scan source) names of the subtree, sorted. *)
+val relations : spec -> string list
+
+(** Join predicates of the subtree as canonical ["a=b"] strings, sorted. *)
+val predicates : spec -> string list
+
+(** Canonical signature of the subtree (equal for logically equivalent
+    subexpressions). *)
+val signature_of : spec -> string
+
+(** Signature a join of the given relations/predicates would have —
+    used by the optimizer to look up observed selectivities without
+    building a spec.  [relations] are scan tokens ({!scan_token}). *)
+val signature_of_parts :
+  relations:string list -> predicates:string list -> preaggs:string list ->
+  string
+
+(** Scan token used in signatures: the source name, decorated with the
+    pushed-down filter when present. *)
+val scan_token : source:string -> filter:Predicate.t -> string
+
+val pp_spec : Format.formatter -> spec -> unit
+
+(** {2 Runtime} *)
+
+type t
+
+(** [instantiate ctx spec ~schema_of] resolves scan schemas through
+    [schema_of] and builds the runtime tree.  [record_outputs] (default
+    true) materializes every join node's results for registration in the
+    state-structure registry; disable it for executions that will never
+    stitch (single-phase runs), where it would only consume memory.
+    @raise Invalid_argument if two scans share a source name. *)
+val instantiate :
+  ?record_outputs:bool -> Ctx.t -> spec -> schema_of:(string -> Schema.t) -> t
+
+val spec : t -> spec
+val schema : t -> Schema.t
+val sources : t -> string list
+
+(** [push t ~source tuple] routes one source tuple and returns the result
+    tuples that reached the root. *)
+val push : t -> source:string -> Tuple.t -> Tuple.t list
+
+(** End-of-stream (or phase-suspension) flush: drains pre-aggregation
+    windows so the plan reaches the consistent state required before a
+    phase switch (§4.1); returns tuples reaching the root. *)
+val flush : t -> Tuple.t list
+
+(** {2 Introspection for monitoring and stitch-up} *)
+
+type join_info = {
+  signature : string;
+  relations : string list;
+  predicate : string list;
+  out_count : int;
+  left_out : int;  (** output count of the left child *)
+  right_out : int;
+  complexity : int;  (** number of base relations *)
+}
+
+(** Per-join statistics, leaves-first. *)
+val join_infos : t -> join_info list
+
+(** Materialized result of every join node: signature, output schema,
+    tuples, complexity.  Includes the root. *)
+val node_results : t -> (string * Schema.t * Tuple.t list * int) list
+
+(** Per-leaf buffered partitions: source name, schema of buffered tuples
+    (post-filter, possibly pre-aggregated), the tuples, and the leaf's
+    effective signature. *)
+val leaf_partitions : t -> (string * Schema.t * Tuple.t list * string) list
+
+(** Tuples read per leaf source (pre-filter). *)
+val leaf_seen : t -> (string * int) list
+
+(** Pre-aggregation statistics, if any pre-aggregation operators exist:
+    (signature, input count, output count, final window size). *)
+val preagg_stats : t -> (string * int * int * int) list
+
+(** Tuples currently held in the plan's join state structures. *)
+val memory_in_use : t -> int
+
+(** [apply_memory_pressure t ~budget] keeps at most [budget] tuples'
+    worth of state structures in memory, paging out join-node structures
+    in most-complex-expression-first order (§3.4.2's heuristic — complex
+    expressions are least likely to be shared).  Swapped structures stay
+    correct but their probes pay the cost model's I/O penalty.  Returns
+    the number of structures currently swapped out. *)
+val apply_memory_pressure : t -> budget:int -> int

@@ -1,0 +1,80 @@
+open Adp_relation
+open Adp_datagen
+
+type model =
+  | Local
+  | Bandwidth of float
+  | Bursty of { rate : float; mean_burst : int; mean_gap : float }
+
+type t = {
+  name : string;
+  relation : Relation.t;
+  model : model;
+  seed : int;
+  mutable pos : int;
+  mutable observers : (Tuple.t -> unit) list;
+  (* Arrival-time generator state. *)
+  mutable rng : Prng.t;
+  mutable next_arrival : float;
+  mutable burst_left : int;
+}
+
+let counter = ref 0
+
+let fresh_burst t =
+  match t.model with
+  | Bursty b ->
+    t.burst_left <- max 1 (1 + Prng.int t.rng (2 * b.mean_burst - 1))
+  | Local | Bandwidth _ -> ()
+
+let create ?(seed = 1) ?name relation model =
+  incr counter;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "src%d" !counter
+  in
+  let t =
+    { name; relation; model; seed; pos = 0; observers = [];
+      rng = Prng.create seed; next_arrival = 0.0; burst_left = 0 }
+  in
+  fresh_burst t;
+  t
+
+let name t = t.name
+let schema t = Relation.schema t.relation
+let cardinality t = Relation.cardinality t.relation
+let consumed t = t.pos
+let exhausted t = t.pos >= Relation.cardinality t.relation
+
+let peek_arrival t = if exhausted t then None else Some t.next_arrival
+
+let advance_arrival t =
+  match t.model with
+  | Local -> ()
+  | Bandwidth r -> t.next_arrival <- t.next_arrival +. (1e6 /. r)
+  | Bursty b ->
+    t.burst_left <- t.burst_left - 1;
+    if t.burst_left <= 0 then begin
+      fresh_burst t;
+      let gap = Prng.exponential t.rng ~mean:(b.mean_gap *. 1e6) in
+      t.next_arrival <- t.next_arrival +. gap
+    end
+    else t.next_arrival <- t.next_arrival +. (1e6 /. b.rate)
+
+let next t =
+  if exhausted t then None
+  else begin
+    let tuple = Relation.get t.relation t.pos in
+    let arrival = t.next_arrival in
+    t.pos <- t.pos + 1;
+    advance_arrival t;
+    List.iter (fun f -> f tuple) t.observers;
+    Some (tuple, arrival)
+  end
+
+let observe t f = t.observers <- t.observers @ [ f ]
+
+let rewind t =
+  t.pos <- 0;
+  t.rng <- Prng.create t.seed;
+  t.next_arrival <- 0.0;
+  fresh_burst t

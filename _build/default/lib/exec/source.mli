@@ -1,0 +1,57 @@
+open Adp_relation
+
+(** Simulated autonomous data sources.
+
+    Data-integration sources are sequential-access only and deliver tuples
+    over a network whose bandwidth and burstiness the engine does not
+    control.  A source pairs a relation with an arrival model that assigns
+    each tuple a virtual arrival time:
+
+    - [Local]: all tuples available immediately (the paper's local
+      experiments, which isolate computation cost);
+    - [Bandwidth r]: steady stream at [r] tuples per virtual second;
+    - [Bursty]: 802.11b-style on/off behaviour — during a burst, tuples
+      arrive at [rate]; between bursts the stream goes silent for an
+      exponentially distributed gap (Figure 3's wireless network).
+
+    Observers may be attached (e.g. §4.5's incremental histograms); they
+    see every tuple as it is consumed and their cost is the caller's to
+    charge. *)
+
+type model =
+  | Local
+  | Bandwidth of float  (** tuples per virtual second *)
+  | Bursty of { rate : float; mean_burst : int; mean_gap : float }
+      (** [rate] tuples/s while on; bursts of ~[mean_burst] tuples
+          separated by exponential gaps of mean [mean_gap] virtual
+          seconds *)
+
+type t
+
+(** [create ?seed ?name relation model] — [name] defaults to a fresh
+    label; [seed] controls burst randomness. *)
+val create : ?seed:int -> ?name:string -> Relation.t -> model -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+
+(** Total tuples in the underlying relation. *)
+val cardinality : t -> int
+
+(** Tuples consumed so far. *)
+val consumed : t -> int
+
+val exhausted : t -> bool
+
+(** Arrival time of the next tuple, if any. *)
+val peek_arrival : t -> float option
+
+(** Consume the next tuple; returns it with its arrival time and feeds
+    observers. *)
+val next : t -> (Tuple.t * float) option
+
+(** Attach an observer called on every consumed tuple. *)
+val observe : t -> (Tuple.t -> unit) -> unit
+
+(** Reset consumption to the beginning (observers retained). *)
+val rewind : t -> unit

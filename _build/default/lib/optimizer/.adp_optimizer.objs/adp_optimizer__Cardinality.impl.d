@@ -1,0 +1,1 @@
+lib/optimizer/cardinality.ml: Adp_relation Adp_stats Catalog Hashtbl List Logical Option Predicate String

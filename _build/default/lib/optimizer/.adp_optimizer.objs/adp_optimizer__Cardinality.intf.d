@@ -1,0 +1,1 @@
+lib/optimizer/cardinality.mli: Adp_relation Adp_stats Catalog Logical Predicate

@@ -1,0 +1,1 @@
+lib/optimizer/catalog.ml: Adp_relation Hashtbl List Schema String

@@ -1,0 +1,1 @@
+lib/optimizer/cost.ml: Adp_exec Adp_relation Cardinality Cost_model Plan Predicate

@@ -1,0 +1,1 @@
+lib/optimizer/cost.mli: Adp_exec Cardinality Cost_model Plan

@@ -1,0 +1,1 @@
+lib/optimizer/enumerate.ml: Adp_exec Array Cardinality Cost Cost_model Float List Logical Plan

@@ -1,0 +1,1 @@
+lib/optimizer/enumerate.mli: Adp_exec Cardinality Cost_model Logical Plan

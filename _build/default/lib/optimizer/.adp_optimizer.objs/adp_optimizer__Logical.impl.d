@@ -1,0 +1,1 @@
+lib/optimizer/logical.ml: Adp_exec Adp_relation Aggregate Expr Format Hashtbl List Plan Predicate Printf Schema String

@@ -1,0 +1,1 @@
+lib/optimizer/logical.mli: Adp_exec Adp_relation Aggregate Format Predicate Schema

@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Adp_exec Adp_relation Cardinality Catalog Cost Cost_model Enumerate List Logical Plan

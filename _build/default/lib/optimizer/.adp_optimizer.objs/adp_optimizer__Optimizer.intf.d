@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Adp_exec Adp_stats Catalog Cost_model Logical Plan

@@ -1,0 +1,39 @@
+open Adp_relation
+
+(** Cardinality and selectivity (re-)estimation (§4.2).
+
+    Estimates prefer, in order:
+
+    + the selectivity observed at run time for a logically equivalent
+      subexpression (shared across plan shapes via canonical signatures);
+    + for join predicates flagged as "multiplicative" (observed output
+      exceeding both inputs), the pinned expansion factor;
+    + the average of the System-R-style estimate and, for each key–foreign
+      key edge attaching a relation to the rest of the subexpression, the
+      speculation that the join preserves the foreign-key side's
+      cardinality.
+
+    All estimates are memoized per relation set; {!refresh} clears the
+    memo after new observations arrive. *)
+
+type t
+
+val create : Logical.query -> Catalog.t -> Adp_stats.Selectivity.t -> t
+
+(** Static selectivity of a selection predicate (System-R constants). *)
+val filter_selectivity : Predicate.t -> float
+
+(** Raw (catalog) cardinality of a base relation. *)
+val raw_cardinality : t -> string -> float
+
+(** Post-filter cardinality of a scan, using observed leaf selectivity
+    when available. *)
+val leaf_cardinality : t -> string -> float
+
+(** Estimated output cardinality of the join over exactly this relation
+    set (with all applicable predicates and leaf filters). *)
+val set_cardinality : t -> string list -> float
+
+(** Drop memoized estimates (call after updating the selectivity
+    registry). *)
+val refresh : t -> unit

@@ -1,0 +1,36 @@
+open Adp_relation
+
+type info = {
+  schema : Schema.t;
+  cardinality : float option;
+  key : string option;
+}
+
+type t = { table : (string, info) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+
+let add t name info = Hashtbl.replace t.table name info
+
+let info t name =
+  match Hashtbl.find_opt t.table name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let schema_of t name = (info t name).schema
+
+let default_cardinality = 20_000.0
+
+let cardinality t name =
+  match (info t name).cardinality with
+  | Some c -> c
+  | None -> default_cardinality
+
+let is_key t ~relation ~column =
+  match (info t relation).key with
+  | Some k -> k = column
+  | None -> false
+
+let relations t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+  |> List.sort String.compare

@@ -1,0 +1,27 @@
+open Adp_relation
+open Adp_exec
+
+let rec plan_cost (c : Cost_model.t) est = function
+  | Plan.Scan { source; filter } ->
+    let raw = Cardinality.raw_cardinality est source in
+    let out = Cardinality.leaf_cardinality est source in
+    let atoms = float_of_int (max 1 (Predicate.size filter)) in
+    raw *. c.filter_atom *. atoms, out
+  | Plan.Join { left; right; _ } ->
+    let lc, ln = plan_cost c est left in
+    let rc, rn = plan_cost c est right in
+    let rels = Plan.relations left @ Plan.relations right in
+    let out = Cardinality.set_cardinality est rels in
+    let work =
+      ((ln +. rn) *. (c.hash_build +. c.hash_probe)) +. (out *. c.per_match)
+    in
+    lc +. rc +. work, out
+  | Plan.Preagg { child; _ } ->
+    let cc, cn = plan_cost c est child in
+    (* The adjustable window is speculative: the optimizer assumes no
+       collapse (worst case) and only the small per-tuple update cost. *)
+    cc +. (cn *. c.preagg_update), cn
+
+let query_cost c est spec =
+  let cost, out = plan_cost c est spec in
+  cost +. (out *. c.agg_update)

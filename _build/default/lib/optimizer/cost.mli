@@ -1,0 +1,17 @@
+open Adp_exec
+
+(** Plan cost estimation, commensurable with the executor's virtual clock:
+    the same {!Adp_exec.Cost_model} constants price the same per-tuple
+    operations the runtime charges, so "estimated cost" and "observed
+    progress" live on one scale — which is what lets the corrective
+    processor compare cost-to-go of the running plan against
+    alternatives. *)
+
+(** [plan_cost costs est spec] returns (estimated CPU cost, estimated
+    output cardinality) of executing [spec] to completion with symmetric
+    hash joins. *)
+val plan_cost : Cost_model.t -> Cardinality.t -> Plan.spec -> float * float
+
+(** Cost of the full query: the plan plus the final aggregation over its
+    output. *)
+val query_cost : Cost_model.t -> Cardinality.t -> Plan.spec -> float

@@ -1,0 +1,172 @@
+open Adp_exec
+
+let rels_of names mask =
+  let acc = ref [] in
+  Array.iteri (fun i n -> if mask land (1 lsl i) <> 0 then acc := n :: !acc) names;
+  List.rev !acc
+
+let scan_spec q name =
+  let src = List.find (fun s -> s.Logical.name = name) q.Logical.sources in
+  Plan.scan ~filter:src.Logical.filter name
+
+(* (spec, cost, card) of the best plan for each subset. *)
+let build_table q est (costs : Cost_model.t) =
+  let names = Array.of_list (Logical.source_names q) in
+  let n = Array.length names in
+  if n > 20 then invalid_arg "Enumerate: too many relations";
+  let full = (1 lsl n) - 1 in
+  let memo = Array.make (full + 1) None in
+  let rec best mask =
+    match memo.(mask) with
+    | Some x -> x
+    | None ->
+      let x = compute mask in
+      memo.(mask) <- Some x;
+      x
+  and splits_of mask =
+    (* Proper splits (sub, rest) with sub containing the lowest bit. *)
+    let low = mask land -mask in
+    let rec go sub acc =
+      let acc =
+        if sub <> 0 && sub <> mask && sub land low <> 0 then
+          (sub, mask lxor sub) :: acc
+        else acc
+      in
+      if sub = 0 then acc else go ((sub - 1) land mask) acc
+    in
+    go ((mask - 1) land mask) []
+    |> List.filter (fun (sub, _) -> sub <> 0)
+  and candidates_of mask =
+    let join_candidate connected (sub, rest) =
+      let inside = rels_of names sub and outside = rels_of names rest in
+      let preds = Logical.preds_between q ~inside ~outside in
+      if connected && preds = [] then None
+      else begin
+        let lspec, lcost, lcard = best sub in
+        let rspec, rcost, rcard = best rest in
+        let out = Cardinality.set_cardinality est (inside @ outside) in
+        let work =
+          ((lcard +. rcard) *. (costs.hash_build +. costs.hash_probe))
+          +. (out *. costs.per_match)
+        in
+        Some (Plan.join lspec rspec ~on:preds, lcost +. rcost +. work, out)
+      end
+    in
+    let splits = splits_of mask in
+    let connected = List.filter_map (join_candidate true) splits in
+    if connected <> [] then connected
+    else List.filter_map (join_candidate false) splits
+  and compute mask =
+    match rels_of names mask with
+    | [] -> invalid_arg "Enumerate: empty mask"
+    | [ r ] ->
+      let spec = scan_spec q r in
+      let cost, card = Cost.plan_cost costs est spec in
+      spec, cost, card
+    | _ :: _ :: _ ->
+      (match candidates_of mask with
+       | [] -> invalid_arg "Enumerate: no candidates (disconnected query?)"
+       | first :: rest ->
+         List.fold_left
+           (fun (bs, bc, bn) (s, c, n_) ->
+             if c < bc then s, c, n_ else bs, bc, bn)
+           first rest)
+  in
+  let root_candidates () = candidates_of full in
+  best, root_candidates, full
+
+let best_join_tree q est costs =
+  let best, _, full = build_table q est costs in
+  let spec, cost, _ = best full in
+  spec, cost
+
+(* Bounded adversarial enumeration: the costliest cross-product-free plan
+   whose top [depth] split levels are chosen adversarially while deeper
+   subplans stay optimizer-quality.  This is the deterministic stand-in
+   for the "poor plan" a mis-estimating optimizer lands on (§4.4): such an
+   optimizer mis-orders the outer joins, it does not construct a globally
+   pessimal tree. *)
+let rec has_cross = function
+  | Plan.Scan _ -> false
+  | Plan.Preagg p -> has_cross p.child
+  | Plan.Join j -> j.left_key = [] || has_cross j.left || has_cross j.right
+
+let worst_join_tree ?(depth = 2) q est (costs : Cost_model.t) =
+  let best, _, full = build_table q est costs in
+  let names = Array.of_list (Logical.source_names q) in
+  let n = Array.length names in
+  if n > 20 then invalid_arg "Enumerate: too many relations";
+  let rec worst depth mask =
+    if depth = 0 then begin
+      (* Optimizer-quality subplan — but a disconnected subset's best plan
+         contains a cross product, which no real optimizer would choose. *)
+      let ((spec, _, _) as result) = best mask in
+      if has_cross spec then None else Some result
+    end
+    else
+      match rels_of names mask with
+      | [] -> None
+      | [ r ] ->
+        let spec = scan_spec q r in
+        let cost, card = Cost.plan_cost costs est spec in
+        Some (spec, cost, card)
+      | rels ->
+        if not (Logical.connected q rels) then None
+        else begin
+          let low = mask land -mask in
+          let rec submasks sub acc =
+            let acc =
+              if sub <> 0 && sub <> mask && sub land low <> 0 then sub :: acc
+              else acc
+            in
+            if sub = 0 then acc else submasks ((sub - 1) land mask) acc
+          in
+          let candidates =
+            List.filter_map
+              (fun sub ->
+                let rest = mask lxor sub in
+                let inside = rels_of names sub
+                and outside = rels_of names rest in
+                let preds = Logical.preds_between q ~inside ~outside in
+                if preds = [] then None
+                else
+                  match worst (depth - 1) sub, worst (depth - 1) rest with
+                  | Some (ls, lc, ln), Some (rs, rc, rn) ->
+                    let out =
+                      Cardinality.set_cardinality est (inside @ outside)
+                    in
+                    let work =
+                      ((ln +. rn) *. (costs.hash_build +. costs.hash_probe))
+                      +. (out *. costs.per_match)
+                    in
+                    Some (Plan.join ls rs ~on:preds, lc +. rc +. work, out)
+                  | _ -> None)
+              (submasks ((mask - 1) land mask) [])
+          in
+          match candidates with
+          | [] -> None
+          | first :: rest ->
+            Some
+              (List.fold_left
+                 (fun (bs, bc, bn) (s, c, n_) ->
+                   if c > bc then s, c, n_ else bs, bc, bn)
+                 first rest)
+        end
+  in
+  match worst depth full with
+  | Some (spec, cost, _) -> spec, cost
+  | None ->
+    (* Disconnected query: fall back to the best (cross-bearing) plan. *)
+    best_join_tree q est costs
+
+let top_trees ?(k = 3) q est costs =
+  let best, root_candidates, full = build_table q est costs in
+  match Logical.source_names q with
+  | [ _ ] ->
+    let spec, cost, _ = best full in
+    [ spec, cost ]
+  | _ ->
+    root_candidates ()
+    |> List.map (fun (s, c, _) -> s, c)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+    |> List.filteri (fun i _ -> i < k)

@@ -1,0 +1,31 @@
+open Adp_exec
+
+(** Bushy join-tree enumeration via recursion with memoization over
+    relation subsets (§4.3) — equivalent to dynamic programming but
+    shareable between re-optimizer invocations because the memo lives in
+    the {!Cardinality.t} estimates.  Bushy trees matter for data
+    integration (the paper cites [11, 8]); the enumerator considers every
+    connected split of every subset and never introduces cross products
+    when a connected split exists. *)
+
+(** [best_join_tree q est costs] returns the minimum-estimated-cost join
+    tree (scans carry their pushed-down filters) and its estimated cost.
+    @raise Invalid_argument for queries over more than 20 relations. *)
+val best_join_tree :
+  Logical.query -> Cardinality.t -> Cost_model.t -> Plan.spec * float
+
+(** All maximal-quality trees enumerated with their costs, most promising
+    first — used by the redundant-computation strategy to pick competing
+    plans.  [k] bounds the result (default 3). *)
+val top_trees :
+  ?k:int -> Logical.query -> Cardinality.t -> Cost_model.t ->
+  (Plan.spec * float) list
+
+(** The costliest cross-product-free plan whose top [depth] (default 2)
+    split levels are adversarial while deeper subplans stay
+    optimizer-quality — the "unlucky" plan a mis-estimating optimizer can
+    land on.  Used to reproduce the paper's poorly-chosen initial plans
+    deterministically. *)
+val worst_join_tree :
+  ?depth:int -> Logical.query -> Cardinality.t -> Cost_model.t ->
+  Plan.spec * float

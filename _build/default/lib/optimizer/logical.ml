@@ -1,0 +1,164 @@
+open Adp_relation
+open Adp_exec
+
+type source = { name : string; filter : Predicate.t }
+
+type query = {
+  sources : source list;
+  join_preds : (string * string) list;
+  group_cols : string list;
+  aggs : Aggregate.spec list;
+  projection : string list;
+}
+
+let relation_of_column col =
+  match String.index_opt col '.' with
+  | Some i -> String.sub col 0 i
+  | None -> invalid_arg ("Logical.relation_of_column: unqualified " ^ col)
+
+let source_names q = List.map (fun s -> s.name) q.sources
+
+let preds_between q ~inside ~outside =
+  List.filter_map
+    (fun (a, b) ->
+      let ra = relation_of_column a and rb = relation_of_column b in
+      if List.mem ra inside && List.mem rb outside then Some (a, b)
+      else if List.mem rb inside && List.mem ra outside then Some (b, a)
+      else None)
+    q.join_preds
+
+let canon_pred a b = if String.compare a b <= 0 then a ^ "=" ^ b else b ^ "=" ^ a
+
+let preds_within q rels =
+  List.filter_map
+    (fun (a, b) ->
+      if List.mem (relation_of_column a) rels
+         && List.mem (relation_of_column b) rels
+      then Some (canon_pred a b)
+      else None)
+    q.join_preds
+  |> List.sort String.compare
+
+let connected q rels =
+  match rels with
+  | [] | [ _ ] -> true
+  | first :: _ ->
+    let reached = Hashtbl.create 8 in
+    Hashtbl.replace reached first ();
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (a, b) ->
+          let ra = relation_of_column a and rb = relation_of_column b in
+          if List.mem ra rels && List.mem rb rels then begin
+            let ha = Hashtbl.mem reached ra and hb = Hashtbl.mem reached rb in
+            if ha && not hb then begin
+              Hashtbl.replace reached rb ();
+              changed := true
+            end;
+            if hb && not ha then begin
+              Hashtbl.replace reached ra ();
+              changed := true
+            end
+          end)
+        q.join_preds
+    done;
+    List.for_all (Hashtbl.mem reached) rels
+
+let scan_token_of q name =
+  match List.find_opt (fun s -> s.name = name) q.sources with
+  | Some s -> Plan.scan_token ~source:s.name ~filter:s.filter
+  | None -> invalid_arg ("Logical.scan_token_of: unknown source " ^ name)
+
+let signature_of_set q rels =
+  Plan.signature_of_parts
+    ~relations:(List.map (scan_token_of q) rels)
+    ~predicates:(preds_within q rels) ~preaggs:[]
+
+let validate ~schema_of q =
+  if q.sources = [] then invalid_arg "Logical.validate: no sources";
+  let names = source_names q in
+  let dup =
+    List.filter (fun n -> List.length (List.filter (( = ) n) names) > 1) names
+  in
+  if dup <> [] then
+    invalid_arg ("Logical.validate: duplicate sources " ^ String.concat "," dup);
+  let check_col col =
+    let r = relation_of_column col in
+    if not (List.mem r names) then
+      invalid_arg ("Logical.validate: column " ^ col ^ " has no source");
+    if not (Schema.mem (schema_of r) col) then
+      invalid_arg ("Logical.validate: column " ^ col ^ " not in " ^ r)
+  in
+  List.iter
+    (fun s -> List.iter check_col (Predicate.columns s.filter))
+    q.sources;
+  List.iter
+    (fun (a, b) ->
+      check_col a;
+      check_col b)
+    q.join_preds;
+  List.iter check_col q.group_cols;
+  List.iter
+    (fun (a : Aggregate.spec) -> List.iter check_col (Expr.columns a.expr))
+    q.aggs;
+  List.iter check_col q.projection;
+  (* Connectivity of the join graph (avoids accidental cross products). *)
+  if List.length names > 1 then begin
+    let reached = Hashtbl.create 8 in
+    (match names with
+     | [] -> ()
+     | first :: _ ->
+       Hashtbl.replace reached first ();
+       let changed = ref true in
+       while !changed do
+         changed := false;
+         List.iter
+           (fun (a, b) ->
+             let ra = relation_of_column a and rb = relation_of_column b in
+             let ha = Hashtbl.mem reached ra
+             and hb = Hashtbl.mem reached rb in
+             if ha && not hb then begin
+               Hashtbl.replace reached rb ();
+               changed := true
+             end;
+             if hb && not ha then begin
+               Hashtbl.replace reached ra ();
+               changed := true
+             end)
+           q.join_preds
+       done);
+    let unreached = List.filter (fun n -> not (Hashtbl.mem reached n)) names in
+    if unreached <> [] then
+      invalid_arg
+        ("Logical.validate: join graph disconnected at "
+        ^ String.concat "," unreached)
+  end
+
+let pp fmt q =
+  Format.fprintf fmt "SELECT %s"
+    (if q.group_cols = [] && q.aggs = [] then
+       if q.projection = [] then "*" else String.concat ", " q.projection
+     else
+       String.concat ", "
+         (q.group_cols
+         @ List.map
+             (fun (a : Aggregate.spec) ->
+               Printf.sprintf "%s AS %s" (Expr.to_string a.expr) a.name)
+             q.aggs));
+  Format.fprintf fmt " FROM %s"
+    (String.concat ", " (List.map (fun s -> s.name) q.sources));
+  let filters =
+    List.filter_map
+      (fun s ->
+        if s.filter = Predicate.tt then None
+        else Some (Predicate.to_string s.filter))
+      q.sources
+  in
+  let joins = List.map (fun (a, b) -> a ^ " = " ^ b) q.join_preds in
+  (match filters @ joins with
+   | [] -> ()
+   | conds -> Format.fprintf fmt " WHERE %s" (String.concat " AND " conds));
+  if q.group_cols <> [] then
+    Format.fprintf fmt " GROUP BY %s" (String.concat ", " q.group_cols)

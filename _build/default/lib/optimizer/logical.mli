@@ -1,0 +1,58 @@
+open Adp_relation
+open Adp_exec
+
+(** Logical select-project-join-aggregate queries — the query model of the
+    paper's optimizer (§4.3): conjunctive equi-joins over base relations
+    with pushed-down selections, and one optional grouping/aggregation on
+    top.  Columns are qualified as ["relation.column"]; the relation a
+    column belongs to is its qualifier. *)
+
+type source = {
+  name : string;  (** base relation / source name *)
+  filter : Predicate.t;  (** selection pushed down to the scan *)
+}
+
+type query = {
+  sources : source list;
+  join_preds : (string * string) list;
+      (** equi-join column pairs, both qualified *)
+  group_cols : string list;  (** empty means no aggregation *)
+  aggs : Aggregate.spec list;
+  projection : string list;
+      (** final output columns when no aggregation; empty = all *)
+}
+
+(** Relation qualifier of a column name.  @raise Invalid_argument when the
+    name is unqualified. *)
+val relation_of_column : string -> string
+
+val source_names : query -> string list
+
+(** Join predicates connecting [inside] to [outside] relation sets:
+    returns (inside column, outside column) pairs. *)
+val preds_between :
+  query -> inside:string list -> outside:string list -> (string * string) list
+
+(** All join predicates whose two columns both fall inside the relation
+    set, as canonical ["a=b"] strings. *)
+val preds_within : query -> string list -> string list
+
+(** Whether the join predicates connect the given relation set (a join
+    over a disconnected set contains a cross product). *)
+val connected : query -> string list -> bool
+
+(** Scan token (source + filter) used in plan signatures, matching
+    {!Adp_exec.Plan.signature_of}. *)
+val scan_token_of : query -> string -> string
+
+(** Signature of the subexpression joining exactly this relation set
+    (canonical; matches the executor's signatures for pre-aggregation-free
+    subtrees). *)
+val signature_of_set : query -> string list -> string
+
+(** Sanity checks: every join/group/aggregate column resolves to a source,
+    and the join graph is connected.  @raise Invalid_argument with a
+    description otherwise. *)
+val validate : schema_of:(string -> Schema.t) -> query -> unit
+
+val pp : Format.formatter -> query -> unit

@@ -1,0 +1,86 @@
+open Adp_exec
+
+type preagg_strategy = No_preagg | Auto | Force of Plan.preagg_mode
+
+type result = { spec : Plan.spec; est_cost : float; est_card : float }
+
+let uniq xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+
+let preagg_point (q : Logical.query) =
+  if q.aggs = [] then None
+  else begin
+    let agg_rels =
+      List.concat_map
+        (fun (a : Adp_exec.Aggregate.spec) ->
+          List.map Logical.relation_of_column (Adp_relation.Expr.columns a.expr))
+        q.aggs
+      |> uniq
+    in
+    match agg_rels with
+    | [ r ] when List.length q.sources > 1 ->
+      let group_from_r =
+        List.filter (fun c -> Logical.relation_of_column c = r) q.group_cols
+      in
+      let join_cols_of_r =
+        List.concat_map
+          (fun (a, b) ->
+            List.filter (fun c -> Logical.relation_of_column c = r) [ a; b ])
+          q.join_preds
+      in
+      let groups = uniq (group_from_r @ join_cols_of_r) in
+      if groups = [] then None else Some (r, groups)
+    | _ -> None
+  end
+
+let rec insert_preagg spec relation ~group_cols ~aggs ~mode =
+  match spec with
+  | Plan.Scan s when s.source = relation ->
+    Plan.preagg ~mode ~group_cols ~aggs spec
+  | Plan.Scan _ -> spec
+  | Plan.Join j ->
+    Plan.Join
+      { j with
+        left = insert_preagg j.left relation ~group_cols ~aggs ~mode;
+        right = insert_preagg j.right relation ~group_cols ~aggs ~mode }
+  | Plan.Preagg _ -> spec
+
+let apply_preagg strategy q spec =
+  let mode =
+    match strategy with
+    | No_preagg -> None
+    | Auto -> Some (Plan.Windowed { initial = 64; max_window = 65536 })
+    | Force m -> Some m
+  in
+  match mode, preagg_point q with
+  | Some mode, Some (relation, group_cols) ->
+    insert_preagg spec relation ~group_cols ~aggs:q.Logical.aggs ~mode
+  | (None | Some _), _ -> spec
+
+let apply_preagg_strategy strategy q spec = apply_preagg strategy q spec
+
+let finish ?(preagg = No_preagg) costs q est (tree, _enum_cost) =
+  let spec = apply_preagg preagg q tree in
+  let est_cost = Cost.query_cost costs est spec in
+  let est_card =
+    Cardinality.set_cardinality est (Logical.source_names q)
+  in
+  { spec; est_cost; est_card }
+
+let optimize ?(preagg = No_preagg) ?(costs = Cost_model.default) q catalog sels =
+  Logical.validate ~schema_of:(Catalog.schema_of catalog) q;
+  let est = Cardinality.create q catalog sels in
+  let best = Enumerate.best_join_tree q est costs in
+  finish ~preagg costs q est best
+
+let pessimal ?(costs = Cost_model.default) q catalog sels =
+  Logical.validate ~schema_of:(Catalog.schema_of catalog) q;
+  let est = Cardinality.create q catalog sels in
+  let worst = Enumerate.worst_join_tree q est costs in
+  finish costs q est worst
+
+let alternatives ?(k = 3) ?(costs = Cost_model.default) q catalog sels =
+  Logical.validate ~schema_of:(Catalog.schema_of catalog) q;
+  let est = Cardinality.create q catalog sels in
+  Enumerate.top_trees ~k q est costs
+  |> List.map (fun cand -> finish costs q est cand)

@@ -1,0 +1,70 @@
+open Adp_exec
+
+(** The query (re-)optimizer: System-R-style bushy enumeration with the
+    re-estimation features of §4.2, plus pre-aggregation push-down
+    (after Chaudhuri & Shim).
+
+    Re-optimization is the same entry point with a refreshed
+    {!Adp_stats.Selectivity} registry: the estimator prefers observed
+    selectivities, so the "best" tree shifts as execution reveals the
+    data. *)
+
+type preagg_strategy =
+  | No_preagg
+  | Auto  (** systematically insert adjustable-window pre-aggregation at
+              every legal point — it is low-risk (§6) *)
+  | Force of Plan.preagg_mode
+      (** insert the given operator at the legal point (experiments) *)
+
+type result = {
+  spec : Plan.spec;
+  est_cost : float;  (** estimated virtual-clock cost, incl. final agg *)
+  est_card : float;  (** estimated root output cardinality *)
+}
+
+(** [optimize ?preagg ?costs q catalog sels] picks the best bushy join
+    tree for [q].  @raise Invalid_argument on malformed queries. *)
+val optimize :
+  ?preagg:preagg_strategy ->
+  ?costs:Cost_model.t ->
+  Logical.query ->
+  Catalog.t ->
+  Adp_stats.Selectivity.t ->
+  result
+
+(** Apply a pre-aggregation strategy to an existing join tree (inserting
+    the operator at the query's push-down point, if any).  Idempotent.
+    Every plan participating in one adaptive execution must receive the
+    same strategy so that equivalent subexpressions share schemas across
+    plans (§3.2). *)
+val apply_preagg_strategy :
+  preagg_strategy -> Logical.query -> Plan.spec -> Plan.spec
+
+(** The costliest cross-product-free candidate plan under the given
+    statistics — deterministic stand-in for the "poor plan" a
+    mis-estimating optimizer picks (used by the Figure 2/3 reproduction
+    and by adversarial tests). *)
+val pessimal :
+  ?costs:Cost_model.t ->
+  Logical.query ->
+  Catalog.t ->
+  Adp_stats.Selectivity.t ->
+  result
+
+(** Up to [k] alternative root plans, best first (for redundant
+    computation). *)
+val alternatives :
+  ?k:int ->
+  ?costs:Cost_model.t ->
+  Logical.query ->
+  Catalog.t ->
+  Adp_stats.Selectivity.t ->
+  result list
+
+(** The scan branch (relation name) eligible for pre-aggregation
+    push-down, with the pre-aggregation group columns: all aggregate input
+    columns must come from one relation; the partial groups include that
+    relation's group-by columns and every join column it contributes
+    (§2.2).  [None] when the query has no aggregates or they span
+    relations. *)
+val preagg_point : Logical.query -> (string * string list) option

@@ -1,0 +1,1 @@
+lib/query/sql_lexer.ml: Format List Printf String

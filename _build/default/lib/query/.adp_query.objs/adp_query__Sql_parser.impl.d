@@ -1,0 +1,1 @@
+lib/query/sql_parser.ml: Adp_exec Adp_optimizer Adp_relation Aggregate Array Expr Format Hashtbl List Logical Option Predicate Printf Schema Sql_lexer String Value

@@ -1,0 +1,1 @@
+lib/query/sql_parser.mli: Adp_optimizer Adp_relation Logical Schema

@@ -1,0 +1,1 @@
+lib/query/workload.ml: Adp_datagen Adp_exec Adp_optimizer Adp_relation Catalog Flights List Logical Relation Source Sql_parser Tpch

@@ -1,0 +1,1 @@
+lib/query/workload.mli: Adp_datagen Adp_exec Adp_optimizer Catalog Flights Logical Source Tpch

@@ -1,0 +1,88 @@
+type token =
+  | IDENT of string
+  | KW of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SYM of string
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "select"; "from"; "where"; "and"; "or"; "not"; "group"; "by"; "as";
+    "between"; "in"; "date"; "sum"; "count"; "min"; "max"; "avg"; "asc";
+    "desc"; "order" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        let word = String.lowercase_ascii (String.sub s i (!j - i)) in
+        if List.mem word keywords then emit (KW (String.uppercase_ascii word))
+        else emit (IDENT word);
+        go !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit s.[!j] do
+          incr j
+        done;
+        if !j < n && s.[!j] = '.' && !j + 1 < n && is_digit s.[!j + 1] then begin
+          incr j;
+          while !j < n && is_digit s.[!j] do
+            incr j
+          done;
+          emit (FLOAT (float_of_string (String.sub s i (!j - i))))
+        end
+        else emit (INT (int_of_string (String.sub s i (!j - i))));
+        go !j
+      end
+      else if c = '\'' then begin
+        let j = ref (i + 1) in
+        while !j < n && s.[!j] <> '\'' do
+          incr j
+        done;
+        if !j >= n then raise (Lex_error ("unterminated string", i));
+        emit (STRING (String.sub s (i + 1) (!j - i - 1)));
+        go (!j + 1)
+      end
+      else begin
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        match two with
+        | "<=" | ">=" | "<>" | "!=" ->
+          emit (SYM (if two = "!=" then "<>" else two));
+          go (i + 2)
+        | _ ->
+          (match c with
+           | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '=' | '<' | '>' ->
+             emit (SYM (String.make 1 c));
+             go (i + 1)
+           | _ -> raise (Lex_error (Printf.sprintf "unexpected '%c'" c, i)))
+      end
+  in
+  go 0;
+  List.rev !toks
+
+let pp_token fmt = function
+  | IDENT s -> Format.fprintf fmt "ident(%s)" s
+  | KW s -> Format.fprintf fmt "%s" s
+  | INT i -> Format.fprintf fmt "%d" i
+  | FLOAT f -> Format.fprintf fmt "%g" f
+  | STRING s -> Format.fprintf fmt "'%s'" s
+  | SYM s -> Format.fprintf fmt "%s" s
+  | EOF -> Format.fprintf fmt "<eof>"

@@ -1,0 +1,16 @@
+(** Tokenizer for the SQL subset accepted by {!Sql_parser}. *)
+
+type token =
+  | IDENT of string  (** identifiers are lower-cased; keywords excluded *)
+  | KW of string  (** upper-cased keyword: SELECT, FROM, WHERE, ... *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SYM of string  (** one of ( ) , . * + - / = <> < <= > >= *)
+  | EOF
+
+exception Lex_error of string * int  (** message, position *)
+
+val tokenize : string -> token list
+
+val pp_token : Format.formatter -> token -> unit

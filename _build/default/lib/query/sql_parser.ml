@@ -1,0 +1,437 @@
+open Adp_relation
+open Adp_exec
+open Adp_optimizer
+open Sql_lexer
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+(* ---------------- raw AST ---------------- *)
+
+type scalar =
+  | Rcol of string
+  | Rlit of Value.t
+  | Rbin of char * scalar * scalar  (* + - * / *)
+
+type item =
+  | Istar
+  | Iexpr of scalar * string option
+  | Iagg of string * scalar option * string option
+      (* fn, arg (None means count-star), alias *)
+
+type cond =
+  | Ccmp of Predicate.cmp * scalar * scalar
+  | Cbetween of scalar * Value.t * Value.t
+  | Cin of scalar * Value.t list
+
+type stmt = {
+  items : item list;
+  tables : string list;
+  conds : cond list;
+  group : string list;
+  order : (string * [ `Asc | `Desc ]) list;
+}
+
+(* ---------------- parsing ---------------- *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %a, found %a" pp_token tok pp_token (peek st)
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> fail "expected identifier, found %a" pp_token t
+
+(* Column reference: ident or ident.ident *)
+let column st =
+  let first = ident st in
+  if peek st = SYM "." then begin
+    advance st;
+    first ^ "." ^ ident st
+  end
+  else first
+
+let literal st =
+  match peek st with
+  | INT i ->
+    advance st;
+    Value.Int i
+  | FLOAT f ->
+    advance st;
+    Value.Float f
+  | STRING s ->
+    advance st;
+    Value.Str s
+  | KW "DATE" ->
+    advance st;
+    (match peek st with
+     | STRING s ->
+       advance st;
+       Value.date_of_string s
+     | t -> fail "expected date literal, found %a" pp_token t)
+  | t -> fail "expected literal, found %a" pp_token t
+
+let agg_kws = [ "SUM"; "COUNT"; "MIN"; "MAX"; "AVG" ]
+
+let rec scalar st =
+  let lhs = term st in
+  match peek st with
+  | SYM ("+" | "-") ->
+    let op = match peek st with SYM s -> s.[0] | _ -> assert false in
+    advance st;
+    Rbin (op, lhs, scalar st)
+  | _ -> lhs
+
+and term st =
+  let lhs = factor st in
+  match peek st with
+  | SYM ("*" | "/") ->
+    let op = match peek st with SYM s -> s.[0] | _ -> assert false in
+    advance st;
+    Rbin (op, lhs, term st)
+  | _ -> lhs
+
+and factor st =
+  match peek st with
+  | SYM "(" ->
+    advance st;
+    let e = scalar st in
+    expect st (SYM ")");
+    e
+  | INT _ | FLOAT _ | STRING _ | KW "DATE" -> Rlit (literal st)
+  | IDENT _ -> Rcol (column st)
+  | t -> fail "expected scalar, found %a" pp_token t
+
+let alias st =
+  if peek st = KW "AS" then begin
+    advance st;
+    Some (ident st)
+  end
+  else None
+
+let select_item st =
+  match peek st with
+  | SYM "*" ->
+    advance st;
+    Istar
+  | KW kw when List.mem kw agg_kws ->
+    advance st;
+    expect st (SYM "(");
+    let arg =
+      if kw = "COUNT" && peek st = SYM "*" then begin
+        advance st;
+        None
+      end
+      else Some (scalar st)
+    in
+    expect st (SYM ")");
+    Iagg (kw, arg, alias st)
+  | _ ->
+    let e = scalar st in
+    Iexpr (e, alias st)
+
+let cmp_of = function
+  | "=" -> Predicate.Eq
+  | "<>" -> Predicate.Ne
+  | "<" -> Predicate.Lt
+  | "<=" -> Predicate.Le
+  | ">" -> Predicate.Gt
+  | ">=" -> Predicate.Ge
+  | s -> fail "unknown comparison %s" s
+
+let condition st =
+  let lhs = scalar st in
+  match peek st with
+  | SYM (("=" | "<>" | "<" | "<=" | ">" | ">=") as op) ->
+    advance st;
+    Ccmp (cmp_of op, lhs, scalar st)
+  | KW "BETWEEN" ->
+    advance st;
+    let lo = literal st in
+    expect st (KW "AND");
+    let hi = literal st in
+    Cbetween (lhs, lo, hi)
+  | KW "IN" ->
+    advance st;
+    expect st (SYM "(");
+    let rec lits acc =
+      let v = literal st in
+      if peek st = SYM "," then begin
+        advance st;
+        lits (v :: acc)
+      end
+      else List.rev (v :: acc)
+    in
+    let vs = lits [] in
+    expect st (SYM ")");
+    Cin (lhs, vs)
+  | t -> fail "expected condition operator, found %a" pp_token t
+
+let rec comma_list st parse =
+  let x = parse st in
+  if peek st = SYM "," then begin
+    advance st;
+    x :: comma_list st parse
+  end
+  else [ x ]
+
+let statement st =
+  expect st (KW "SELECT");
+  let items = comma_list st select_item in
+  expect st (KW "FROM");
+  let tables = comma_list st ident in
+  let conds =
+    if peek st = KW "WHERE" then begin
+      advance st;
+      let rec conj acc =
+        let c = condition st in
+        if peek st = KW "AND" then begin
+          advance st;
+          conj (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      conj []
+    end
+    else []
+  in
+  let group =
+    if peek st = KW "GROUP" then begin
+      advance st;
+      expect st (KW "BY");
+      comma_list st column
+    end
+    else []
+  in
+  let order =
+    if peek st = KW "ORDER" then begin
+      advance st;
+      expect st (KW "BY");
+      comma_list st (fun st ->
+          let col = column st in
+          match peek st with
+          | KW "ASC" ->
+            advance st;
+            col, `Asc
+          | KW "DESC" ->
+            advance st;
+            col, `Desc
+          | _ -> col, `Asc)
+    end
+    else []
+  in
+  (match peek st with
+   | EOF -> ()
+   | t -> fail "trailing input: %a" pp_token t);
+  { items; tables; conds; group; order }
+
+(* ---------------- resolution ---------------- *)
+
+let parse_with_order ~schema_of sql =
+  let st = { toks = tokenize sql } in
+  let raw =
+    try statement st with
+    | Lex_error (m, i) -> fail "lex error at %d: %s" i m
+  in
+  let schemas =
+    List.map
+      (fun t ->
+        match schema_of t with
+        | s -> t, s
+        | exception Not_found -> fail "unknown table %s" t)
+      raw.tables
+  in
+  let qualify col =
+    match String.index_opt col '.' with
+    | Some _ ->
+      let rel = Logical.relation_of_column col in
+      (match List.assoc_opt rel schemas with
+       | Some schema when Schema.mem schema col -> col
+       | Some _ -> fail "no column %s in %s" col rel
+       | None -> fail "unknown table in column %s" col)
+    | None ->
+      (match
+         List.filter (fun (_, schema) -> Schema.mem schema col) schemas
+       with
+       | [ (rel, schema) ] ->
+         (Schema.columns schema).(Schema.index schema col)
+         |> fun qualified ->
+         ignore rel;
+         qualified
+       | [] -> fail "unknown column %s" col
+       | _ :: _ :: _ -> fail "ambiguous column %s" col)
+  in
+  let rec to_expr = function
+    | Rcol c -> Expr.Col (qualify c)
+    | Rlit v -> Expr.Const v
+    | Rbin ('+', a, b) -> Expr.Add (to_expr a, to_expr b)
+    | Rbin ('-', a, b) -> Expr.Sub (to_expr a, to_expr b)
+    | Rbin ('*', a, b) -> Expr.Mul (to_expr a, to_expr b)
+    | Rbin ('/', a, b) -> Expr.Div (to_expr a, to_expr b)
+    | Rbin (op, _, _) -> fail "unknown operator %c" op
+  in
+  let rec rels_of_scalar = function
+    | Rcol c -> [ Logical.relation_of_column (qualify c) ]
+    | Rlit _ -> []
+    | Rbin (_, a, b) -> rels_of_scalar a @ rels_of_scalar b
+  in
+  (* Split conditions into join predicates and per-relation filters. *)
+  let joins = ref [] in
+  let filters = Hashtbl.create 8 in
+  let add_filter rel p =
+    let prev =
+      Option.value ~default:Predicate.tt (Hashtbl.find_opt filters rel)
+    in
+    Hashtbl.replace filters rel Predicate.(prev &&& p)
+  in
+  let single_rel scalar_ =
+    match List.sort_uniq String.compare (rels_of_scalar scalar_) with
+    | [ r ] -> r
+    | [] -> fail "condition references no column"
+    | _ -> fail "condition spans multiple relations (only equi-joins may)"
+  in
+  List.iter
+    (fun cond ->
+      match cond with
+      | Ccmp (Predicate.Eq, Rcol a, Rcol b)
+        when Logical.relation_of_column (qualify a)
+             <> Logical.relation_of_column (qualify b) ->
+        joins := (qualify a, qualify b) :: !joins
+      | Ccmp (op, Rcol a, Rlit v) ->
+        add_filter
+          (Logical.relation_of_column (qualify a))
+          (Predicate.Cmp (op, qualify a, v))
+      | Ccmp (op, Rlit v, Rcol a) ->
+        let flip =
+          match op with
+          | Predicate.Eq -> Predicate.Eq
+          | Predicate.Ne -> Predicate.Ne
+          | Predicate.Lt -> Predicate.Gt
+          | Predicate.Le -> Predicate.Ge
+          | Predicate.Gt -> Predicate.Lt
+          | Predicate.Ge -> Predicate.Le
+        in
+        add_filter
+          (Logical.relation_of_column (qualify a))
+          (Predicate.Cmp (flip, qualify a, v))
+      | Ccmp (op, Rcol a, Rcol b) ->
+        let rel = single_rel (Rbin ('+', Rcol a, Rcol b)) in
+        add_filter rel (Predicate.Col_cmp (op, qualify a, qualify b))
+      | Ccmp (_, _, _) -> fail "unsupported comparison form"
+      | Cbetween (Rcol a, lo, hi) ->
+        add_filter
+          (Logical.relation_of_column (qualify a))
+          (Predicate.Between (qualify a, lo, hi))
+      | Cbetween (_, _, _) -> fail "BETWEEN requires a column"
+      | Cin (Rcol a, vs) ->
+        add_filter
+          (Logical.relation_of_column (qualify a))
+          (Predicate.In (qualify a, vs))
+      | Cin (_, _) -> fail "IN requires a column")
+    raw.conds;
+  (* Select list. *)
+  let has_agg =
+    List.exists (function Iagg _ -> true | Istar | Iexpr _ -> false) raw.items
+  in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+  in
+  let group_cols = List.map qualify raw.group in
+  let aggs =
+    List.filter_map
+      (function
+        | Iagg (fn, arg, name) ->
+          let name =
+            match name with
+            | Some n -> n
+            | None -> fresh (String.lowercase_ascii fn)
+          in
+          let expr =
+            match arg with Some s -> to_expr s | None -> Expr.int 1
+          in
+          Some
+            (match fn with
+             | "SUM" -> Aggregate.sum ~name expr
+             | "COUNT" -> Aggregate.count_all ~name
+             | "MIN" -> Aggregate.min_of ~name expr
+             | "MAX" -> Aggregate.max_of ~name expr
+             | "AVG" -> Aggregate.avg ~name expr
+             | _ -> fail "unknown aggregate %s" fn)
+        | Istar | Iexpr _ -> None)
+      raw.items
+  in
+  if has_agg || group_cols <> [] then begin
+    (* Non-aggregate items must be grouping columns. *)
+    List.iter
+      (function
+        | Iexpr (Rcol c, _) when List.mem (qualify c) group_cols -> ()
+        | Iexpr _ -> fail "non-aggregate select item must be a GROUP BY column"
+        | Istar -> fail "SELECT * cannot be combined with GROUP BY"
+        | Iagg _ -> ())
+      raw.items
+  end;
+  let projection =
+    if has_agg || group_cols <> [] then []
+    else
+      List.concat_map
+        (function
+          | Istar -> []
+          | Iexpr (Rcol c, _) -> [ qualify c ]
+          | Iexpr _ -> fail "projection supports only columns and *"
+          | Iagg _ -> [])
+        raw.items
+  in
+  let query =
+    { Logical.sources =
+        List.map
+          (fun t ->
+            { Logical.name = t;
+              filter =
+                Option.value ~default:Predicate.tt
+                  (Hashtbl.find_opt filters t) })
+          raw.tables;
+      join_preds = List.rev !joins;
+      group_cols;
+      aggs;
+      projection }
+  in
+  (* ORDER BY resolves against the query's output columns. *)
+  let agg_names = List.map (fun (a : Aggregate.spec) -> a.name) aggs in
+  let order =
+    List.map
+      (fun (col, dir) ->
+        if List.mem col agg_names then col, dir
+        else begin
+          let qualified = qualify col in
+          let output_cols =
+            if has_agg || group_cols <> [] then group_cols
+            else if projection = [] then
+              List.concat_map
+                (fun (tbl, schema) ->
+                  ignore tbl;
+                  Array.to_list (Schema.columns schema))
+                schemas
+            else projection
+          in
+          if List.mem qualified output_cols then qualified, dir
+          else fail "ORDER BY column %s is not an output column" col
+        end)
+      raw.order
+  in
+  query, order
+
+let parse ~schema_of sql = fst (parse_with_order ~schema_of sql)

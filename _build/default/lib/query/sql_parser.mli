@@ -1,0 +1,44 @@
+open Adp_relation
+open Adp_optimizer
+
+(** Recursive-descent parser for the SQL subset matching the paper's query
+    model (§4.3: select-project-join-aggregation, no subqueries):
+
+    {v
+    SELECT item [, item]*
+    FROM table [, table]*
+    [WHERE cond [AND cond]*]
+    [GROUP BY column [, column]*]
+    v}
+
+    where [item] is [*], a column, an arithmetic expression with optional
+    [AS name], or [SUM|COUNT|MIN|MAX|AVG(expr)] (count-star allowed) with
+    optional [AS name]; and [cond] is [scalar op scalar] (op in
+    =, <>, <, <=, >, >=), [column BETWEEN lit AND lit], or
+    [column IN (lit, ...)].  Literals: integers, floats, ['strings'],
+    [DATE 'yyyy-mm-dd'].
+
+    Name resolution is performed against the given schemas: unqualified
+    columns must be unambiguous; equality conditions between columns of
+    two different relations become join predicates; other conditions must
+    be single-relation and are pushed down to that relation's scan. *)
+
+exception Parse_error of string
+
+(** [parse ~schema_of sql] — [schema_of] maps each FROM table to its
+    schema.  Any ORDER BY clause is accepted and ignored (ordering is a
+    front-end concern in the Tukwila architecture — use
+    {!parse_with_order} to retrieve it).
+    @raise Parse_error on syntax or resolution errors. *)
+val parse : schema_of:(string -> Schema.t) -> string -> Logical.query
+
+(** Like {!parse}, also returning the ORDER BY specification resolved
+    against the query's *output* columns (group/projection columns keep
+    their qualified names; aggregates are referred to by their output
+    name).  The engine pipelines unordered answers; the caller applies
+    this with {!Adp_relation.Relation.order_by} — exactly the paper's
+    split, where the front end performs any final sorting. *)
+val parse_with_order :
+  schema_of:(string -> Schema.t) ->
+  string ->
+  Logical.query * (string * [ `Asc | `Desc ]) list

@@ -1,0 +1,1 @@
+lib/relation/predicate.ml: Array Format List Schema String Value

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Array Format Hashtbl Printf Scanf Stdlib

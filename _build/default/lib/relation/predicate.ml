@@ -1,0 +1,94 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of cmp * string * Value.t
+  | Col_cmp of cmp * string * string
+  | Between of string * Value.t * Value.t
+  | In of string * Value.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let tt = True
+let ( &&& ) a b = match a, b with True, x | x, True -> x | _ -> And (a, b)
+let ( ||| ) a b = Or (a, b)
+let eq c v = Cmp (Eq, c, v)
+let lt c v = Cmp (Lt, c, v)
+let le c v = Cmp (Le, c, v)
+let gt c v = Cmp (Gt, c, v)
+let ge c v = Cmp (Ge, c, v)
+let between c lo hi = Between (c, lo, hi)
+
+let rec columns = function
+  | True -> []
+  | Cmp (_, c, _) | Between (c, _, _) | In (c, _) -> [ c ]
+  | Col_cmp (_, a, b) -> [ a; b ]
+  | Not p -> columns p
+  | And (a, b) | Or (a, b) -> columns a @ columns b
+
+let eval_cmp op a b =
+  if Value.is_null a || Value.is_null b then false
+  else
+    let c = Value.compare a b in
+    match op with
+    | Eq -> c = 0
+    | Ne -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0
+
+let compile p schema =
+  (* Resolve all column indices once; the returned closure does no string
+     lookups. *)
+  let rec build = function
+    | True -> fun _ -> true
+    | Cmp (op, c, v) ->
+      let i = Schema.index schema c in
+      fun t -> eval_cmp op t.(i) v
+    | Col_cmp (op, a, b) ->
+      let ia = Schema.index schema a and ib = Schema.index schema b in
+      fun t -> eval_cmp op t.(ia) t.(ib)
+    | Between (c, lo, hi) ->
+      let i = Schema.index schema c in
+      fun t -> eval_cmp Ge t.(i) lo && eval_cmp Le t.(i) hi
+    | In (c, vs) ->
+      let i = Schema.index schema c in
+      fun t -> List.exists (fun v -> Value.eq_sql t.(i) v) vs
+    | Not p ->
+      let f = build p in
+      fun t -> not (f t)
+    | And (a, b) ->
+      let fa = build a and fb = build b in
+      fun t -> fa t && fb t
+    | Or (a, b) ->
+      let fa = build a and fb = build b in
+      fun t -> fa t || fb t
+  in
+  build p
+
+let rec size = function
+  | True -> 0
+  | Cmp _ | Col_cmp _ | In _ -> 1
+  | Between _ -> 2
+  | Not p -> size p
+  | And (a, b) | Or (a, b) -> size a + size b
+
+let cmp_str = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | Cmp (op, c, v) -> Format.fprintf fmt "%s %s %a" c (cmp_str op) Value.pp v
+  | Col_cmp (op, a, b) -> Format.fprintf fmt "%s %s %s" a (cmp_str op) b
+  | Between (c, lo, hi) ->
+    Format.fprintf fmt "%s between %a and %a" c Value.pp lo Value.pp hi
+  | In (c, vs) ->
+    Format.fprintf fmt "%s in (%s)" c
+      (String.concat ", " (List.map Value.to_string vs))
+  | Not p -> Format.fprintf fmt "not (%a)" pp p
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b
+
+let to_string p = Format.asprintf "%a" pp p

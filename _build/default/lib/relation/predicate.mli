@@ -1,0 +1,43 @@
+(** Selection predicates over a single schema.
+
+    Predicates are kept as a small AST (not closures) so the optimizer can
+    inspect them for selectivity estimation and push-down, and are compiled
+    to an evaluator against a concrete schema.  Join predicates are
+    represented separately (equi-join column pairs) by the logical algebra in
+    [adp_optimizer]. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of cmp * string * Value.t  (** [column <op> constant] *)
+  | Col_cmp of cmp * string * string  (** [column <op> column] *)
+  | Between of string * Value.t * Value.t  (** inclusive range *)
+  | In of string * Value.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val tt : t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val eq : string -> Value.t -> t
+val lt : string -> Value.t -> t
+val le : string -> Value.t -> t
+val gt : string -> Value.t -> t
+val ge : string -> Value.t -> t
+val between : string -> Value.t -> Value.t -> t
+
+(** Columns referenced by the predicate. *)
+val columns : t -> string list
+
+(** [compile p schema] resolves column references and returns an
+    evaluator.  @raise Not_found if a column is missing. *)
+val compile : t -> Schema.t -> Tuple.t -> bool
+
+(** Number of atomic comparisons, used by the cost model to charge
+    per-tuple evaluation cost. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

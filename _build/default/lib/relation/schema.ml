@@ -1,0 +1,71 @@
+type t = {
+  cols : string array;
+  by_name : (string, int) Hashtbl.t;  (* qualified name -> index *)
+  by_bare : (string, int list) Hashtbl.t;  (* bare name -> indices *)
+}
+
+let bare_of name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let make names =
+  let cols = Array.of_list names in
+  let by_name = Hashtbl.create (Array.length cols) in
+  let by_bare = Hashtbl.create (Array.length cols) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem by_name name then
+        invalid_arg ("Schema.make: duplicate column " ^ name);
+      Hashtbl.replace by_name name i;
+      let bare = bare_of name in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_bare bare) in
+      Hashtbl.replace by_bare bare (prev @ [ i ]))
+    cols;
+  { cols; by_name; by_bare }
+
+let columns t = t.cols
+let arity t = Array.length t.cols
+
+let index t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None ->
+    (* Fall back to bare-name resolution only for unqualified references:
+       a qualified name must match its qualifier exactly. *)
+    if String.contains name '.' then raise Not_found
+    else
+      (match Hashtbl.find_opt t.by_bare name with
+       | Some [ i ] -> i
+       | Some (_ :: _ :: _) ->
+         raise Not_found (* ambiguous bare reference *)
+       | Some [] | None -> raise Not_found)
+
+let mem t name =
+  match index t name with _ -> true | exception Not_found -> false
+
+let concat a b =
+  make (Array.to_list a.cols @ Array.to_list b.cols)
+
+let project t names =
+  List.iter (fun n -> ignore (index t n)) names;
+  (* Preserve the caller's spelling but requalify from the source column so
+     downstream lookups keep working. *)
+  make (List.map (fun n -> t.cols.(index t n)) names)
+
+let rename_qualifier t q =
+  make (Array.to_list (Array.map (fun c -> q ^ "." ^ bare_of c) t.cols))
+
+let permutation ~from ~into =
+  Array.map (fun c -> index from c) into.cols
+
+let same_columns a b =
+  arity a = arity b
+  && (let sa = List.sort String.compare (Array.to_list a.cols) in
+      let sb = List.sort String.compare (Array.to_list b.cols) in
+      sa = sb)
+
+let equal a b = a.cols = b.cols
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)" (String.concat ", " (Array.to_list t.cols))

@@ -1,0 +1,118 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of int
+
+let type_rank = function
+  | Null -> 0
+  | Int _ -> 1
+  | Float _ -> 1
+  | Date _ -> 2
+  | Str _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> Stdlib.compare x y
+  | Date x, Date y -> Stdlib.compare x y
+  | (Null | Int _ | Float _ | Str _ | Date _), _ ->
+    Stdlib.compare (type_rank a) (type_rank b)
+
+let equal a b = compare a b = 0
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Date _ -> false
+
+let eq_sql a b = (not (is_null a)) && (not (is_null b)) && equal a b
+
+let hash = function
+  | Null -> 0
+  | Int x -> Hashtbl.hash (float_of_int x)
+  | Float x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Date d -> Hashtbl.hash (1000003 * d)
+
+let to_float = function
+  | Int x -> float_of_int x
+  | Float x -> x
+  | Date d -> float_of_int d
+  | Null -> invalid_arg "Value.to_float: Null"
+  | Str s -> invalid_arg ("Value.to_float: string " ^ s)
+
+let add a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (x + y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a +. to_float b)
+  | _ -> invalid_arg "Value.add: non-numeric"
+
+let min_v a b =
+  if is_null a then b else if is_null b then a
+  else if compare a b <= 0 then a else b
+
+let max_v a b =
+  if is_null a then b else if is_null b then a
+  else if compare a b >= 0 then a else b
+
+(* Days in each month of a non-leap year, cumulative. *)
+let cum_days = [| 0; 31; 59; 90; 120; 151; 181; 212; 243; 273; 304; 334 |]
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_from_civil ~y ~m ~d =
+  (* days since 1992-01-01 *)
+  let rec years acc yy = if yy >= y then acc
+    else years (acc + (if is_leap yy then 366 else 365)) (yy + 1)
+  in
+  let base = years 0 1992 in
+  let leap_extra = if m > 2 && is_leap y then 1 else 0 in
+  base + cum_days.(m - 1) + leap_extra + (d - 1)
+
+let date_of_string s =
+  try Scanf.sscanf s "%d-%d-%d" (fun y m d -> Date (days_from_civil ~y ~m ~d))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    invalid_arg ("Value.date_of_string: " ^ s)
+
+let civil_of_days days =
+  let rec find_year y rem =
+    let len = if is_leap y then 366 else 365 in
+    if rem < len then y, rem else find_year (y + 1) (rem - len)
+  in
+  let y, doy = find_year 1992 days in
+  let leap = is_leap y in
+  let month_len m =
+    let base = cum_days.(m) - cum_days.(m - 1) in
+    if m = 2 && leap then base + 1
+    else if m = 12 then 31
+    else base
+  in
+  (* month_len above works for m in 1..11 via cumulative diffs; December
+     handled explicitly. *)
+  let rec find_month m rem =
+    let len =
+      if m = 12 then 31
+      else month_len m
+    in
+    if rem < len then m, rem else find_month (m + 1) (rem - len)
+  in
+  let m, dom = find_month 1 doy in
+  y, m, dom + 1
+
+let to_string = function
+  | Null -> "NULL"
+  | Int x -> string_of_int x
+  | Float x -> Printf.sprintf "%.4f" x
+  | Str s -> s
+  | Date d ->
+    let y, m, dd = civil_of_days d in
+    Printf.sprintf "%04d-%02d-%02d" y m dd
+
+let pp fmt v =
+  match v with
+  | Str s -> Format.fprintf fmt "%S" s
+  | Null | Int _ | Float _ | Date _ -> Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,51 @@
+(** Atomic attribute values.
+
+    Tukwila integrates heterogeneous sources, so the value domain is a small
+    dynamically-typed universe: integers, floats, strings, dates (days since
+    an epoch) and SQL-style nulls.  All comparisons are three-valued only in
+    the sense that [Null] never equals anything, including itself, under
+    {!eq_sql}; the total order {!compare} is used by sorted state structures
+    and places [Null] first. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of int  (** days since 1992-01-01, the TPC-H epoch *)
+
+(** Total order over values, usable by sorted structures.  Values of
+    different types are ordered by type tag; [Null] sorts first. *)
+val compare : t -> t -> int
+
+(** Structural equality ([Null] equals [Null]). *)
+val equal : t -> t -> bool
+
+(** SQL equality: any comparison involving [Null] is false. *)
+val eq_sql : t -> t -> bool
+
+val is_null : t -> bool
+
+(** Hash suitable for hash-based state structures; equal values hash
+    equally. *)
+val hash : t -> int
+
+(** Numeric coercions used by aggregation.  @raise Invalid_argument on
+    non-numeric input. *)
+val to_float : t -> float
+
+val add : t -> t -> t
+(** Numeric addition used by [sum]; [Null] is absorbing. *)
+
+val min_v : t -> t -> t
+val max_v : t -> t -> t
+(** SQL [min]/[max]: ignore nulls ([min_v Null x = x]). *)
+
+(** Parse a date literal ["YYYY-MM-DD"] into [Date]. *)
+val date_of_string : string -> t
+
+(** Inverse of {!date_of_string} for [Date]; other values use {!pp}'s
+    syntax. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stats/distinct.ml: Adp_relation Bytes Char Hashtbl Value

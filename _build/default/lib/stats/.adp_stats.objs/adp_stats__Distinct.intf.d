@@ -1,0 +1,1 @@
+lib/stats/distinct.mli: Adp_relation Value

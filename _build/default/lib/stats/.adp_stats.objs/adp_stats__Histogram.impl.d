@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Adp_relation Array Distinct Float Format Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/stats/histogram.mli: Adp_relation Format Value

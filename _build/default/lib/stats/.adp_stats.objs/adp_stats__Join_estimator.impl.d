@@ -1,0 +1,1 @@
+lib/stats/join_estimator.ml: Adp_relation Histogram Order_detector Value

@@ -1,0 +1,1 @@
+lib/stats/join_estimator.mli: Adp_relation Value

@@ -1,0 +1,1 @@
+lib/stats/order_detector.ml: Adp_relation Value

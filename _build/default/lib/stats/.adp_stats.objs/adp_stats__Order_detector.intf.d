@@ -1,0 +1,1 @@
+lib/stats/order_detector.mli: Adp_relation Value

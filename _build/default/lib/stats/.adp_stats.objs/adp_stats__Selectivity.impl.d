@@ -1,0 +1,1 @@
+lib/stats/selectivity.ml: Hashtbl List Option String

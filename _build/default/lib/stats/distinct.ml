@@ -1,0 +1,68 @@
+open Adp_relation
+
+module Vset = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type mode = Exact of unit Vset.t | Sketch of Bytes.t
+
+type t = {
+  exact_budget : int;
+  bits : int;
+  mutable seen : int;
+  mutable mode : mode;
+}
+
+let create ?(exact_budget = 4096) ?(sketch_bits = 16) () =
+  { exact_budget; bits = sketch_bits; seen = 0;
+    mode = Exact (Vset.create 256) }
+
+let bitmap_set bm i =
+  let byte = i lsr 3 and bit = i land 7 in
+  let c = Char.code (Bytes.get bm byte) in
+  Bytes.set bm byte (Char.chr (c lor (1 lsl bit)))
+
+let bitmap_zeros bm =
+  let zeros = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let c = Char.code c in
+      for b = 0 to 7 do
+        if c land (1 lsl b) = 0 then incr zeros
+      done)
+    bm;
+  !zeros
+
+let to_sketch t set =
+  let m = 1 lsl t.bits in
+  let bm = Bytes.make (m lsr 3) '\000' in
+  Vset.iter (fun v () -> bitmap_set bm (Value.hash v land (m - 1))) set;
+  t.mode <- Sketch bm
+
+let add t v =
+  t.seen <- t.seen + 1;
+  match t.mode with
+  | Exact set ->
+    if not (Vset.mem set v) then begin
+      Vset.replace set v ();
+      if Vset.length set > t.exact_budget then to_sketch t set
+    end
+  | Sketch bm ->
+    let m = 1 lsl t.bits in
+    bitmap_set bm (Value.hash v land (m - 1))
+
+let count t = t.seen
+
+let estimate t =
+  match t.mode with
+  | Exact set -> float_of_int (Vset.length set)
+  | Sketch bm ->
+    let m = float_of_int (1 lsl t.bits) in
+    let z = float_of_int (bitmap_zeros bm) in
+    if z <= 0.0 then m *. log m (* saturated: crude upper bound *)
+    else -.m *. log (z /. m)
+
+let is_exact t = match t.mode with Exact _ -> true | Sketch _ -> false

@@ -1,0 +1,298 @@
+open Adp_relation
+
+type bucket = {
+  mutable lo : float;
+  mutable hi : float;  (* inclusive bounds *)
+  mutable count : float;
+  mutable distinct : float;
+}
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  buckets : int;
+  mutable total : int;
+  mutable nulls : int;
+  singles : float Vtbl.t;  (* heavy hitters, exact-ish counts *)
+  mutable ranges : bucket array;  (* numeric remainder *)
+  mutable other : float;  (* non-numeric remainder count *)
+  mutable other_distinct : float;
+  mutable pending : int;  (* adds since last restructure *)
+  dsketch : Distinct.t;  (* distinct estimation rides a compact sketch *)
+}
+
+let create ~buckets =
+  if buckets < 4 then invalid_arg "Histogram.create: buckets < 4";
+  { buckets; total = 0; nulls = 0; singles = Vtbl.create 64; ranges = [||];
+    other = 0.0; other_distinct = 0.0; pending = 0;
+    dsketch = Distinct.create () }
+
+let count t = t.total
+let null_count t = t.nulls
+
+let numeric = function
+  | Value.Int _ | Value.Float _ | Value.Date _ -> true
+  | Value.Null | Value.Str _ -> false
+
+let find_bucket t x =
+  let n = Array.length t.ranges in
+  let rec go i =
+    if i >= n then None
+    else
+      let b = t.ranges.(i) in
+      if x >= b.lo && x <= b.hi then Some b else go (i + 1)
+  in
+  go 0
+
+let add_to_ranges t v =
+  let x = Value.to_float v in
+  match find_bucket t x with
+  | Some b ->
+    b.count <- b.count +. 1.0;
+    (* New-distinct heuristic: the chance the value is new decreases with
+       bucket density. *)
+    b.distinct <- b.distinct +. (1.0 /. (1.0 +. (b.count /. 16.0)))
+  | None ->
+    (* Outside current boundaries: extend the nearest edge bucket. *)
+    let n = Array.length t.ranges in
+    if n = 0 then
+      t.ranges <- [| { lo = x; hi = x; count = 1.0; distinct = 1.0 } |]
+    else begin
+      let first = t.ranges.(0) and last = t.ranges.(n - 1) in
+      if x < first.lo then begin
+        first.lo <- x;
+        first.count <- first.count +. 1.0;
+        first.distinct <- first.distinct +. 1.0
+      end
+      else begin
+        last.hi <- max last.hi x;
+        last.count <- last.count +. 1.0;
+        last.distinct <- last.distinct +. 1.0
+      end
+    end
+
+(* Fold the lightest singletons into range buckets, keeping at most
+   [buckets/2] heavy hitters, and re-balance range boundaries into
+   equi-width buckets over the observed numeric span. *)
+let restructure t =
+  let keep = t.buckets / 2 in
+  let entries =
+    Vtbl.fold (fun v c acc -> (v, c) :: acc) t.singles []
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  if List.length entries > keep then begin
+    let rec split i = function
+      | [] -> [], []
+      | x :: rest when i < keep ->
+        let k, f = split (i + 1) rest in
+        x :: k, f
+      | rest -> [], rest
+    in
+    let kept, folded = split 0 entries in
+    Vtbl.reset t.singles;
+    List.iter (fun (v, c) -> Vtbl.replace t.singles v c) kept;
+    (* Gather numeric folded values plus existing range mass. *)
+    let numerics =
+      List.filter_map
+        (fun (v, c) -> if numeric v then Some (Value.to_float v, c) else None)
+        folded
+    in
+    List.iter
+      (fun (v, c) ->
+        if not (numeric v) then begin
+          t.other <- t.other +. c;
+          t.other_distinct <- t.other_distinct +. 1.0
+        end)
+      folded;
+    let old = t.ranges in
+    let lo = ref infinity and hi = ref neg_infinity in
+    Array.iter
+      (fun b ->
+        if b.count > 0.0 then begin
+          lo := min !lo b.lo;
+          hi := max !hi b.hi
+        end)
+      old;
+    List.iter
+      (fun (x, _) ->
+        lo := min !lo x;
+        hi := max !hi x)
+      numerics;
+    if !lo <= !hi then begin
+      let nb = max 1 (t.buckets - List.length kept) in
+      let width = (!hi -. !lo) /. float_of_int nb in
+      let width = if width <= 0.0 then 1.0 else width in
+      let fresh =
+        Array.init nb (fun i ->
+            { lo = !lo +. (float_of_int i *. width);
+              hi =
+                (if i = nb - 1 then !hi
+                 else !lo +. (float_of_int (i + 1) *. width) -. epsilon_float);
+              count = 0.0; distinct = 0.0 })
+      in
+      let deposit x c d =
+        let idx =
+          min (nb - 1)
+            (max 0 (int_of_float ((x -. !lo) /. width)))
+        in
+        fresh.(idx).count <- fresh.(idx).count +. c;
+        fresh.(idx).distinct <- fresh.(idx).distinct +. d
+      in
+      (* Spread old bucket mass over the new grid proportionally to the
+         overlap with each new bucket (uniformity within the old bucket). *)
+      Array.iter
+        (fun b ->
+          if b.count > 0.0 then begin
+            let span = b.hi -. b.lo in
+            if span <= 0.0 then deposit b.lo b.count b.distinct
+            else
+              Array.iter
+                (fun nb_ ->
+                  let olo = max b.lo nb_.lo and ohi = min b.hi nb_.hi in
+                  if ohi >= olo then begin
+                    let f = (ohi -. olo) /. span in
+                    nb_.count <- nb_.count +. (b.count *. f);
+                    nb_.distinct <- nb_.distinct +. (b.distinct *. f)
+                  end)
+                fresh
+          end)
+        old;
+      List.iter (fun (x, c) -> deposit x c 1.0) numerics;
+      t.ranges <- fresh
+    end
+  end
+
+let add t v =
+  t.total <- t.total + 1;
+  if Value.is_null v then t.nulls <- t.nulls + 1
+  else begin
+    Distinct.add t.dsketch v;
+    (match Vtbl.find_opt t.singles v with
+     | Some c -> Vtbl.replace t.singles v (c +. 1.0)
+     | None ->
+       if Vtbl.length t.singles < 4 * t.buckets then
+         Vtbl.replace t.singles v 1.0
+       else if numeric v then add_to_ranges t v
+       else begin
+         t.other <- t.other +. 1.0;
+         t.other_distinct <- t.other_distinct +. 0.1
+       end);
+    t.pending <- t.pending + 1;
+    if t.pending >= 8 * t.buckets then begin
+      t.pending <- 0;
+      restructure t
+    end
+  end
+
+let estimate_distinct t = Distinct.estimate t.dsketch
+
+let estimate_freq t v =
+  match Vtbl.find_opt t.singles v with
+  | Some c -> c
+  | None ->
+    if not (numeric v) then
+      if t.other_distinct > 0.0 then t.other /. t.other_distinct else 0.0
+    else
+      (match find_bucket t (Value.to_float v) with
+       | Some b when b.distinct >= 1.0 -> b.count /. b.distinct
+       | Some b -> b.count
+       | None -> 0.0)
+
+let estimate_range t lo hi =
+  let xlo = Value.to_float lo and xhi = Value.to_float hi in
+  let singles =
+    Vtbl.fold
+      (fun v c acc ->
+        if numeric v then begin
+          let x = Value.to_float v in
+          if x >= xlo && x <= xhi then acc +. c else acc
+        end
+        else acc)
+      t.singles 0.0
+  in
+  let ranges =
+    Array.fold_left
+      (fun acc b ->
+        if b.hi < xlo || b.lo > xhi || b.count = 0.0 then acc
+        else begin
+          let span = b.hi -. b.lo in
+          let overlap =
+            if span <= 0.0 then 1.0
+            else (min b.hi xhi -. max b.lo xlo) /. span
+          in
+          acc +. (b.count *. max 0.0 (min 1.0 overlap))
+        end)
+      0.0 t.ranges
+  in
+  singles +. ranges
+
+(* Frequency-density of a range bucket over a numeric interval. *)
+let bucket_overlap b1 b2 =
+  let lo = max b1.lo b2.lo and hi = min b1.hi b2.hi in
+  if hi < lo then None else Some (lo, hi)
+
+let fraction b lo hi =
+  let span = b.hi -. b.lo in
+  if span <= 0.0 then 1.0 else max 0.0 (min 1.0 ((hi -. lo) /. span))
+
+let estimate_join t1 t2 =
+  (* Heavy hitters of t1 against all of t2. *)
+  let s1 =
+    Vtbl.fold
+      (fun v c acc -> acc +. (c *. estimate_freq t2 v))
+      t1.singles 0.0
+  in
+  (* Range buckets of t1 against heavy hitters of t2 (t2 singletons falling
+     inside t1 ranges). *)
+  let s2 =
+    Vtbl.fold
+      (fun v c acc ->
+        if not (numeric v) then acc
+        else
+          match find_bucket t1 (Value.to_float v) with
+          | Some b when b.distinct >= 1.0 -> acc +. (c *. (b.count /. b.distinct))
+          | Some _ | None -> acc)
+      t2.singles 0.0
+  in
+  (* Range buckets pairwise under containment + uniformity assumptions. *)
+  let s3 = ref 0.0 in
+  Array.iter
+    (fun b1 ->
+      Array.iter
+        (fun b2 ->
+          match bucket_overlap b1 b2 with
+          | None -> ()
+          | Some (lo, hi) ->
+            let f1 = fraction b1 lo hi and f2 = fraction b2 lo hi in
+            let n1 = b1.count *. f1 and n2 = b2.count *. f2 in
+            let d =
+              max 1.0 (max (b1.distinct *. f1) (b2.distinct *. f2))
+            in
+            s3 := !s3 +. (n1 *. n2 /. d))
+        t2.ranges)
+    t1.ranges;
+  s1 +. s2 +. !s3
+
+let scale t f =
+  let copy =
+    { t with
+      total = int_of_float (float_of_int t.total *. f);
+      nulls = int_of_float (float_of_int t.nulls *. f);
+      singles = Vtbl.copy t.singles;
+      ranges =
+        Array.map
+          (fun b -> { b with count = b.count *. f; distinct = b.distinct })
+          t.ranges;
+      other = t.other *. f }
+  in
+  Vtbl.iter (fun v c -> Vtbl.replace copy.singles v (c *. f)) t.singles;
+  copy
+
+let pp fmt t =
+  Format.fprintf fmt "histogram: %d tuples, %d nulls, %d singletons, %d ranges"
+    t.total t.nulls (Vtbl.length t.singles) (Array.length t.ranges)

@@ -1,0 +1,45 @@
+open Adp_relation
+
+(** Incremental "dynamic compressed" histograms (after Donjerkovic,
+    Ioannidis & Ramakrishnan, ICDE '00), used by the §4.5 predictability
+    experiment.
+
+    A compressed histogram keeps the heaviest values in singleton buckets
+    and spreads the remainder over range buckets; the dynamic variant
+    maintains this incrementally over a stream, restructuring periodically
+    as the value range and heavy-hitter set evolve.  The paper attaches one
+    to each source with 50 buckets and reports ~50 % runtime overhead —
+    which our cost model charges per insert. *)
+
+type t
+
+(** [create ~buckets] with [buckets >= 4]. *)
+val create : buckets:int -> t
+
+(** Observe one attribute value (nulls are counted separately and ignored
+    by estimation). *)
+val add : t -> Value.t -> unit
+
+val count : t -> int
+val null_count : t -> int
+
+(** Estimated number of occurrences of a value. *)
+val estimate_freq : t -> Value.t -> float
+
+(** Estimated number of values in the inclusive range [lo, hi] (numeric
+    attributes only). *)
+val estimate_range : t -> Value.t -> Value.t -> float
+
+(** Estimated distinct-value count. *)
+val estimate_distinct : t -> float
+
+(** Estimated size of the equi-join of the two attributes whose streams the
+    histograms summarize: Σ_v f1(v)·f2(v), computed bucket-wise with
+    uniformity assumptions inside range buckets. *)
+val estimate_join : t -> t -> float
+
+(** [scale t f] extrapolates the histogram to [f] times the data seen so
+    far (used to predict full-relation join sizes after seeing a prefix). *)
+val scale : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

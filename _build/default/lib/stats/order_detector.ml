@@ -1,0 +1,54 @@
+open Adp_relation
+
+type verdict = Ascending | Descending | Unsorted
+
+type t = {
+  mutable seen : int;
+  mutable last : Value.t option;
+  mutable asc_pairs : int;
+  mutable desc_pairs : int;
+  mutable strict_asc : bool;
+  mutable any_violation : bool;
+}
+
+let create () =
+  { seen = 0; last = None; asc_pairs = 0; desc_pairs = 0; strict_asc = true;
+    any_violation = false }
+
+let add t v =
+  (match t.last with
+   | None -> ()
+   | Some prev ->
+     let c = Value.compare prev v in
+     if c <= 0 then t.asc_pairs <- t.asc_pairs + 1;
+     if c >= 0 then t.desc_pairs <- t.desc_pairs + 1;
+     if c >= 0 then t.strict_asc <- false;
+     ());
+  t.seen <- t.seen + 1;
+  t.last <- Some v;
+  let pairs = t.seen - 1 in
+  if pairs > 0 && t.asc_pairs < pairs && t.desc_pairs < pairs then
+    t.any_violation <- true
+
+let count t = t.seen
+
+let ascending_fraction t =
+  let pairs = t.seen - 1 in
+  if pairs <= 0 then 1.0 else float_of_int t.asc_pairs /. float_of_int pairs
+
+let verdict ?(threshold = 0.95) t =
+  let pairs = t.seen - 1 in
+  if pairs <= 0 then Ascending
+  else begin
+    let asc = float_of_int t.asc_pairs /. float_of_int pairs in
+    let desc = float_of_int t.desc_pairs /. float_of_int pairs in
+    if asc >= threshold && asc >= desc then Ascending
+    else if desc >= threshold then Descending
+    else Unsorted
+  end
+
+let strictly_ascending t = t.strict_asc
+
+let perfectly_sorted t =
+  let pairs = t.seen - 1 in
+  pairs <= 0 || t.asc_pairs = pairs || t.desc_pairs = pairs

@@ -1,0 +1,45 @@
+type t = {
+  sels : (string, float) Hashtbl.t;
+  outs : (string, float) Hashtbl.t;
+  cards : (string, int) Hashtbl.t;
+  finals : (string, int) Hashtbl.t;
+  mult : (string, float) Hashtbl.t;
+}
+
+let create () =
+  { sels = Hashtbl.create 64; outs = Hashtbl.create 64;
+    cards = Hashtbl.create 16; finals = Hashtbl.create 16;
+    mult = Hashtbl.create 16 }
+
+let observe t ~signature ~output ~input_product =
+  if input_product > 0.0 then
+    Hashtbl.replace t.sels signature (output /. input_product)
+
+let lookup t signature = Hashtbl.find_opt t.sels signature
+
+let observe_output t ~signature ~cardinality =
+  Hashtbl.replace t.outs signature cardinality
+
+let lookup_output t signature = Hashtbl.find_opt t.outs signature
+
+let observe_cardinality t ~relation ~seen =
+  Hashtbl.replace t.cards relation seen
+
+let cardinality t relation = Hashtbl.find_opt t.cards relation
+
+let observe_final_cardinality t ~relation ~total =
+  Hashtbl.replace t.finals relation total
+
+let final_cardinality t relation = Hashtbl.find_opt t.finals relation
+
+let flag_multiplicative t ~predicate ~factor =
+  let prev = Option.value ~default:1.0 (Hashtbl.find_opt t.mult predicate) in
+  Hashtbl.replace t.mult predicate (max prev factor)
+
+let multiplicative_factor t predicate = Hashtbl.find_opt t.mult predicate
+
+let size t = Hashtbl.length t.sels
+
+let entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sels []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

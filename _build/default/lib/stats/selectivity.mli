@@ -1,0 +1,66 @@
+(** Observed-selectivity registry (§4.2).
+
+    The monitor records, for every join subexpression evaluated so far, one
+    selectivity shared across all logically equivalent subexpressions
+    regardless of the algorithms used: the ratio of the subexpression's
+    output cardinality over the product of its input relation
+    cardinalities.  The re-optimizer consults these before falling back to
+    System-R heuristics.
+
+    Keys are canonical signatures — produced by the logical algebra in
+    [adp_optimizer] — so that [(A ⋈ B) ⋈ C] and [A ⋈ (B ⋈ C)] share one
+    entry.
+
+    The registry also carries the paper's "multiplicative join" flags: a
+    join predicate observed to produce more output than either input gets
+    its measured expansion factor pinned, so future estimates involving it
+    stay conservative. *)
+
+type t
+
+val create : unit -> t
+
+(** [observe t ~signature ~output ~input_product] records/overwrites the
+    observed selectivity of a subexpression. *)
+val observe : t -> signature:string -> output:float -> input_product:float -> unit
+
+(** Observed selectivity if available. *)
+val lookup : t -> string -> float option
+
+(** [observe_output t ~signature ~cardinality] records a direct prediction
+    of a subexpression's final output cardinality.  The corrective monitor
+    derives it by linear extrapolation — output seen so far times the
+    largest remaining input ratio — which matches the paper's assumption
+    that query performance stays consistent and that key–foreign-key join
+    outputs grow with the foreign-key side, not with the input product
+    (§4.2).  Product-based extrapolation misfires badly when sources are
+    sorted on the join key (aligned prefixes over-match; cf. §4.5). *)
+val observe_output : t -> signature:string -> cardinality:float -> unit
+
+val lookup_output : t -> string -> float option
+
+(** [observe_cardinality t ~relation ~seen] tracks how many tuples of a
+    source have been consumed so far (a lower bound on its cardinality). *)
+val observe_cardinality : t -> relation:string -> seen:int -> unit
+
+val cardinality : t -> string -> int option
+
+(** [observe_final_cardinality t ~relation ~total] records the exact
+    cardinality once a sequential source has been exhausted — at that
+    point the engine knows it precisely, whatever the source description
+    claimed. *)
+val observe_final_cardinality : t -> relation:string -> total:int -> unit
+
+val final_cardinality : t -> string -> int option
+
+(** [flag_multiplicative t ~predicate ~factor] marks a join predicate whose
+    output exceeded both inputs, with its expansion factor. *)
+val flag_multiplicative : t -> predicate:string -> factor:float -> unit
+
+val multiplicative_factor : t -> string -> float option
+
+(** Number of selectivity entries, for reporting. *)
+val size : t -> int
+
+(** All (signature, selectivity) pairs, for reporting/tests. *)
+val entries : t -> (string * float) list

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Adp_relation Array List Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/hash_table.ml: Adp_relation Array Hashtbl List Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/hash_table.mli: Adp_relation Schema Tuple Value

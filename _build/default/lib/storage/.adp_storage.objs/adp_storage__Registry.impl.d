@@ -1,0 +1,1 @@
+lib/storage/registry.ml: Adp_relation Hashtbl Int List Schema String Tuple

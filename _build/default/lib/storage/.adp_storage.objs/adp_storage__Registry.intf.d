@@ -1,0 +1,1 @@
+lib/storage/registry.mli: Adp_relation Schema Tuple

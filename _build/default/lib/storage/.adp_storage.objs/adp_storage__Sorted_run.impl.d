@@ -1,0 +1,1 @@
+lib/storage/sorted_run.ml: Adp_relation Array List Schema Tuple

@@ -1,0 +1,1 @@
+lib/storage/sorted_run.mli: Adp_relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/state.ml: Adp_relation Array Btree Hash_table List Schema Sorted_run Tuple

@@ -1,0 +1,1 @@
+lib/storage/state.mli: Adp_relation Schema Tuple Value

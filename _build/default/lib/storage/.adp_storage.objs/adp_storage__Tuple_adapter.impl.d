@@ -1,0 +1,1 @@
+lib/storage/tuple_adapter.ml: Adp_relation Array Format List Schema Tuple

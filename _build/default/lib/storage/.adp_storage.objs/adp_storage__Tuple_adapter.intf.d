@@ -1,0 +1,1 @@
+lib/storage/tuple_adapter.mli: Adp_relation Schema Tuple

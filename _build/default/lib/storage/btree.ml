@@ -1,0 +1,208 @@
+open Adp_relation
+
+type key = Value.t array
+
+type node =
+  | Leaf of leaf
+  | Interior of interior
+
+and leaf = {
+  mutable keys : key array;  (* distinct, sorted *)
+  mutable vals : Tuple.t list array;  (* newest first per key *)
+  mutable next : leaf option;
+}
+
+and interior = {
+  mutable seps : key array;  (* seps.(i) = smallest key in child i+1 *)
+  mutable children : node array;
+}
+
+type t = {
+  schema : Schema.t;
+  key_idx : int array;
+  fanout : int;
+  mutable root : node;
+  mutable size : int;
+}
+
+let create ?(fanout = 32) schema ~key_cols =
+  if fanout < 4 then invalid_arg "Btree.create: fanout < 4";
+  let key_idx = Array.of_list (List.map (Schema.index schema) key_cols) in
+  { schema; key_idx; fanout;
+    root = Leaf { keys = [||]; vals = [||]; next = None }; size = 0 }
+
+let schema t = t.schema
+let length t = t.size
+let key_of t tuple = Tuple.key tuple t.key_idx
+
+let rec depth_of = function
+  | Leaf _ -> 1
+  | Interior n -> 1 + depth_of n.children.(0)
+
+let depth t = depth_of t.root
+
+(* Position of first key >= k in a sorted key array. *)
+let lower_bound keys k =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Tuple.compare_key keys.(mid) k >= 0 then go lo mid
+      else go (mid + 1) hi
+  in
+  go 0 (Array.length keys)
+
+(* Child index to descend into for key k: first separator > k. *)
+let child_index seps k =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Tuple.compare_key seps.(mid) k > 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length seps)
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+(* Returns [Some (sep, right_node)] when the node split. *)
+let rec insert_node t node k tuple =
+  match node with
+  | Leaf lf ->
+    let i = lower_bound lf.keys k in
+    if i < Array.length lf.keys && Tuple.compare_key lf.keys.(i) k = 0 then begin
+      lf.vals.(i) <- tuple :: lf.vals.(i);
+      None
+    end
+    else begin
+      lf.keys <- array_insert lf.keys i k;
+      lf.vals <- array_insert lf.vals i [ tuple ];
+      if Array.length lf.keys < t.fanout then None
+      else begin
+        (* Split the leaf. *)
+        let mid = Array.length lf.keys / 2 in
+        let rkeys = Array.sub lf.keys mid (Array.length lf.keys - mid) in
+        let rvals = Array.sub lf.vals mid (Array.length lf.vals - mid) in
+        let right = { keys = rkeys; vals = rvals; next = lf.next } in
+        lf.keys <- Array.sub lf.keys 0 mid;
+        lf.vals <- Array.sub lf.vals 0 mid;
+        lf.next <- Some right;
+        Some (rkeys.(0), Leaf right)
+      end
+    end
+  | Interior it ->
+    let ci = child_index it.seps k in
+    (match insert_node t it.children.(ci) k tuple with
+     | None -> None
+     | Some (sep, right) ->
+       it.seps <- array_insert it.seps ci sep;
+       it.children <- array_insert it.children (ci + 1) right;
+       if Array.length it.children <= t.fanout then None
+       else begin
+         (* Split the interior node; the middle separator moves up. *)
+         let midc = Array.length it.children / 2 in
+         let up = it.seps.(midc - 1) in
+         let rseps =
+           Array.sub it.seps midc (Array.length it.seps - midc)
+         in
+         let rchildren =
+           Array.sub it.children midc (Array.length it.children - midc)
+         in
+         it.seps <- Array.sub it.seps 0 (midc - 1);
+         it.children <- Array.sub it.children 0 midc;
+         Some (up, Interior { seps = rseps; children = rchildren })
+       end)
+
+let insert t tuple =
+  let k = key_of t tuple in
+  (match insert_node t t.root k tuple with
+   | None -> ()
+   | Some (sep, right) ->
+     t.root <- Interior { seps = [| sep |]; children = [| t.root; right |] });
+  t.size <- t.size + 1
+
+let rec leaf_for node k =
+  match node with
+  | Leaf lf -> lf
+  | Interior it -> leaf_for it.children.(child_index it.seps k) k
+
+let find t k =
+  let lf = leaf_for t.root k in
+  let i = lower_bound lf.keys k in
+  if i < Array.length lf.keys && Tuple.compare_key lf.keys.(i) k = 0 then
+    lf.vals.(i)
+  else []
+
+let range t klo khi =
+  let lf = leaf_for t.root klo in
+  let acc = ref [] in
+  let rec walk lf i =
+    if i >= Array.length lf.keys then
+      match lf.next with None -> () | Some nxt -> walk nxt 0
+    else begin
+      let k = lf.keys.(i) in
+      if Tuple.compare_key k khi > 0 then ()
+      else begin
+        if Tuple.compare_key k klo >= 0 then
+          acc := List.rev_append lf.vals.(i) !acc;
+        walk lf (i + 1)
+      end
+    end
+  in
+  walk lf (lower_bound lf.keys klo);
+  List.rev !acc
+
+let rec leftmost = function
+  | Leaf lf -> lf
+  | Interior it -> leftmost it.children.(0)
+
+let iter f t =
+  let rec walk = function
+    | None -> ()
+    | Some lf ->
+      Array.iter (fun vs -> List.iter f (List.rev vs)) lf.vals;
+      walk lf.next
+  in
+  walk (Some (leftmost t.root))
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun tup -> acc := tup :: !acc) t;
+  List.rev !acc
+
+let check_invariants t =
+  let ok = ref true in
+  (* Uniform depth. *)
+  let rec depths = function
+    | Leaf _ -> [ 1 ]
+    | Interior it ->
+      Array.to_list it.children
+      |> List.concat_map (fun c -> List.map (( + ) 1) (depths c))
+  in
+  (match depths t.root with
+   | [] -> ()
+   | d :: rest -> if not (List.for_all (( = ) d) rest) then ok := false);
+  (* Keys globally sorted via leaf chain, and leaf keys locally sorted. *)
+  let prev = ref None in
+  let rec walk = function
+    | None -> ()
+    | Some lf ->
+      Array.iter
+        (fun k ->
+          (match !prev with
+           | Some p when Tuple.compare_key p k >= 0 -> ok := false
+           | Some _ | None -> ());
+          prev := Some k)
+        lf.keys;
+      walk lf.next
+  in
+  walk (Some (leftmost t.root));
+  (* Size agrees. *)
+  let n = ref 0 in
+  iter (fun _ -> incr n) t;
+  if !n <> t.size then ok := false;
+  !ok

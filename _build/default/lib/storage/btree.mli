@@ -1,0 +1,36 @@
+open Adp_relation
+
+(** B+ tree state structure over composite keys.
+
+    Tukwila's state-structure palette includes a B+ tree for keyed,
+    order-preserving access when insertions do not arrive sorted.  Leaves
+    are linked for range scans; duplicate keys are allowed (multimap). *)
+
+type t
+
+(** [create ?fanout schema ~key_cols] — [fanout >= 4] (default 32) is the
+    maximum number of children of an interior node. *)
+val create : ?fanout:int -> Schema.t -> key_cols:string list -> t
+
+val schema : t -> Schema.t
+val length : t -> int
+val depth : t -> int
+
+val insert : t -> Tuple.t -> unit
+
+val key_of : t -> Tuple.t -> Value.t array
+
+(** All tuples with exactly this key. *)
+val find : t -> Value.t array -> Tuple.t list
+
+(** Tuples with keys in the inclusive range, in key order. *)
+val range : t -> Value.t array -> Value.t array -> Tuple.t list
+
+(** In-order iteration. *)
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val to_list : t -> Tuple.t list
+
+(** Internal structural invariants (sortedness, balanced depth, node
+    occupancy); used by tests. *)
+val check_invariants : t -> bool

@@ -1,0 +1,47 @@
+open Adp_relation
+
+(** Multimap hash table from composite keys to tuples — the state structure
+    behind pipelined hash joins, hybrid hash joins, aggregation, and
+    stitch-up reuse.
+
+    The table knows which columns of its tuples form the key, so it can be
+    {!rehash}ed on a different key for stitch-up (§3.4.3 rehashes one
+    structure "if necessary for performance") and exposes its contents for
+    sharing across plans (§3.1 "exposing state").
+
+    Overflow: {!swap_out}/{!swap_in} model spilling to disk.  Contents stay
+    addressable (this is a simulation, not an actual spill); the flag is
+    consulted by the cost model, which charges I/O for probes against
+    swapped structures, and by the memory-pressure heuristic of §3.4.2. *)
+
+type t
+
+(** [create schema ~key_cols] with [key_cols] resolvable in [schema]. *)
+val create : Schema.t -> key_cols:string list -> t
+
+val schema : t -> Schema.t
+val key_columns : t -> string list
+val length : t -> int
+
+val insert : t -> Tuple.t -> unit
+
+(** Matches for the probe key (most recently inserted first). *)
+val probe : t -> Value.t array -> Tuple.t list
+
+(** Key of a tuple under this table's key columns. *)
+val key_of : t -> Tuple.t -> Value.t array
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val to_list : t -> Tuple.t list
+
+(** Number of distinct keys currently present. *)
+val distinct_keys : t -> int
+
+(** Rebuild on different key columns (contents preserved). *)
+val rehash : t -> key_cols:string list -> t
+
+val swap_out : t -> unit
+val swap_in : t -> unit
+val swapped : t -> bool
+
+val clear : t -> unit

@@ -1,0 +1,72 @@
+open Adp_relation
+
+type t = {
+  schema : Schema.t;
+  key_idx : int array;
+  mutable data : Tuple.t array;
+  mutable len : int;
+}
+
+let create schema ~key_cols =
+  let key_idx = Array.of_list (List.map (Schema.index schema) key_cols) in
+  { schema; key_idx; data = [||]; len = 0 }
+
+let schema t = t.schema
+let length t = t.len
+
+let key_of t tuple = Tuple.key tuple t.key_idx
+
+let last_key t =
+  if t.len = 0 then None else Some (key_of t t.data.(t.len - 1))
+
+let accepts t tuple =
+  match last_key t with
+  | None -> true
+  | Some k -> Tuple.compare_key k (key_of t tuple) <= 0
+
+let append t tuple =
+  if not (accepts t tuple) then
+    invalid_arg "Sorted_run.append: out-of-order insertion";
+  if t.len >= Array.length t.data then begin
+    let cap = max 16 (2 * Array.length t.data) in
+    let data = Array.make cap [||] in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- tuple;
+  t.len <- t.len + 1
+
+(* Index of the first element with key >= k, in [0, len]. *)
+let lower_bound t k =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Tuple.compare_key (key_of t t.data.(mid)) k >= 0 then go lo mid
+      else go (mid + 1) hi
+  in
+  go 0 t.len
+
+let range t klo khi =
+  let start = lower_bound t klo in
+  let rec collect i acc =
+    if i >= t.len then List.rev acc
+    else
+      let k = key_of t t.data.(i) in
+      if Tuple.compare_key k khi > 0 then List.rev acc
+      else collect (i + 1) (t.data.(i) :: acc)
+  in
+  collect start []
+
+let find t k = range t k k
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Sorted_run.get: out of bounds";
+  t.data.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.data.(i))

@@ -1,0 +1,33 @@
+open Adp_relation
+
+(** Sorted-list state structure: an append-only run whose insertions must
+    arrive in key order (the merge join's buffer).  Lookup is binary
+    search; the "hash over sorted data" structure of the paper corresponds
+    to pairing this with {!Hash_table} keyed on the same columns. *)
+
+type t
+
+val create : Schema.t -> key_cols:string list -> t
+
+val schema : t -> Schema.t
+val length : t -> int
+
+(** Append a tuple; its key must be >= the last key.
+    @raise Invalid_argument on out-of-order insertion. *)
+val append : t -> Tuple.t -> unit
+
+(** Whether the tuple may be appended without violating order. *)
+val accepts : t -> Tuple.t -> bool
+
+val key_of : t -> Tuple.t -> Value.t array
+
+(** All tuples whose key equals the probe key. *)
+val find : t -> Value.t array -> Tuple.t list
+
+(** Tuples with keys in the inclusive range. *)
+val range : t -> Value.t array -> Value.t array -> Tuple.t list
+
+val last_key : t -> Value.t array option
+val get : t -> int -> Tuple.t
+val iter : (Tuple.t -> unit) -> t -> unit
+val to_list : t -> Tuple.t list

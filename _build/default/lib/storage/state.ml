@@ -1,0 +1,101 @@
+open Adp_relation
+
+type kind = List_buffer | Sorted_list | Hash | Hash_over_sorted | Btree_index
+
+type properties = {
+  keyed_access : bool;
+  requires_sorted : bool;
+  ordered_scan : bool;
+}
+
+let properties_of = function
+  | List_buffer ->
+    { keyed_access = false; requires_sorted = false; ordered_scan = false }
+  | Sorted_list ->
+    { keyed_access = true; requires_sorted = true; ordered_scan = true }
+  | Hash ->
+    { keyed_access = true; requires_sorted = false; ordered_scan = false }
+  | Hash_over_sorted ->
+    { keyed_access = true; requires_sorted = true; ordered_scan = true }
+  | Btree_index ->
+    { keyed_access = true; requires_sorted = false; ordered_scan = true }
+
+type impl =
+  | L of Tuple.t list ref * int ref
+  | S of Sorted_run.t
+  | H of Hash_table.t
+  | HS of Hash_table.t * Sorted_run.t
+  | B of Btree.t
+
+type t = {
+  kind : kind;
+  schema : Schema.t;
+  key_idx : int array;
+  impl : impl;
+}
+
+let create kind schema ~key_cols =
+  let key_idx = Array.of_list (List.map (Schema.index schema) key_cols) in
+  let impl =
+    match kind with
+    | List_buffer -> L (ref [], ref 0)
+    | Sorted_list -> S (Sorted_run.create schema ~key_cols)
+    | Hash -> H (Hash_table.create schema ~key_cols)
+    | Hash_over_sorted ->
+      HS (Hash_table.create schema ~key_cols, Sorted_run.create schema ~key_cols)
+    | Btree_index -> B (Btree.create schema ~key_cols)
+  in
+  { kind; schema; key_idx; impl }
+
+let kind t = t.kind
+let properties t = properties_of t.kind
+let schema t = t.schema
+let key_of t tuple = Tuple.key tuple t.key_idx
+
+let length t =
+  match t.impl with
+  | L (_, n) -> !n
+  | S r -> Sorted_run.length r
+  | H h -> Hash_table.length h
+  | HS (h, _) -> Hash_table.length h
+  | B b -> Btree.length b
+
+let insert t tuple =
+  match t.impl with
+  | L (cell, n) ->
+    cell := tuple :: !cell;
+    incr n
+  | S r -> Sorted_run.append r tuple
+  | H h -> Hash_table.insert h tuple
+  | HS (h, r) ->
+    Sorted_run.append r tuple;
+    Hash_table.insert h tuple
+  | B b -> Btree.insert b tuple
+
+let accepts t tuple =
+  match t.impl with
+  | L _ | H _ | B _ -> true
+  | S r -> Sorted_run.accepts r tuple
+  | HS (_, r) -> Sorted_run.accepts r tuple
+
+let find t k =
+  match t.impl with
+  | L (cell, _) ->
+    List.filter (fun tup -> Tuple.equal_key (key_of t tup) k) !cell
+  | S r -> Sorted_run.find r k
+  | H h -> Hash_table.probe h k
+  | HS (h, _) -> Hash_table.probe h k
+  | B b -> Btree.find b k
+
+let iter f t =
+  match t.impl with
+  | L (cell, _) -> List.iter f (List.rev !cell)
+  | S r -> Sorted_run.iter f r
+  | H h -> Hash_table.iter f h
+  | HS (_, r) -> Sorted_run.iter f r
+  | B b -> Btree.iter f b
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun tup -> acc := tup :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,45 @@
+open Adp_relation
+
+(** Unified view of Tukwila's state-structure palette (§3.1): list, sorted
+    list, hash, hash over sorted data (binary-searchable hash buckets,
+    represented as a hash table paired with a sorted run), and B+ tree.
+
+    Every structure stores tuples of one schema; each advertises its
+    properties so iterator modules and the router can pick compatible
+    structures: whether it supports key-based access and whether it
+    requires sorted insertion. *)
+
+type kind = List_buffer | Sorted_list | Hash | Hash_over_sorted | Btree_index
+
+type properties = {
+  keyed_access : bool;  (** supports {!find} by key *)
+  requires_sorted : bool;  (** {!insert} demands non-decreasing keys *)
+  ordered_scan : bool;  (** {!iter} yields key order *)
+}
+
+val properties_of : kind -> properties
+
+type t
+
+(** [create kind schema ~key_cols].  [List_buffer] ignores [key_cols] for
+    access but remembers them for {!key_of}. *)
+val create : kind -> Schema.t -> key_cols:string list -> t
+
+val kind : t -> kind
+val properties : t -> properties
+val schema : t -> Schema.t
+val length : t -> int
+val key_of : t -> Tuple.t -> Value.t array
+
+(** @raise Invalid_argument on out-of-order insertion into a structure
+    whose properties require sorted input. *)
+val insert : t -> Tuple.t -> unit
+
+(** True when inserting this tuple cannot fail. *)
+val accepts : t -> Tuple.t -> bool
+
+(** Tuples matching the key.  For [List_buffer] this is a scan.  *)
+val find : t -> Value.t array -> Tuple.t list
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val to_list : t -> Tuple.t list

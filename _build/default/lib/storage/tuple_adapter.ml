@@ -1,0 +1,23 @@
+open Adp_relation
+
+type t = { perm : int array; identity : bool }
+
+let create ~from ~into =
+  if not (Schema.same_columns from into) then
+    invalid_arg
+      (Format.asprintf "Tuple_adapter.create: %a vs %a" Schema.pp from
+         Schema.pp into);
+  let perm = Schema.permutation ~from ~into in
+  let identity =
+    let id = ref true in
+    Array.iteri (fun i j -> if i <> j then id := false) perm;
+    !id
+  in
+  { perm; identity }
+
+let is_identity t = t.identity
+
+let adapt t tuple = if t.identity then tuple else Tuple.project tuple t.perm
+
+let adapt_all t tuples =
+  if t.identity then tuples else List.map (adapt t) tuples

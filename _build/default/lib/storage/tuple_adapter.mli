@@ -1,0 +1,23 @@
+open Adp_relation
+
+(** Tuple adapters (§3.2 "state structure compatibility").
+
+    The physical layout of an equivalent subexpression differs between
+    plans: [(A ⋈ (B ⋈ C))] concatenates attributes in a different order
+    than [(B ⋈ (C ⋈ A))].  An adapter is the precomputed permutation that
+    reads tuples stored under one schema into another schema with the same
+    column set, so stitch-up can reuse a registered state structure built
+    by a differently-shaped plan. *)
+
+type t
+
+(** [create ~from ~into] — both schemas must have the same column set.
+    @raise Invalid_argument otherwise. *)
+val create : from:Schema.t -> into:Schema.t -> t
+
+(** True when the adapter is the identity (no copying needed). *)
+val is_identity : t -> bool
+
+val adapt : t -> Tuple.t -> Tuple.t
+
+val adapt_all : t -> Tuple.t list -> Tuple.t list

@@ -1,0 +1,1 @@
+test/helpers.ml: Adp_relation Alcotest Array Float List QCheck2 QCheck_alcotest Relation Schema Tuple Value

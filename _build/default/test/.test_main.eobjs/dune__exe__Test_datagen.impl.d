@@ -1,0 +1,1 @@
+test/test_datagen.ml: Adp_datagen Adp_relation Alcotest Array Flights Float Fun Hashtbl Helpers List Option Perturb Prng Relation Schema Tpch Value Zipf

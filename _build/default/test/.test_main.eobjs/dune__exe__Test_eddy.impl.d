@@ -1,0 +1,1 @@
+test/test_eddy.ml: Adp_exec Adp_relation Alcotest Clock Ctx Eddy Helpers List Predicate QCheck2 Schema

@@ -1,0 +1,1 @@
+test/test_exec.ml: Adp_exec Adp_relation Agg Aggregate Alcotest Array Clock Ctx Driver Expr Heap Helpers List QCheck2 Relation Schema Source Value

@@ -1,0 +1,1 @@
+test/test_expr.ml: Adp_relation Alcotest Expr Float Helpers QCheck2 Value

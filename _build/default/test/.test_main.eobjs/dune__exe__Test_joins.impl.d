@@ -1,0 +1,1 @@
+test/test_joins.ml: Adp_datagen Adp_exec Alcotest Array Clock Comp_join Ctx Fun Helpers List Printf QCheck2 Sym_join

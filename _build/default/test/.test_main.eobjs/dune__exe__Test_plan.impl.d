@@ -1,0 +1,1 @@
+test/test_plan.ml: Adp_exec Adp_relation Alcotest Array Clock Cost_model Ctx Helpers List Plan Predicate QCheck2 Value

@@ -1,0 +1,1 @@
+test/test_preagg.ml: Adp_datagen Adp_exec Adp_relation Agg Aggregate Alcotest Ctx Expr Helpers List Plan QCheck2 Relation Schema

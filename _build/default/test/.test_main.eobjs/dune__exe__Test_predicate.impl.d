@@ -1,0 +1,1 @@
+test/test_predicate.ml: Adp_relation Alcotest Helpers Predicate QCheck2 Value

@@ -1,0 +1,1 @@
+test/test_relation.ml: Adp_relation Alcotest Array Helpers List Relation Seq Value

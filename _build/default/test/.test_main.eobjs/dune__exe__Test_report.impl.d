@@ -1,0 +1,1 @@
+test/test_report.ml: Adp_core Alcotest Format Report String

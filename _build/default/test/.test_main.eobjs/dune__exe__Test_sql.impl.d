@@ -1,0 +1,1 @@
+test/test_sql.ml: Adp_datagen Adp_exec Adp_optimizer Adp_query Adp_relation Aggregate Alcotest Expr List Logical Predicate Relation Schema Sql_lexer Sql_parser Value Workload

@@ -1,0 +1,1 @@
+test/test_stats.ml: Adp_datagen Adp_relation Adp_stats Alcotest Array Distinct Float Fun Hashtbl Helpers Histogram Join_estimator List Option Order_detector Printf Prng Selectivity Value

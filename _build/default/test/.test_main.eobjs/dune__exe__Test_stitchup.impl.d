@@ -1,0 +1,1 @@
+test/test_stitchup.ml: Adp_core Adp_datagen Adp_exec Adp_optimizer Adp_relation Adp_storage Alcotest Array Ctx Helpers List Logical Phase Plan Predicate QCheck2 Registry Relation Schema Sink Stitchup

@@ -1,0 +1,1 @@
+test/test_storage.ml: Adp_relation Adp_storage Alcotest Array Btree Fun Hash_table Helpers List Printf QCheck2 Registry Schema Sorted_run State Tuple_adapter Value

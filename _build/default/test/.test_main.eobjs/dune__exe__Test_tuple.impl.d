@@ -1,0 +1,1 @@
+test/test_tuple.ml: Adp_relation Alcotest Array Helpers List QCheck2 Tuple Value

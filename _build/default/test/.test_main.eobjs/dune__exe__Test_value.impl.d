@@ -1,0 +1,1 @@
+test/test_value.ml: Adp_relation Alcotest Helpers QCheck2 Value

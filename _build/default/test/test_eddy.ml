@@ -1,0 +1,108 @@
+open Adp_relation
+open Adp_exec
+open Helpers
+
+let sources =
+  [ "r", Schema.make [ "r.k"; "r.p" ]; "s", Schema.make [ "s.k"; "s.p" ];
+    "u", Schema.make [ "u.k"; "u.p" ] ]
+
+let two_way_preds = [ "r.k", "s.k" ]
+let chain_preds = [ "r.k", "s.k"; "s.p", "u.k" ]
+
+let mk ?(preds = two_way_preds) ?(srcs = [ "r"; "s" ]) ?(filters = []) () =
+  let ctx = Ctx.create () in
+  let eddy =
+    Eddy.create ctx
+      ~sources:(List.filter (fun (n, _) -> List.mem n srcs) sources)
+      ~filters ~preds
+  in
+  ctx, eddy
+
+let feed eddy src tuples =
+  List.concat_map (fun t -> Eddy.insert eddy ~source:src t) tuples
+
+let test_two_way () =
+  let _, eddy = mk () in
+  let r = [ [| vi 1; vi 10 |]; [| vi 2; vi 20 |]; [| vi 2; vi 21 |] ] in
+  let s = [ [| vi 2; vi 100 |]; [| vi 3; vi 300 |]; [| vi 2; vi 200 |] ] in
+  let outs = feed eddy "r" r @ feed eddy "s" s in
+  check_bag "eddy two-way = oracle" outs (oracle_join r s ~on:[ 0, 0 ])
+
+let test_interleaved_no_duplicates () =
+  let _, eddy = mk () in
+  let r = List.init 20 (fun i -> [| vi (i mod 4); vi i |]) in
+  let s = List.init 20 (fun i -> [| vi (i mod 4); vi (100 + i) |]) in
+  let outs = ref [] in
+  List.iter2
+    (fun rt st ->
+      outs := !outs @ Eddy.insert eddy ~source:"r" rt;
+      outs := !outs @ Eddy.insert eddy ~source:"s" st)
+    r s;
+  check_bag "interleaved arrival exact" !outs (oracle_join r s ~on:[ 0, 0 ])
+
+let test_three_way_chain () =
+  let _, eddy = mk ~preds:chain_preds ~srcs:[ "r"; "s"; "u" ] () in
+  let r = [ [| vi 1; vi 0 |]; [| vi 2; vi 0 |] ] in
+  let s = [ [| vi 1; vi 7 |]; [| vi 2; vi 8 |]; [| vi 1; vi 8 |] ] in
+  let u = [ [| vi 7; vi 70 |]; [| vi 8; vi 80 |]; [| vi 8; vi 81 |] ] in
+  (* Scramble arrival order across sources. *)
+  let outs =
+    feed eddy "u" u @ feed eddy "r" r @ feed eddy "s" s
+  in
+  let want = oracle_join (oracle_join r s ~on:[ 0, 0 ]) u ~on:[ 3, 0 ] in
+  (* Eddy emits in canonical (r, s, u) column order, same as the oracle. *)
+  check_bag "eddy three-way chain" outs want
+
+let test_filters_applied () =
+  let _, eddy =
+    mk ~filters:[ "r", Predicate.gt "r.p" (vi 10) ] ()
+  in
+  let r = [ [| vi 1; vi 5 |]; [| vi 1; vi 15 |] ] in
+  let s = [ [| vi 1; vi 100 |] ] in
+  let outs = feed eddy "r" r @ feed eddy "s" s in
+  Alcotest.(check int) "filtered out" 1 (List.length outs)
+
+let test_routing_stats () =
+  let _, eddy = mk ~preds:chain_preds ~srcs:[ "r"; "s"; "u" ] () in
+  let r = List.init 30 (fun i -> [| vi i; vi i |]) in
+  let s = List.init 30 (fun i -> [| vi i; vi i |]) in
+  let u = List.init 30 (fun i -> [| vi i; vi i |]) in
+  ignore (feed eddy "r" r);
+  ignore (feed eddy "s" s);
+  ignore (feed eddy "u" u);
+  Alcotest.(check bool) "made routing decisions" true (Eddy.decisions eddy > 0);
+  let total_probes =
+    List.fold_left (fun acc (_, p, _) -> acc + p) 0 (Eddy.routing_stats eddy)
+  in
+  Alcotest.(check bool) "probes recorded" true (total_probes > 0)
+
+let test_costs_charged () =
+  let ctx, eddy = mk () in
+  ignore (feed eddy "r" [ [| vi 1; vi 1 |] ]);
+  Alcotest.(check bool) "cpu charged" true (Clock.cpu ctx.Ctx.clock > 0.0)
+
+let eddy_vs_oracle =
+  QCheck2.Test.make ~name:"eddy = oracle under random interleaving (qcheck)"
+    ~count:60
+    QCheck2.Gen.(
+      triple
+        (gen_keyed_tuples ~key_range:6 ~max_len:25)
+        (gen_keyed_tuples ~key_range:6 ~max_len:25)
+        (gen_keyed_tuples ~key_range:6 ~max_len:25))
+    (fun (r, s, u) ->
+      let _, eddy = mk ~preds:chain_preds ~srcs:[ "r"; "s"; "u" ] () in
+      let outs =
+        feed eddy "s" s @ feed eddy "u" u @ feed eddy "r" r
+      in
+      let want = oracle_join (oracle_join r s ~on:[ 0, 0 ]) u ~on:[ 3, 0 ] in
+      same_bag outs want)
+
+let suite =
+  [ Alcotest.test_case "two-way join" `Quick test_two_way;
+    Alcotest.test_case "interleaved, no duplicates" `Quick
+      test_interleaved_no_duplicates;
+    Alcotest.test_case "three-way chain" `Quick test_three_way_chain;
+    Alcotest.test_case "filters applied" `Quick test_filters_applied;
+    Alcotest.test_case "routing stats" `Quick test_routing_stats;
+    Alcotest.test_case "costs charged" `Quick test_costs_charged;
+    qtest eddy_vs_oracle ]

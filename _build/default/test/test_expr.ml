@@ -1,0 +1,43 @@
+open Adp_relation
+open Helpers
+
+let s = schema [ "t.a"; "t.b" ]
+let ev e t = Expr.compile e s t
+
+let test_arith () =
+  let e = Expr.(Mul (col "t.a", Sub (int 1, col "t.b"))) in
+  Alcotest.(check bool) "int arith" true
+    (Value.equal (ev e [| vi 4; vi 0 |]) (vi 4));
+  let e2 = Expr.(Add (col "t.a", float 0.5)) in
+  Alcotest.(check bool) "mixed" true
+    (Value.equal (ev e2 [| vi 1; vi 0 |]) (vf 1.5));
+  let e3 = Expr.(Div (int 7, int 2)) in
+  Alcotest.(check bool) "int div is float" true
+    (Value.equal (ev e3 [| vi 0; vi 0 |]) (vf 3.5))
+
+let test_null_absorbing () =
+  let e = Expr.(Add (col "t.a", col "t.b")) in
+  Alcotest.(check bool) "null + x" true
+    (Value.is_null (ev e [| Value.Null; vi 3 |]))
+
+let test_meta () =
+  let e = Expr.(Mul (col "t.a", Sub (int 1, col "t.b"))) in
+  Alcotest.(check (list string)) "columns" [ "t.a"; "t.b" ] (Expr.columns e);
+  Alcotest.(check int) "size" 5 (Expr.size e);
+  Alcotest.(check string) "pp" "(t.a * (1 - t.b))" (Expr.to_string e)
+
+let tpch_revenue =
+  QCheck2.Test.make ~name:"revenue expression matches direct formula"
+    ~count:200
+    QCheck2.Gen.(pair (float_bound_exclusive 10000.0) (float_bound_exclusive 1.0))
+    (fun (price, disc) ->
+      let e = Expr.(Mul (col "t.a", Sub (int 1, col "t.b"))) in
+      match ev e [| vf price; vf disc |] with
+      | Value.Float got -> Float.abs (got -. (price *. (1.0 -. disc))) < 1e-9
+      | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "null absorption" `Quick test_null_absorbing;
+    Alcotest.test_case "metadata" `Quick test_meta;
+    qtest tpch_revenue ]

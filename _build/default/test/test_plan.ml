@@ -1,0 +1,237 @@
+open Adp_relation
+open Adp_exec
+open Helpers
+
+let schema_of_tbl tables name = List.assoc name tables
+
+let push_all plan src tuples =
+  List.concat_map (fun t -> Plan.push plan ~source:src t) tuples
+
+let two_rels () =
+  let r = [ [| vi 1; vi 10 |]; [| vi 2; vi 20 |]; [| vi 2; vi 21 |] ] in
+  let s = [ [| vi 2; vi 100 |]; [| vi 3; vi 300 |]; [| vi 2; vi 200 |] ] in
+  r, s
+
+let tables =
+  [ "r", keyed_schema "r"; "s", keyed_schema "s"; "u", keyed_schema "u" ]
+
+let test_single_join () =
+  let r, s = two_rels () in
+  let ctx = Ctx.create () in
+  let spec = Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ] in
+  let plan = Plan.instantiate ctx spec ~schema_of:(schema_of_tbl tables) in
+  let outs =
+    push_all plan "r" r @ push_all plan "s" s @ Plan.flush plan
+  in
+  let want = oracle_join r s ~on:[ 0, 0 ] in
+  check_bag "join = oracle" outs want;
+  Alcotest.(check int) "4 matches" 4 (List.length outs)
+
+let test_interleaved_arrival () =
+  (* Symmetric join: outputs identical regardless of arrival interleaving. *)
+  let r, s = two_rels () in
+  let ctx = Ctx.create () in
+  let spec = Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ] in
+  let plan = Plan.instantiate ctx spec ~schema_of:(schema_of_tbl tables) in
+  let outs = ref [] in
+  List.iteri
+    (fun i (rt, st) ->
+      ignore i;
+      outs := !outs @ Plan.push plan ~source:"r" rt;
+      outs := !outs @ Plan.push plan ~source:"s" st)
+    (List.combine r s);
+  check_bag "interleaved = oracle" !outs (oracle_join r s ~on:[ 0, 0 ])
+
+let test_filter_pushdown () =
+  let r, s = two_rels () in
+  let ctx = Ctx.create () in
+  let spec =
+    Plan.join
+      (Plan.scan ~filter:(Predicate.eq "r.k" (vi 2)) "r")
+      (Plan.scan "s") ~on:[ "r.k", "s.k" ]
+  in
+  let plan = Plan.instantiate ctx spec ~schema_of:(schema_of_tbl tables) in
+  let outs = push_all plan "r" r @ push_all plan "s" s in
+  let want =
+    oracle_join (List.filter (fun t -> Value.equal t.(0) (vi 2)) r) s
+      ~on:[ 0, 0 ]
+  in
+  check_bag "filtered join" outs want;
+  (* The dropped tuple is visible in leaf_seen but not in the partition. *)
+  Alcotest.(check bool) "seen all" true
+    (List.assoc "r" (Plan.leaf_seen plan) = 3);
+  let _, _, part, _ =
+    List.find (fun (n, _, _, _) -> n = "r") (Plan.leaf_partitions plan)
+  in
+  Alcotest.(check int) "buffered only passing" 2 (List.length part)
+
+let three_way_spec () =
+  Plan.join
+    (Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ])
+    (Plan.scan "u")
+    ~on:[ "s.p", "u.k" ]
+
+let test_three_way () =
+  let r = [ [| vi 1; vi 5 |]; [| vi 2; vi 5 |] ] in
+  let s = [ [| vi 1; vi 7 |]; [| vi 2; vi 8 |] ] in
+  let u = [ [| vi 7; vi 70 |]; [| vi 8; vi 80 |]; [| vi 7; vi 71 |] ] in
+  let ctx = Ctx.create () in
+  let plan =
+    Plan.instantiate ctx (three_way_spec ()) ~schema_of:(schema_of_tbl tables)
+  in
+  let outs =
+    push_all plan "u" u @ push_all plan "r" r @ push_all plan "s" s
+  in
+  let rs = oracle_join r s ~on:[ 0, 0 ] in
+  let want = oracle_join rs u ~on:[ 3, 0 ] in
+  check_bag "three way" outs want
+
+let test_signatures_shape_invariant () =
+  let a =
+    Plan.join
+      (Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ])
+      (Plan.scan "u") ~on:[ "s.p", "u.k" ]
+  in
+  let b =
+    Plan.join (Plan.scan "r")
+      (Plan.join (Plan.scan "s") (Plan.scan "u") ~on:[ "s.p", "u.k" ])
+      ~on:[ "r.k", "s.k" ]
+  in
+  Alcotest.(check string) "same signature" (Plan.signature_of a)
+    (Plan.signature_of b);
+  let filtered =
+    Plan.join
+      (Plan.scan ~filter:(Predicate.eq "r.k" (vi 1)) "r")
+      (Plan.scan "s") ~on:[ "r.k", "s.k" ]
+  in
+  Alcotest.(check bool) "filter changes signature" true
+    (Plan.signature_of filtered
+    <> Plan.signature_of
+         (Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ]))
+
+let test_join_infos_and_node_results () =
+  let r = [ [| vi 1; vi 5 |]; [| vi 2; vi 5 |] ] in
+  let s = [ [| vi 1; vi 7 |] ] in
+  let u = [ [| vi 7; vi 70 |] ] in
+  let ctx = Ctx.create () in
+  let plan =
+    Plan.instantiate ctx (three_way_spec ()) ~schema_of:(schema_of_tbl tables)
+  in
+  ignore (push_all plan "r" r);
+  ignore (push_all plan "s" s);
+  ignore (push_all plan "u" u);
+  let infos = Plan.join_infos plan in
+  Alcotest.(check int) "two joins" 2 (List.length infos);
+  let inner = List.hd infos in
+  Alcotest.(check int) "inner out" 1 inner.Plan.out_count;
+  Alcotest.(check (list string)) "inner rels" [ "r"; "s" ] inner.Plan.relations;
+  let root = List.nth infos 1 in
+  Alcotest.(check int) "root complexity" 3 root.Plan.complexity;
+  let results = Plan.node_results plan in
+  Alcotest.(check int) "results per join" 2 (List.length results);
+  let _, _, root_tuples, _ = List.nth results 1 in
+  Alcotest.(check int) "root materialized" 1 (List.length root_tuples)
+
+let test_duplicate_source_rejected () =
+  let ctx = Ctx.create () in
+  let spec = Plan.join (Plan.scan "r") (Plan.scan "r") ~on:[ "r.k", "r.k" ] in
+  (try
+     ignore (Plan.instantiate ctx spec ~schema_of:(schema_of_tbl tables));
+     Alcotest.fail "should reject duplicate source"
+   with Invalid_argument _ -> ())
+
+let test_unknown_source_push () =
+  let ctx = Ctx.create () in
+  let plan =
+    Plan.instantiate ctx (Plan.scan "r") ~schema_of:(schema_of_tbl tables)
+  in
+  (try
+     ignore (Plan.push plan ~source:"nope" [| vi 1; vi 2 |]);
+     Alcotest.fail "should reject unknown source"
+   with Invalid_argument _ -> ())
+
+let test_costs_charged () =
+  let r, s = two_rels () in
+  let ctx = Ctx.create () in
+  let spec = Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ] in
+  let plan = Plan.instantiate ctx spec ~schema_of:(schema_of_tbl tables) in
+  ignore (push_all plan "r" r);
+  ignore (push_all plan "s" s);
+  Alcotest.(check bool) "cpu charged" true (Clock.cpu ctx.Ctx.clock > 0.0)
+
+let test_record_outputs_disabled () =
+  (* Single-phase executions skip intermediate materialization: results
+     and counters stay correct, node_results just comes back empty. *)
+  let r, s = two_rels () in
+  let ctx = Ctx.create () in
+  let spec = Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ] in
+  let plan =
+    Plan.instantiate ~record_outputs:false ctx spec
+      ~schema_of:(schema_of_tbl tables)
+  in
+  let outs = push_all plan "r" r @ push_all plan "s" s in
+  check_bag "outputs unaffected" outs (oracle_join r s ~on:[ 0, 0 ]);
+  (match Plan.join_infos plan with
+   | [ info ] -> Alcotest.(check int) "counters kept" 4 info.Plan.out_count
+   | _ -> Alcotest.fail "expected one join");
+  (match Plan.node_results plan with
+   | [ (_, _, tuples, _) ] ->
+     Alcotest.(check int) "nothing materialized" 0 (List.length tuples)
+   | _ -> Alcotest.fail "expected one node")
+
+let test_memory_pressure () =
+  let r = List.init 100 (fun i -> [| vi i; vi i |]) in
+  let s = List.init 100 (fun i -> [| vi i; vi i |]) in
+  let ctx = Ctx.create () in
+  let spec = Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ] in
+  let plan = Plan.instantiate ctx spec ~schema_of:(schema_of_tbl tables) in
+  ignore (push_all plan "r" r);
+  ignore (push_all plan "s" s);
+  Alcotest.(check int) "memory in use" 200 (Plan.memory_in_use plan);
+  let cpu_before = Clock.cpu ctx.Ctx.clock in
+  let swapped = Plan.apply_memory_pressure plan ~budget:100 in
+  Alcotest.(check bool) "something swapped" true (swapped >= 1);
+  Alcotest.(check bool) "resident within budget" true
+    (Plan.memory_in_use plan <= 100);
+  (* Probing a swapped structure pays the I/O penalty but stays correct. *)
+  let outs = Plan.push plan ~source:"r" [| vi 5; vi 99 |] in
+  Alcotest.(check int) "swapped probe still correct" 1 (List.length outs);
+  Alcotest.(check bool) "I/O penalty charged" true
+    (Clock.cpu ctx.Ctx.clock -. cpu_before
+     >= ctx.Ctx.costs.Cost_model.swap_penalty);
+  (* A generous budget brings everything back. *)
+  let swapped = Plan.apply_memory_pressure plan ~budget:10_000 in
+  Alcotest.(check int) "all resident again" 0 swapped
+
+let join_vs_oracle =
+  QCheck2.Test.make ~name:"symmetric join tree = oracle (qcheck)" ~count:80
+    QCheck2.Gen.(
+      pair
+        (gen_keyed_tuples ~key_range:8 ~max_len:40)
+        (gen_keyed_tuples ~key_range:8 ~max_len:40))
+    (fun (r, s) ->
+      let ctx = Ctx.create () in
+      let spec =
+        Plan.join (Plan.scan "r") (Plan.scan "s") ~on:[ "r.k", "s.k" ]
+      in
+      let plan = Plan.instantiate ctx spec ~schema_of:(schema_of_tbl tables) in
+      let outs = push_all plan "r" r @ push_all plan "s" s in
+      same_bag outs (oracle_join r s ~on:[ 0, 0 ]))
+
+let suite =
+  [ Alcotest.test_case "single join" `Quick test_single_join;
+    Alcotest.test_case "interleaved arrival" `Quick test_interleaved_arrival;
+    Alcotest.test_case "filter pushdown" `Quick test_filter_pushdown;
+    Alcotest.test_case "three-way join" `Quick test_three_way;
+    Alcotest.test_case "shape-invariant signatures" `Quick
+      test_signatures_shape_invariant;
+    Alcotest.test_case "join infos / node results" `Quick
+      test_join_infos_and_node_results;
+    Alcotest.test_case "duplicate source rejected" `Quick
+      test_duplicate_source_rejected;
+    Alcotest.test_case "unknown source rejected" `Quick test_unknown_source_push;
+    Alcotest.test_case "costs charged" `Quick test_costs_charged;
+    Alcotest.test_case "memory pressure" `Quick test_memory_pressure;
+    Alcotest.test_case "record_outputs disabled" `Quick
+      test_record_outputs_disabled;
+    qtest join_vs_oracle ]

@@ -1,0 +1,73 @@
+open Adp_relation
+open Helpers
+
+let s = schema [ "t.a"; "t.b"; "t.s" ]
+let tup a b str = [| vi a; vi b; vs str |]
+
+let ev p t = Predicate.compile p s t
+
+let test_cmp () =
+  Alcotest.(check bool) "eq hit" true (ev (Predicate.eq "t.a" (vi 1)) (tup 1 0 "x"));
+  Alcotest.(check bool) "eq miss" false (ev (Predicate.eq "t.a" (vi 1)) (tup 2 0 "x"));
+  Alcotest.(check bool) "lt" true (ev (Predicate.lt "t.a" (vi 5)) (tup 4 0 "x"));
+  Alcotest.(check bool) "ge" true (ev (Predicate.ge "t.a" (vi 4)) (tup 4 0 "x"));
+  Alcotest.(check bool) "bare col" true (ev (Predicate.eq "s" (vs "x")) (tup 0 0 "x"))
+
+let test_null_semantics () =
+  let null_tup = [| Value.Null; vi 1; vs "x" |] in
+  Alcotest.(check bool) "null eq false" false
+    (ev (Predicate.eq "t.a" (vi 1)) null_tup);
+  Alcotest.(check bool) "null ne false" false
+    (ev (Predicate.Cmp (Predicate.Ne, "t.a", vi 1)) null_tup);
+  Alcotest.(check bool) "not (null eq) true" true
+    (ev (Predicate.Not (Predicate.eq "t.a" (vi 1))) null_tup)
+
+let test_combinators () =
+  let p = Predicate.(eq "t.a" (vi 1) &&& gt "t.b" (vi 5)) in
+  Alcotest.(check bool) "and hit" true (ev p (tup 1 6 "x"));
+  Alcotest.(check bool) "and miss" false (ev p (tup 1 5 "x"));
+  let q = Predicate.(eq "t.a" (vi 1) ||| eq "t.a" (vi 2)) in
+  Alcotest.(check bool) "or" true (ev q (tup 2 0 "x"));
+  Alcotest.(check bool) "tt absorbed" true
+    Predicate.(tt &&& eq "t.a" (vi 1) = eq "t.a" (vi 1))
+
+let test_between_in () =
+  Alcotest.(check bool) "between lo" true
+    (ev (Predicate.between "t.a" (vi 1) (vi 3)) (tup 1 0 "x"));
+  Alcotest.(check bool) "between hi" true
+    (ev (Predicate.between "t.a" (vi 1) (vi 3)) (tup 3 0 "x"));
+  Alcotest.(check bool) "between out" false
+    (ev (Predicate.between "t.a" (vi 1) (vi 3)) (tup 4 0 "x"));
+  Alcotest.(check bool) "in" true
+    (ev (Predicate.In ("t.s", [ vs "x"; vs "y" ])) (tup 0 0 "y"))
+
+let test_col_cmp () =
+  Alcotest.(check bool) "col eq" true
+    (ev (Predicate.Col_cmp (Predicate.Eq, "t.a", "t.b")) (tup 3 3 "x"));
+  Alcotest.(check bool) "col lt" true
+    (ev (Predicate.Col_cmp (Predicate.Lt, "t.a", "t.b")) (tup 2 3 "x"))
+
+let test_meta () =
+  let p = Predicate.(between "t.a" (vi 0) (vi 9) &&& eq "t.s" (vs "q")) in
+  Alcotest.(check int) "size" 3 (Predicate.size p);
+  Alcotest.(check (list string)) "columns" [ "t.a"; "t.s" ] (Predicate.columns p);
+  Alcotest.check_raises "missing col" Not_found (fun () ->
+      let f = Predicate.compile (Predicate.eq "t.zz" (vi 0)) s in
+      ignore (f (tup 0 0 "x")))
+
+let negation_involution =
+  QCheck2.Test.make ~name:"not (not p) = p pointwise" ~count:300
+    QCheck2.Gen.(pair (int_bound 10) (int_bound 10))
+    (fun (a, b) ->
+      let p = Predicate.(eq "t.a" (vi 3) ||| gt "t.b" (vi 5)) in
+      let t = tup a b "x" in
+      ev (Predicate.Not (Predicate.Not p)) t = ev p t)
+
+let suite =
+  [ Alcotest.test_case "comparisons" `Quick test_cmp;
+    Alcotest.test_case "null semantics" `Quick test_null_semantics;
+    Alcotest.test_case "combinators" `Quick test_combinators;
+    Alcotest.test_case "between/in" `Quick test_between_in;
+    Alcotest.test_case "column comparisons" `Quick test_col_cmp;
+    Alcotest.test_case "size/columns/errors" `Quick test_meta;
+    qtest negation_involution ]

@@ -1,0 +1,54 @@
+open Adp_relation
+open Helpers
+
+let r () =
+  rel [ "t.k"; "t.v" ]
+    [ [ vi 3; vs "c" ]; [ vi 1; vs "a" ]; [ vi 2; vs "b" ]; [ vi 1; vs "z" ] ]
+
+let test_basics () =
+  let r = r () in
+  Alcotest.(check int) "card" 4 (Relation.cardinality r);
+  Alcotest.(check bool) "get" true (Value.equal (Relation.get r 1).(1) (vs "a"));
+  Alcotest.check_raises "oob" (Invalid_argument "Relation.get: out of bounds")
+    (fun () -> ignore (Relation.get r 4))
+
+let test_append_growth () =
+  let r = Relation.create (schema [ "t.x" ]) in
+  for i = 1 to 1000 do
+    Relation.append r [| vi i |]
+  done;
+  Alcotest.(check int) "grew" 1000 (Relation.cardinality r);
+  Alcotest.(check bool) "last" true (Value.equal (Relation.get r 999).(0) (vi 1000))
+
+let test_sort_by () =
+  let s = Relation.sort_by (r ()) [ "t.k" ] in
+  let keys = List.map (fun t -> t.(0)) (Relation.to_list s) in
+  Alcotest.(check bool) "sorted" true
+    (keys = [ vi 1; vi 1; vi 2; vi 3 ]);
+  (* Stability: the two k=1 rows keep their original relative order. *)
+  Alcotest.(check bool) "stable" true
+    (Value.equal (Relation.get s 0).(1) (vs "a"))
+
+let test_equal_bag () =
+  let a = rel [ "t.x" ] [ [ vi 1 ]; [ vi 2 ] ] in
+  let b = rel [ "t.x" ] [ [ vi 2 ]; [ vi 1 ] ] in
+  let c = rel [ "t.x" ] [ [ vi 1 ]; [ vi 1 ] ] in
+  Alcotest.(check bool) "perm equal" true (Relation.equal_bag a b);
+  Alcotest.(check bool) "different" false (Relation.equal_bag a c)
+
+let test_seq_fold () =
+  let r = r () in
+  Alcotest.(check int) "seq length" 4 (Seq.length (Relation.to_seq r));
+  let sum =
+    Relation.fold
+      (fun acc t -> match t.(0) with Value.Int i -> acc + i | _ -> acc)
+      0 r
+  in
+  Alcotest.(check int) "fold" 7 sum
+
+let suite =
+  [ Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "append growth" `Quick test_append_growth;
+    Alcotest.test_case "sort_by stable" `Quick test_sort_by;
+    Alcotest.test_case "equal_bag" `Quick test_equal_bag;
+    Alcotest.test_case "seq and fold" `Quick test_seq_fold ]

@@ -1,0 +1,33 @@
+open Adp_core
+
+let test_human_int () =
+  Alcotest.(check string) "small" "999" (Report.human_int 999);
+  Alcotest.(check string) "thousands" "1.5K" (Report.human_int 1500);
+  Alcotest.(check string) "ten-thousands" "25K" (Report.human_int 25400);
+  Alcotest.(check string) "millions" "2.5M" (Report.human_int 2_500_000)
+
+let test_seconds () =
+  Alcotest.(check string) "zero is dash" "-" (Report.seconds 0.0);
+  Alcotest.(check string) "sub-centisecond" "0.0050s" (Report.seconds 0.005);
+  Alcotest.(check string) "normal" "1.23s" (Report.seconds 1.234);
+  Alcotest.(check string) "large" "42.6s" (Report.seconds 42.61)
+
+let test_pp_run () =
+  let r =
+    { Report.label = "x"; time_s = 1.0; cpu_s = 0.8; idle_s = 0.2;
+      wall_s = 0.1; phases = 2; stitch_time_s = 0.3; reused = 1200;
+      discarded = 5; result_card = 42 }
+  in
+  let s = Format.asprintf "%a" Report.pp_run r in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions phases" true (contains "2 phase(s)");
+  Alcotest.(check bool) "mentions reuse" true (contains "1.2K")
+
+let suite =
+  [ Alcotest.test_case "human_int" `Quick test_human_int;
+    Alcotest.test_case "seconds" `Quick test_seconds;
+    Alcotest.test_case "pp_run" `Quick test_pp_run ]

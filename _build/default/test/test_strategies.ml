@@ -1,0 +1,349 @@
+(* End-to-end strategy tests: every strategy must agree with the naive
+   reference evaluator on real workloads, and corrective query processing
+   must actually switch plans when fed misleading statistics. *)
+
+open Adp_relation
+open Adp_exec
+open Adp_optimizer
+open Adp_core
+open Adp_query
+open Adp_datagen
+open Helpers
+
+let dataset =
+  Tpch.generate { Tpch.scale = 0.002; distribution = Tpch.Uniform; seed = 11 }
+
+let skewed_dataset =
+  Tpch.generate { Tpch.scale = 0.002; distribution = Tpch.Skewed 0.5; seed = 11 }
+
+let strategies =
+  [ "static", Strategy.Static;
+    "corrective",
+    Strategy.Corrective
+      { Corrective.default_config with poll_interval = 2e4 };
+    "plan-partitioned", Strategy.Plan_partitioned { break_after = 3 };
+    "competitive",
+    Strategy.Competitive { candidates = 2; explore_budget = 2e4 };
+    "eddy", Strategy.Eddying ]
+
+let check_query ?(ds = dataset) ?(with_cardinalities = false) q_id =
+  let q = Workload.query q_id in
+  let catalog = Workload.catalog ~with_cardinalities ds q in
+  let sources () = Workload.sources ds q () in
+  let want = Strategy.reference q catalog ~sources in
+  List.iter
+    (fun (label, strat) ->
+      let o = Strategy.run ~label strat q catalog ~sources in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s matches reference" (Workload.name q_id) label)
+        true
+        (approx_same_relations o.Strategy.result want))
+    strategies
+
+let test_q3a () = check_query Workload.Q3A
+let test_q3_dates () = check_query Workload.Q3
+let test_q10 () = check_query Workload.Q10
+let test_q10a_skewed () = check_query ~ds:skewed_dataset Workload.Q10A
+let test_q5 () = check_query Workload.Q5
+let test_q5_with_cards () = check_query ~with_cardinalities:true Workload.Q5
+
+let test_flights_example () =
+  let d =
+    Flights.generate
+      { Flights.default_config with n_flights = 300; n_travelers = 200 }
+  in
+  let q = Workload.flights_query in
+  let catalog = Workload.flights_catalog d in
+  let sources () = Workload.flights_sources d () in
+  let want = Strategy.reference q catalog ~sources in
+  List.iter
+    (fun (label, strat) ->
+      let o = Strategy.run ~label strat q catalog ~sources in
+      Alcotest.(check bool)
+        (Printf.sprintf "flights/%s matches reference" label)
+        true
+        (approx_same_relations o.Strategy.result want))
+    strategies
+
+let test_preagg_strategies_agree () =
+  let q = Workload.query Workload.Q3A in
+  let catalog = Workload.catalog dataset q in
+  let sources () = Workload.sources dataset q () in
+  let want = Strategy.reference q catalog ~sources in
+  List.iter
+    (fun preagg ->
+      let o = Strategy.run ~preagg Strategy.Static q catalog ~sources in
+      Alcotest.(check bool) "preagg result matches" true
+        (approx_same_relations o.Strategy.result want))
+    [ Optimizer.Auto; Optimizer.Force Plan.Traditional;
+      Optimizer.Force Plan.Pseudogroup;
+      Optimizer.Force (Plan.Windowed { initial = 16; max_window = 4096 }) ]
+
+(* A scenario engineered to force corrective switching: the catalog lies —
+   it claims the multiplying relation is tiny and the selective one huge,
+   so the optimizer starts with the bad plan and must correct. *)
+let forced_switch_setup () =
+  let rng = Prng.create 99 in
+  let f =
+    List.init 3000 (fun _ ->
+        [| vi (1 + Prng.int rng 40); vi (1 + Prng.int rng 40); vi 1 |])
+  in
+  (* "bad" has 40 key values, each duplicated 50 times: f ⋈ bad multiplies
+     50x.  "good" is a real key table. *)
+  let bad =
+    List.concat_map
+      (fun k -> List.init 50 (fun i -> [| vi (k + 1); vi i |]))
+      (List.init 40 Fun.id)
+  in
+  let good = List.init 40 (fun i -> [| vi (i + 1); vi i |]) in
+  let f_schema = Schema.make [ "f.k1"; "f.k2"; "f.v" ] in
+  let bad_schema = Schema.make [ "bad.k"; "bad.w" ] in
+  let good_schema = Schema.make [ "good.k"; "good.w" ] in
+  let q =
+    { Logical.sources =
+        [ { Logical.name = "f"; filter = Predicate.tt };
+          { Logical.name = "bad"; filter = Predicate.tt };
+          { Logical.name = "good"; filter = Predicate.tt } ];
+      join_preds = [ "f.k1", "bad.k"; "f.k2", "good.k" ];
+      group_cols = []; aggs = []; projection = [] }
+  in
+  let catalog = Catalog.create () in
+  Catalog.add catalog "f"
+    { Catalog.schema = f_schema; cardinality = Some 3000.0; key = None };
+  (* The lie: "bad" is declared a tiny key table, "good" a huge one. *)
+  Catalog.add catalog "bad"
+    { Catalog.schema = bad_schema; cardinality = Some 10.0; key = Some "bad.k" };
+  Catalog.add catalog "good"
+    { Catalog.schema = good_schema; cardinality = Some 100000.0;
+      key = Some "good.k" };
+  let sources () =
+    [ Source.create ~name:"f" (Relation.of_list f_schema f) Source.Local;
+      Source.create ~name:"bad" (Relation.of_list bad_schema bad) Source.Local;
+      Source.create ~name:"good" (Relation.of_list good_schema good) Source.Local ]
+  in
+  q, catalog, sources
+
+let test_corrective_switches () =
+  let q, catalog, sources = forced_switch_setup () in
+  let want = Strategy.reference q catalog ~sources in
+  let cfg =
+    { Corrective.default_config with
+      poll_interval = 5e3; switch_threshold = 0.9; min_leaf_seen = 50 }
+  in
+  let o = Strategy.run ~label:"forced" (Strategy.Corrective cfg) q catalog ~sources in
+  Alcotest.(check bool) "result correct despite switching" true
+    (approx_same_relations o.Strategy.result want);
+  match o.Strategy.corrective_stats with
+  | None -> Alcotest.fail "expected corrective stats"
+  | Some stats ->
+    Alcotest.(check bool)
+      (Printf.sprintf "switched at least once (phases=%d)" stats.Corrective.phases)
+      true (stats.Corrective.phases >= 2);
+    Alcotest.(check bool) "stitch-up did work" true
+      (stats.Corrective.stitch.Stitchup.combos_possible > 0);
+    (* The phase log accounts for every source tuple exactly once. *)
+    let total_read =
+      List.fold_left
+        (fun acc (p : Corrective.phase_info) -> acc + p.Corrective.read)
+        0 stats.Corrective.phase_log
+    in
+    Alcotest.(check int) "all tuples read once" (3000 + 2000 + 40) total_read
+
+(* CQP composed with pre-aggregation: phases emit *partial* tuples, the
+   leaf partitions visible to stitch-up are pre-aggregated, and the shared
+   sink coalesces partials from every phase and from stitch-up.  The paper
+   defers the combined numbers to [16] but the mechanism must compose. *)
+let test_corrective_with_preagg_switches () =
+  let ds = Tpch.generate { Tpch.scale = 0.004; distribution = Tpch.Uniform; seed = 3 } in
+  let q = Workload.query Workload.Q3A in
+  let catalog = Workload.catalog ~with_cardinalities:true ds q in
+  let sources () = Workload.sources ds q () in
+  let want = Strategy.reference q catalog ~sources in
+  let sels = Adp_stats.Selectivity.create () in
+  let bad = (Optimizer.pessimal q catalog sels).Optimizer.spec in
+  (* Re-apply the windowed pre-aggregation to the forced bad plan the same
+     way the optimizer would, so every phase and the stitch-up agree. *)
+  let preagg = Optimizer.Auto in
+  let cfg =
+    { Corrective.default_config with
+      poll_interval = 5e3; switch_threshold = 0.95; min_leaf_seen = 100 }
+  in
+  let o =
+    Strategy.run ~preagg ~label:"cqp+preagg" ~initial_plan:bad
+      (Strategy.Corrective cfg) q catalog ~sources
+  in
+  Alcotest.(check bool) "cqp + preagg matches reference" true
+    (approx_same_relations o.Strategy.result want);
+  match o.Strategy.corrective_stats with
+  | Some s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "switched from the bad plan (phases=%d)" s.Corrective.phases)
+      true (s.Corrective.phases >= 2)
+  | None -> Alcotest.fail "expected corrective stats"
+
+let test_corrective_memory_budget () =
+  (* Interleaved streams keep probing the structures that memory pressure
+     paged out, so the swap penalty must show up in the virtual time while
+     the answer stays exact.  switch_threshold 0 pins the plan. *)
+  let q = Workload.query Workload.Q3A in
+  let catalog = Workload.catalog ~with_cardinalities:true dataset q in
+  let sources () = Workload.sources dataset q () in
+  let want = Strategy.reference q catalog ~sources in
+  let run budget =
+    let cfg =
+      { Corrective.default_config with
+        poll_interval = 2e3; switch_threshold = 0.0; memory_budget = budget }
+    in
+    Strategy.run ~label:"mem" (Strategy.Corrective cfg) q catalog ~sources
+  in
+  let unconstrained = run None in
+  let constrained = run (Some 200) in
+  Alcotest.(check bool) "constrained result still exact" true
+    (approx_same_relations constrained.Strategy.result want);
+  Alcotest.(check bool) "paging costs time" true
+    (constrained.Strategy.report.Report.time_s
+     > unconstrained.Strategy.report.Report.time_s)
+
+let test_plan_partition_stages () =
+  let q = Workload.query Workload.Q5 in
+  let catalog = Workload.catalog dataset q in
+  let sources = Workload.sources dataset q in
+  let result, stats =
+    Plan_partition.run ~break_after:3 q catalog (sources ())
+  in
+  Alcotest.(check int) "two stages on 6 relations" 2 stats.Plan_partition.stages;
+  Alcotest.(check bool) "materialized something" true
+    (stats.Plan_partition.materialized_card > 0);
+  let want = Strategy.reference q catalog ~sources in
+  Alcotest.(check bool) "plan partitioning correct" true
+    (approx_same_relations result want)
+
+let test_competition_details () =
+  let q = Workload.query Workload.Q3A in
+  let catalog = Workload.catalog dataset q in
+  let sources = Workload.sources dataset q in
+  let _, stats =
+    Competition.run ~candidates:3 ~explore_budget:3e4 q catalog ~sources
+  in
+  Alcotest.(check bool) "winner in range" true
+    (stats.Competition.winner >= 0
+    && stats.Competition.winner < stats.Competition.candidates);
+  Alcotest.(check bool) "explore time recorded" true
+    (stats.Competition.explore_time > 0.0)
+
+(* Paper's Figure 2, "Adaptive - Cardinalities" vs "Static - Cardinalities":
+   when estimates are right, corrective processing must cost only its
+   re-optimization overhead — it must not churn through needless switches
+   (a regression we hit when observed selectivities were extrapolated
+   multiplicatively over aligned sorted prefixes). *)
+let test_adaptivity_harmless_with_good_estimates () =
+  List.iter
+    (fun qid ->
+      let q = Workload.query qid in
+      let catalog = Workload.catalog ~with_cardinalities:true dataset q in
+      let sources () = Workload.sources dataset q () in
+      let static = Strategy.run ~label:"s" Strategy.Static q catalog ~sources in
+      let adaptive =
+        Strategy.run ~label:"a"
+          (Strategy.Corrective
+             { Corrective.default_config with poll_interval = 5e3 })
+          q catalog ~sources
+      in
+      let s = static.Strategy.report.Report.time_s in
+      let a = adaptive.Strategy.report.Report.time_s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: adaptive (%.3fs) within 30%% of static (%.3fs)"
+           (Workload.name qid) a s)
+        true
+        (a <= 1.3 *. s))
+    Workload.evaluated
+
+let test_histogram_assisted_corrective () =
+  (* The §4.5 extension must stay correct and keep switching. *)
+  let q = Workload.query Workload.Q3A in
+  let catalog = Workload.catalog ~with_cardinalities:false dataset q in
+  let sources () = Workload.sources dataset q () in
+  let want = Strategy.reference q catalog ~sources in
+  let sels = Adp_stats.Selectivity.create () in
+  let true_catalog = Workload.catalog ~with_cardinalities:true dataset q in
+  let bad = (Optimizer.pessimal q true_catalog sels).Optimizer.spec in
+  let cfg =
+    { Corrective.default_config with
+      poll_interval = 5e3; use_histograms = true; min_leaf_seen = 100 }
+  in
+  let o =
+    Strategy.run ~label:"hist" ~initial_plan:bad (Strategy.Corrective cfg) q
+      catalog ~sources
+  in
+  Alcotest.(check bool) "histogram-assisted result exact" true
+    (approx_same_relations o.Strategy.result want)
+
+let test_plan_partition_with_initial_plan () =
+  (* Forcing the poor starting plan: for a 4-relation query the single
+     stage IS that plan; for Q5 the first stage cuts it after 3 joins. *)
+  let q = Workload.query Workload.Q5 in
+  let catalog = Workload.catalog dataset q in
+  let sources = Workload.sources dataset q in
+  let sels = Adp_stats.Selectivity.create () in
+  let true_catalog = Workload.catalog ~with_cardinalities:true dataset q in
+  let bad = (Optimizer.pessimal q true_catalog sels).Optimizer.spec in
+  let result, stats =
+    Plan_partition.run ~break_after:3 ~initial_plan:bad q catalog (sources ())
+  in
+  Alcotest.(check int) "two stages" 2 stats.Plan_partition.stages;
+  let want = Strategy.reference q catalog ~sources in
+  Alcotest.(check bool) "correct from poor start" true
+    (approx_same_relations result want)
+
+let test_sink_adapts_schemas () =
+  (* Feeding the sink under two column orders must agree. *)
+  let ctx = Ctx.create () in
+  let q =
+    { Logical.sources = [ { Logical.name = "r"; filter = Predicate.tt } ];
+      join_preds = []; group_cols = []; aggs = []; projection = [] }
+  in
+  let canonical = Schema.make [ "r.a"; "r.b" ] in
+  let sink = Sink.create ctx q ~canonical in
+  Sink.feed sink ~from:canonical [ [| vi 1; vi 2 |] ];
+  Sink.feed sink ~from:(Schema.make [ "r.b"; "r.a" ]) [ [| vi 20; vi 10 |] ];
+  check_bag "adapted"
+    (Relation.to_list (Sink.result sink))
+    [ [| vi 1; vi 2 |]; [| vi 10; vi 20 |] ]
+
+let test_rewrite () =
+  let f c = "m." ^ c in
+  let e = Rewrite.expr f Expr.(Add (col "a", int 1)) in
+  Alcotest.(check string) "expr renamed" "(m.a + 1)" (Expr.to_string e);
+  let p =
+    Rewrite.predicate f Predicate.(eq "a" (vi 1) &&& between "b" (vi 0) (vi 9))
+  in
+  Alcotest.(check (list string)) "pred renamed" [ "m.a"; "m.b" ]
+    (Predicate.columns p)
+
+let suite =
+  [ Alcotest.test_case "Q3A all strategies" `Slow test_q3a;
+    Alcotest.test_case "Q3 (with dates) all strategies" `Slow test_q3_dates;
+    Alcotest.test_case "Q10 all strategies" `Slow test_q10;
+    Alcotest.test_case "Q10A skewed all strategies" `Slow test_q10a_skewed;
+    Alcotest.test_case "Q5 all strategies" `Slow test_q5;
+    Alcotest.test_case "Q5 with cardinalities" `Slow test_q5_with_cards;
+    Alcotest.test_case "flights example" `Slow test_flights_example;
+    Alcotest.test_case "preagg strategies agree" `Slow
+      test_preagg_strategies_agree;
+    Alcotest.test_case "corrective actually switches" `Quick
+      test_corrective_switches;
+    Alcotest.test_case "corrective + preagg across phases" `Slow
+      test_corrective_with_preagg_switches;
+    Alcotest.test_case "corrective under memory pressure" `Quick
+      test_corrective_memory_budget;
+    Alcotest.test_case "adaptivity harmless with good estimates" `Slow
+      test_adaptivity_harmless_with_good_estimates;
+    Alcotest.test_case "histogram-assisted corrective" `Slow
+      test_histogram_assisted_corrective;
+    Alcotest.test_case "plan partitioning from poor start" `Slow
+      test_plan_partition_with_initial_plan;
+    Alcotest.test_case "plan partitioning stages" `Slow
+      test_plan_partition_stages;
+    Alcotest.test_case "competition details" `Quick test_competition_details;
+    Alcotest.test_case "sink adapts schemas" `Quick test_sink_adapts_schemas;
+    Alcotest.test_case "rewrite helpers" `Quick test_rewrite ]

@@ -1,0 +1,51 @@
+open Adp_relation
+open Helpers
+
+let t1 = [| vi 1; vs "x"; vf 2.5 |]
+let t2 = [| vi 2; vs "y" |]
+
+let test_concat_project () =
+  let c = Tuple.concat t1 t2 in
+  Alcotest.(check int) "arity" 5 (Tuple.arity c);
+  Alcotest.(check bool) "order" true (Value.equal (Tuple.get c 3) (vi 2));
+  let p = Tuple.project c [| 4; 0 |] in
+  Alcotest.(check bool) "proj" true (Value.equal p.(0) (vs "y"));
+  Alcotest.(check bool) "proj2" true (Value.equal p.(1) (vi 1))
+
+let test_key_compare () =
+  let k1 = Tuple.key t1 [| 0 |] and k2 = Tuple.key t2 [| 0 |] in
+  Alcotest.(check bool) "k1 < k2" true (Tuple.compare_key k1 k2 < 0);
+  Alcotest.(check bool) "reflexive" true (Tuple.compare_key k1 k1 = 0);
+  (* Prefix ordering: shorter key sorts first when it is a prefix. *)
+  Alcotest.(check bool) "prefix" true
+    (Tuple.compare_key [| vi 1 |] [| vi 1; vi 2 |] < 0)
+
+let test_hash_key () =
+  Alcotest.(check int) "same key same hash"
+    (Tuple.hash_key [| vi 3; vs "a" |])
+    (Tuple.hash_key [| vi 3; vs "a" |]);
+  Alcotest.(check int) "numeric widening"
+    (Tuple.hash_key [| vi 3 |])
+    (Tuple.hash_key [| vf 3.0 |])
+
+let compare_total_order =
+  QCheck2.Test.make ~name:"tuple compare is a total order" ~count:200
+    QCheck2.Gen.(
+      triple (list_size (int_bound 4) small_int)
+        (list_size (int_bound 4) small_int)
+        (list_size (int_bound 4) small_int))
+    (fun (a, b, c) ->
+      let t l = Array.of_list (List.map vi l) in
+      let a = t a and b = t b and c = t c in
+      let sgn x = compare x 0 in
+      (* antisymmetry *)
+      sgn (Tuple.compare a b) = -sgn (Tuple.compare b a)
+      (* transitivity spot-check *)
+      && (not (Tuple.compare a b <= 0 && Tuple.compare b c <= 0)
+          || Tuple.compare a c <= 0))
+
+let suite =
+  [ Alcotest.test_case "concat and project" `Quick test_concat_project;
+    Alcotest.test_case "keys and comparison" `Quick test_key_compare;
+    Alcotest.test_case "key hashing" `Quick test_hash_key;
+    qtest compare_total_order ]

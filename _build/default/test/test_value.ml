@@ -1,0 +1,86 @@
+open Adp_relation
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_compare_same_type () =
+  check_bool "int lt" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  check_int "int eq" 0 (Value.compare (Value.Int 5) (Value.Int 5));
+  check_bool "float" true (Value.compare (Value.Float 1.5) (Value.Float 2.5) < 0);
+  check_bool "str" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  check_bool "date" true (Value.compare (Value.Date 10) (Value.Date 20) < 0)
+
+let test_compare_mixed_numeric () =
+  check_int "int vs float eq" 0 (Value.compare (Value.Int 2) (Value.Float 2.0));
+  check_bool "int lt float" true (Value.compare (Value.Int 1) (Value.Float 1.5) < 0);
+  check_bool "float gt int" true (Value.compare (Value.Float 3.5) (Value.Int 3) > 0)
+
+let test_null_ordering () =
+  check_bool "null first vs int" true (Value.compare Value.Null (Value.Int 0) < 0);
+  check_bool "null first vs str" true (Value.compare Value.Null (Value.Str "") < 0);
+  check_int "null eq null" 0 (Value.compare Value.Null Value.Null)
+
+let test_eq_sql () =
+  check_bool "null <> null" false (Value.eq_sql Value.Null Value.Null);
+  check_bool "null <> 1" false (Value.eq_sql Value.Null (Value.Int 1));
+  check_bool "1 = 1" true (Value.eq_sql (Value.Int 1) (Value.Int 1));
+  check_bool "1 = 1.0" true (Value.eq_sql (Value.Int 1) (Value.Float 1.0))
+
+let test_hash_consistency () =
+  (* Equal values (across numeric representations) must hash equally. *)
+  check_int "int/float hash" (Value.hash (Value.Int 7))
+    (Value.hash (Value.Float 7.0))
+
+let test_arith () =
+  check_bool "add ints" true (Value.add (Value.Int 2) (Value.Int 3) = Value.Int 5);
+  check_bool "add mixed" true
+    (Value.add (Value.Int 2) (Value.Float 0.5) = Value.Float 2.5);
+  check_bool "add null" true (Value.add Value.Null (Value.Int 1) = Value.Null);
+  check_bool "min ignores null" true
+    (Value.min_v Value.Null (Value.Int 4) = Value.Int 4);
+  check_bool "max ignores null" true
+    (Value.max_v (Value.Int 4) Value.Null = Value.Int 4);
+  check_bool "min" true (Value.min_v (Value.Int 1) (Value.Int 2) = Value.Int 1);
+  check_bool "max" true (Value.max_v (Value.Int 1) (Value.Int 2) = Value.Int 2)
+
+let test_dates () =
+  check_str "epoch" "1992-01-01" (Value.to_string (Value.date_of_string "1992-01-01"));
+  check_str "roundtrip" "1995-03-15"
+    (Value.to_string (Value.date_of_string "1995-03-15"));
+  check_str "leap day" "1996-02-29"
+    (Value.to_string (Value.date_of_string "1996-02-29"));
+  check_str "end of range" "1998-08-02"
+    (Value.to_string (Value.date_of_string "1998-08-02"));
+  check_bool "date order" true
+    (Value.compare
+       (Value.date_of_string "1994-12-31")
+       (Value.date_of_string "1995-01-01")
+    < 0);
+  (* 1992 is a leap year: Jan 1 + 366 days = Jan 1 1993. *)
+  (match Value.date_of_string "1993-01-01" with
+   | Value.Date d -> check_int "leap 1992" 366 d
+   | _ -> Alcotest.fail "expected date")
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "int" 3.0 (Value.to_float (Value.Int 3));
+  Alcotest.check_raises "null" (Invalid_argument "Value.to_float: Null")
+    (fun () -> ignore (Value.to_float Value.Null))
+
+let date_roundtrip =
+  QCheck2.Test.make ~name:"date day-number roundtrip" ~count:500
+    QCheck2.Gen.(int_bound 2405)
+    (fun d ->
+      let s = Value.to_string (Value.Date d) in
+      Value.date_of_string s = Value.Date d)
+
+let suite =
+  [ Alcotest.test_case "compare same type" `Quick test_compare_same_type;
+    Alcotest.test_case "compare mixed numerics" `Quick test_compare_mixed_numeric;
+    Alcotest.test_case "null sorts first" `Quick test_null_ordering;
+    Alcotest.test_case "SQL equality" `Quick test_eq_sql;
+    Alcotest.test_case "hash consistency" `Quick test_hash_consistency;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "dates" `Quick test_dates;
+    Alcotest.test_case "to_float" `Quick test_to_float;
+    Helpers.qtest date_roundtrip ]
