@@ -13,6 +13,7 @@ let experiments =
     "figure6", ("pre-aggregation strategies", Bench_figure6.run);
     "sec45", ("join-size predictability", Bench_sec45.run);
     "ablation", ("design-choice ablations", Bench_ablation.run);
+    "faults", ("fault-tolerance sweep, disconnects x retry budgets", Bench_faults.run);
     "micro", ("bechamel micro-benchmarks", Bench_micro.run) ]
 
 let usage () =

@@ -182,12 +182,137 @@ let limit_arg =
   let doc = "Result rows to print." in
   Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc)
 
+(* ---------------- fault injection ---------------- *)
+
+let fault_arg =
+  let parse s =
+    let trigger kind spec =
+      match String.split_on_char '@' spec with
+      | [ k; n ] when k = kind ->
+        (try Some (int_of_string n) with Failure _ -> None)
+      | _ -> None
+    in
+    match String.split_on_char ':' s with
+    | [ name; "doa" ] -> Ok (name, Source.Dead_on_arrival)
+    | [ name; spec; d ] when trigger "stall" spec <> None ->
+      (try
+         Ok
+           (name,
+            Source.Stall
+              { after_tuples = Option.get (trigger "stall" spec);
+                duration_s = float_of_string d })
+       with Failure _ -> Error (`Msg "stall duration must be a number"))
+    | [ name; spec ] when trigger "disconnect" spec <> None ->
+      Ok
+        (name,
+         Source.Disconnect
+           { after_tuples = Option.get (trigger "disconnect" spec);
+             rejoin_after_s = None })
+    | [ name; spec; r ] when trigger "disconnect" spec <> None ->
+      (try
+         Ok
+           (name,
+            Source.Disconnect
+              { after_tuples = Option.get (trigger "disconnect" spec);
+                rejoin_after_s = Some (float_of_string r) })
+       with Failure _ -> Error (`Msg "rejoin delay must be a number"))
+    | _ ->
+      Error
+        (`Msg
+           "expected SRC:stall@N:DUR, SRC:disconnect@N[:REJOIN], or SRC:doa")
+  in
+  let print fmt (name, f) =
+    match f with
+    | Source.Stall { after_tuples; duration_s } ->
+      Format.fprintf fmt "%s:stall@%d:%g" name after_tuples duration_s
+    | Source.Disconnect { after_tuples; rejoin_after_s = None } ->
+      Format.fprintf fmt "%s:disconnect@%d" name after_tuples
+    | Source.Disconnect { after_tuples; rejoin_after_s = Some r } ->
+      Format.fprintf fmt "%s:disconnect@%d:%g" name after_tuples r
+    | Source.Dead_on_arrival -> Format.fprintf fmt "%s:doa" name
+  in
+  let doc =
+    "Inject a fault into source $(i,SRC): $(b,SRC:stall@N:DUR) goes silent \
+     for DUR virtual seconds after N tuples; $(b,SRC:disconnect@N) drops \
+     the connection after N tuples (append $(b,:REJOIN) seconds to make it \
+     recoverable); $(b,SRC:doa) never answers.  Repeatable."
+  in
+  Arg.(value & opt_all (conv (parse, print)) []
+       & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let mirror_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ name ] -> Ok (name, 0)
+    | [ name; lag ] ->
+      (try Ok (name, int_of_string lag)
+       with Failure _ -> Error (`Msg "mirror lag must be an integer"))
+    | _ -> Error (`Msg "expected SRC or SRC:LAG")
+  in
+  let print fmt (name, lag) = Format.fprintf fmt "%s:%d" name lag in
+  let doc =
+    "Give source $(i,SRC) a failover mirror that resumes $(i,LAG) tuples \
+     behind the failure point (default 0).  Repeatable; mirrors are tried \
+     in order."
+  in
+  Arg.(value & opt_all (conv (parse, print)) []
+       & info [ "mirror" ] ~docv:"SRC[:LAG]" ~doc)
+
+let retry_arg =
+  let doc = "Source silence timeout in virtual seconds." in
+  let timeout =
+    Arg.(value & opt float Retry.default_policy.Retry.timeout_s
+         & info [ "retry-timeout" ] ~docv:"S" ~doc)
+  in
+  let doc = "Reconnect attempts before declaring a source dead." in
+  let retries =
+    Arg.(value & opt int Retry.default_policy.Retry.max_retries
+         & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let doc = "Initial retry backoff in virtual seconds (doubles per attempt)." in
+  let backoff =
+    Arg.(value & opt float Retry.default_policy.Retry.backoff_initial_s
+         & info [ "backoff" ] ~docv:"S" ~doc)
+  in
+  let combine timeout_s max_retries backoff_initial_s =
+    { Retry.default_policy with timeout_s; max_retries; backoff_initial_s }
+  in
+  Term.(const combine $ timeout $ retries $ backoff)
+
 let query_cmd =
-  let run sql scale skew seed cards strategy preagg model limit =
+  let run sql scale skew seed cards strategy preagg model faults mirrors
+      retry limit =
     let ds = dataset scale skew seed in
     let q, order = parse_query_with_order sql in
     let catalog = Workload.catalog ~with_cardinalities:cards ds q in
-    let sources () = Workload.sources ~model ds q () in
+    let warned = ref false in
+    let sources () =
+      let srcs = Workload.sources ~model ds q () in
+      List.iter
+        (fun src ->
+          let name = Source.name src in
+          List.iter
+            (fun (n, f) -> if n = name then Source.inject src f)
+            faults;
+          List.iter
+            (fun (n, lag) ->
+              if n = name then
+                Source.add_mirror src (Source.mirror ~lag_tuples:lag ()))
+            mirrors)
+        srcs;
+      if not !warned then begin
+        warned := true;
+        let known = List.map Source.name srcs in
+        List.iter
+          (fun (flag, n) ->
+            if not (List.mem n known) then
+              Printf.eprintf "warning: %s %s: no such source in this query\n%!"
+                flag n)
+          (List.map (fun (n, _) -> "--fault", n) faults
+           @ List.map (fun (n, _) -> "--mirror", n) mirrors)
+      end;
+      srcs
+    in
     let strategy =
       match strategy with
       | `Static -> Strategy.Static
@@ -199,7 +324,9 @@ let query_cmd =
         Strategy.Competitive { candidates = 3; explore_budget = 5e4 }
       | `Eddy -> Strategy.Eddying
     in
-    let o = Strategy.run ~preagg ~label:"query" strategy q catalog ~sources in
+    let o =
+      Strategy.run ~preagg ~label:"query" ~retry strategy q catalog ~sources
+    in
     Format.printf "%a@.@." Report.pp_run o.Strategy.report;
     (match o.Strategy.corrective_stats with
      | Some stats when stats.Corrective.phases > 1 ->
@@ -222,7 +349,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc)
     Term.(const run $ sql_arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
-          $ strategy_arg $ preagg_arg $ model_arg $ limit_arg)
+          $ strategy_arg $ preagg_arg $ model_arg $ fault_arg $ mirror_arg
+          $ retry_arg $ limit_arg)
 
 let () =
   let doc =

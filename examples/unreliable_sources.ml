@@ -1,0 +1,73 @@
+(* Figure 3's wireless setting with a failing source: midway through the
+   query, the lineitem stream drops its connection for good.  With a
+   (lagging) mirror declared, the engine times out, retries with
+   exponential backoff, declares the connection dead, and fails over
+   mid-pipeline — the replica re-streams an already-consumed prefix, which
+   is skipped by position (every position below the consumption cursor
+   already belongs to some phase's region), so the answer is exactly the
+   fault-free one.  Without a mirror, the run completes anyway and reports
+   how much of the input it covered.
+
+     dune exec examples/unreliable_sources.exe *)
+
+open Adp_datagen
+open Adp_exec
+open Adp_core
+open Adp_query
+
+let wireless =
+  Source.Bursty { rate = 400_000.0; mean_burst = 1000; mean_gap = 0.004 }
+
+(* Tight policy so the demo fails over quickly: 30 ms of silence is a
+   timeout, three attempts 10 ms apart (doubling), then failover. *)
+let retry =
+  { Retry.default_policy with
+    Retry.timeout_s = 0.03; max_retries = 3; backoff_initial_s = 0.01 }
+
+let run label ~faults ~mirrors =
+  let ds =
+    Tpch.generate { Tpch.scale = 0.01; distribution = Tpch.Uniform; seed = 4 }
+  in
+  let q = Workload.query Workload.Q10A in
+  let catalog = Workload.catalog ~with_cardinalities:true ds q in
+  let sources () =
+    let srcs = Workload.sources ~model:wireless ds q () in
+    let lineitem =
+      List.find (fun s -> Source.name s = "lineitem") srcs
+    in
+    List.iter (Source.inject lineitem) faults;
+    List.iter (Source.add_mirror lineitem) mirrors;
+    srcs
+  in
+  let o =
+    Strategy.run ~label ~retry
+      (Strategy.Corrective
+         { Corrective.default_config with poll_interval = 2e4 })
+      q catalog ~sources
+  in
+  Format.printf "%a@." Report.pp_run o.Strategy.report;
+  o.Strategy.report
+
+let () =
+  print_endline
+    "Q10A over a bursty wireless link; lineitem dies after 3000 tuples:\n";
+  let clean = run "fault-free baseline" ~faults:[] ~mirrors:[] in
+  let mirrored =
+    run "disconnect + lagging mirror"
+      ~faults:[ Source.Disconnect { after_tuples = 3000; rejoin_after_s = None } ]
+      ~mirrors:[ Source.mirror ~lag_tuples:800 () ]
+  in
+  let lost =
+    run "disconnect, no mirror"
+      ~faults:[ Source.Disconnect { after_tuples = 3000; rejoin_after_s = None } ]
+      ~mirrors:[]
+  in
+  Printf.printf
+    "\nThe mirrored run recovers every row (%d = %d) despite the mirror\n\
+     re-streaming an 800-tuple overlap, at the price of %.3fs of retry and\n\
+     transfer delay.  Without a mirror the engine degrades gracefully:\n\
+     %.1f%% of the input still produced %d of %d result rows.\n"
+    mirrored.Report.result_card clean.Report.result_card
+    (mirrored.Report.time_s -. clean.Report.time_s)
+    (100.0 *. lost.Report.coverage)
+    lost.Report.result_card clean.Report.result_card

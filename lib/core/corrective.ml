@@ -14,6 +14,7 @@ type config = {
   memory_budget : int option;
   min_remaining_fraction : float;
   use_histograms : bool;
+  retry : Retry.policy;
 }
 
 let default_config =
@@ -21,7 +22,8 @@ let default_config =
     min_leaf_seen = 100; preagg = Optimizer.No_preagg;
     costs = Cost_model.default; reuse_intermediates = true;
     initial_plan = None; memory_budget = None;
-    min_remaining_fraction = 0.25; use_histograms = false }
+    min_remaining_fraction = 0.25; use_histograms = false;
+    retry = Retry.default_policy }
 
 type phase_info = {
   id : int;
@@ -40,6 +42,10 @@ type stats = {
   reused_tuples : int;
   discarded_tuples : int;
   phase_log : phase_info list;
+  coverage : float;
+  retries : int;
+  failovers : int;
+  sources_failed : int;
 }
 
 (* Order detection (plus a distinct sketch and the value range) on every
@@ -108,9 +114,12 @@ let update_observations cfg query catalog sels sources order_detectors plan =
       let name = Source.name src in
       Adp_stats.Selectivity.observe_cardinality sels ~relation:name
         ~seen:(Source.consumed src);
-      if Source.exhausted src then
+      (* An exhausted sequential source reveals its exact cardinality; a
+         permanently failed one will never deliver more, so for planning
+         purposes its final cardinality is whatever got through. *)
+      if Source.finished src then
         Adp_stats.Selectivity.observe_final_cardinality sels ~relation:name
-          ~total:(Source.cardinality src))
+          ~total:(Source.consumed src))
     sources;
   let seen = Plan.leaf_seen plan in
   let seen_of r = Option.value ~default:0 (List.assoc_opt r seen) in
@@ -416,8 +425,8 @@ let run ?(config = default_config) query catalog sources =
           (fun (r, e) src ->
             let name = Source.name src in
             let total =
-              if Source.exhausted src then
-                float_of_int (Source.cardinality src)
+              if Source.finished src then
+                float_of_int (Source.consumed src)
               else
                 max
                   (Catalog.cardinality catalog name)
@@ -478,7 +487,8 @@ let run ?(config = default_config) query catalog sources =
   in
   let rec drive () =
     match
-      Driver.run ctx ~sources ~consume ~poll:(cfg.poll_interval, poll) ()
+      Driver.run ctx ~sources ~consume ~poll:(cfg.poll_interval, poll)
+        ~retry:cfg.retry ()
     with
     | Driver.Switched ->
       finish_phase ();
@@ -571,6 +581,15 @@ let run ?(config = default_config) query catalog sources =
           emitted = ph.Phase.emitted; read })
       !completed
   in
+  let coverage =
+    let delivered, total =
+      List.fold_left
+        (fun (d, t) src ->
+          d + Source.consumed src, t + Source.cardinality src)
+        (0, 0) sources
+    in
+    if total = 0 then 1.0 else float_of_int delivered /. float_of_int total
+  in
   ( result,
     { phases = List.length phases; stitch;
       total_time = Ctx.now ctx; cpu = Clock.cpu ctx.Ctx.clock;
@@ -581,4 +600,6 @@ let run ?(config = default_config) query catalog sources =
       discarded_tuples =
         (if List.length phases <= 1 then 0
          else Registry.discarded_tuples registry);
-      phase_log } )
+      phase_log; coverage; retries = ctx.Ctx.retries;
+      failovers = ctx.Ctx.failovers;
+      sources_failed = ctx.Ctx.sources_failed } )

@@ -46,6 +46,11 @@ type config = {
           attribute and feed predicted two-way join selectivities to the
           re-optimizer — predictions cover joins the current plan is not
           executing, at the cost of per-tuple maintenance *)
+  retry : Retry.policy;
+      (** timeout/retry/backoff policy applied to every source; a
+          permanent source failure triggers an immediate re-optimizer
+          poll (a dead build-side input changes the best remaining
+          plan) *)
 }
 
 val default_config : config
@@ -69,6 +74,12 @@ type stats = {
   reused_tuples : int;  (** registry tuples reused by stitch-up *)
   discarded_tuples : int;  (** registry tuples never reused *)
   phase_log : phase_info list;
+  coverage : float;
+      (** fraction of source tuples delivered; < 1.0 only when a source
+          was permanently lost (all mirrors exhausted) *)
+  retries : int;  (** reconnect attempts issued *)
+  failovers : int;  (** mirror failovers performed *)
+  sources_failed : int;  (** sources permanently lost *)
 }
 
 (** Execute the query under corrective query processing.  Sources are

@@ -9,6 +9,9 @@ type run = {
   reused : int;
   discarded : int;
   result_card : int;
+  coverage : float;
+  retries : int;
+  failovers : int;
 }
 
 let human_int n =
@@ -24,12 +27,17 @@ let seconds s =
   else if s < 10.0 then Printf.sprintf "%.2fs" s
   else Printf.sprintf "%.1fs" s
 
+let percent f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
 let pp_run fmt r =
   Format.fprintf fmt
     "%s: %s (cpu %s, idle %s), %d phase(s), stitch %s, reused %s, discarded %s, %d rows"
     r.label (seconds r.time_s) (seconds r.cpu_s) (seconds r.idle_s) r.phases
     (seconds r.stitch_time_s) (human_int r.reused) (human_int r.discarded)
-    r.result_card
+    r.result_card;
+  if r.retries > 0 || r.failovers > 0 || r.coverage < 1.0 then
+    Format.fprintf fmt ", coverage %s (%d retries, %d failovers)"
+      (percent r.coverage) r.retries r.failovers
 
 let table ~title ~header rows =
   let all = header :: rows in

@@ -13,6 +13,11 @@ type run = {
   reused : int;
   discarded : int;
   result_card : int;
+  coverage : float;
+      (** fraction of source tuples delivered; < 1.0 when a source was
+          permanently lost and the run completed with partial results *)
+  retries : int;  (** source reconnect attempts issued *)
+  failovers : int;  (** mirror failovers performed *)
 }
 
 val pp_run : Format.formatter -> run -> unit
@@ -24,3 +29,6 @@ val table : title:string -> header:string list -> string list list -> unit
 val human_int : int -> string
 
 val seconds : float -> string
+
+(** [percent 0.973] is ["97.3%"]. *)
+val percent : float -> string

@@ -20,19 +20,23 @@ type outcome = {
 let us_to_s v = v /. 1e6
 
 let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
-    ?(label = "run") ?initial_plan strategy query catalog ~sources =
+    ?(label = "run") ?initial_plan ?retry strategy query catalog ~sources =
   let wall0 = Sys.time () in
   let outcome =
     match strategy with
     | Static | Corrective _ ->
       let config =
         match strategy with
-        | Corrective c -> { c with preagg; costs; initial_plan }
+        | Corrective c ->
+          { c with preagg; costs; initial_plan;
+            retry = Option.value ~default:c.retry retry }
         | Static | Plan_partitioned _ | Competitive _ | Eddying ->
           (* Static = corrective that never polls and never switches. *)
           { Corrective.default_config with
             poll_interval = infinity; max_phases = 1; preagg; costs;
-            initial_plan }
+            initial_plan;
+            retry =
+              Option.value ~default:Corrective.default_config.retry retry }
       in
       let result, stats = Corrective.run ~config query catalog (sources ()) in
       let report =
@@ -41,7 +45,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           wall_s = 0.0; phases = stats.phases;
           stitch_time_s = us_to_s stats.stitch.Stitchup.time;
           reused = stats.reused_tuples; discarded = stats.discarded_tuples;
-          result_card = stats.result_card }
+          result_card = stats.result_card; coverage = stats.coverage;
+          retries = stats.retries; failovers = stats.failovers }
       in
       { result; report; corrective_stats = Some stats }
     | Plan_partitioned { break_after } ->
@@ -53,7 +58,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
         { Report.label; time_s = us_to_s stats.total_time;
           cpu_s = us_to_s stats.cpu; idle_s = us_to_s stats.idle;
           wall_s = 0.0; phases = stats.stages; stitch_time_s = 0.0;
-          reused = 0; discarded = 0; result_card = stats.result_card }
+          reused = 0; discarded = 0; result_card = stats.result_card;
+          coverage = 1.0; retries = 0; failovers = 0 }
       in
       { result; report; corrective_stats = None }
     | Competitive { candidates; explore_budget } ->
@@ -65,7 +71,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
         { Report.label; time_s = us_to_s stats.total_time;
           cpu_s = us_to_s stats.cpu; idle_s = us_to_s stats.idle;
           wall_s = 0.0; phases = 1; stitch_time_s = 0.0; reused = 0;
-          discarded = 0; result_card = stats.result_card }
+          discarded = 0; result_card = stats.result_card; coverage = 1.0;
+          retries = 0; failovers = 0 }
       in
       { result; report; corrective_stats = None }
     | Eddying ->
@@ -88,16 +95,27 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
         let outs = Eddy.insert eddy ~source:(Source.name src) tuple in
         Sink.feed sink ~from:(Eddy.schema eddy) outs
       in
-      (match Driver.run ctx ~sources:(sources ()) ~consume () with
+      let srcs = sources () in
+      (match Driver.run ctx ~sources:srcs ~consume ?retry () with
        | Driver.Exhausted -> ()
        | Driver.Switched -> assert false);
       let result = Sink.result sink in
+      let coverage =
+        let delivered, total =
+          List.fold_left
+            (fun (d, t) src ->
+              d + Source.consumed src, t + Source.cardinality src)
+            (0, 0) srcs
+        in
+        if total = 0 then 1.0 else float_of_int delivered /. float_of_int total
+      in
       let report =
         { Report.label; time_s = us_to_s (Ctx.now ctx);
           cpu_s = us_to_s (Clock.cpu ctx.Ctx.clock);
           idle_s = us_to_s (Clock.idle ctx.Ctx.clock); wall_s = 0.0;
           phases = 1; stitch_time_s = 0.0; reused = 0; discarded = 0;
-          result_card = Relation.cardinality result }
+          result_card = Relation.cardinality result; coverage;
+          retries = ctx.Ctx.retries; failovers = ctx.Ctx.failovers }
       in
       { result; report; corrective_stats = None }
   in

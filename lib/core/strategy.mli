@@ -38,12 +38,14 @@ type outcome = {
 (** [initial_plan] overrides the first plan choice for {!Static},
     {!Corrective} and {!Plan_partitioned} runs (ignored by
     {!Competitive}); used by experiments reproducing a documented poor
-    starting plan. *)
+    starting plan.  [retry] overrides the source timeout/retry/failover
+    policy for {!Static}, {!Corrective} and {!Eddying} runs. *)
 val run :
   ?preagg:Optimizer.preagg_strategy ->
   ?costs:Cost_model.t ->
   ?label:string ->
   ?initial_plan:Plan.spec ->
+  ?retry:Retry.policy ->
   t ->
   Logical.query ->
   Catalog.t ->

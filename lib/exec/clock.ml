@@ -1,6 +1,11 @@
-type t = { mutable now : float; mutable cpu : float; mutable idle : float }
+type t = {
+  mutable now : float;
+  mutable cpu : float;
+  mutable idle : float;
+  mutable retry_idle : float;
+}
 
-let create () = { now = 0.0; cpu = 0.0; idle = 0.0 }
+let create () = { now = 0.0; cpu = 0.0; idle = 0.0; retry_idle = 0.0 }
 
 let now t = t.now
 
@@ -14,10 +19,18 @@ let wait_until t when_ =
     t.now <- when_
   end
 
+let wait_retry t when_ =
+  if when_ > t.now then begin
+    t.retry_idle <- t.retry_idle +. (when_ -. t.now);
+    wait_until t when_
+  end
+
 let cpu t = t.cpu
 let idle t = t.idle
+let retry_idle t = t.retry_idle
 
 let reset t =
   t.now <- 0.0;
   t.cpu <- 0.0;
-  t.idle <- 0.0
+  t.idle <- 0.0;
+  t.retry_idle <- 0.0

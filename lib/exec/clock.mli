@@ -22,10 +22,19 @@ val charge : t -> float -> unit
     future, recording the difference as idle time. *)
 val wait_until : t -> float -> unit
 
+(** Like {!wait_until}, but the wait is a timeout or retry-backoff wait
+    on an unresponsive source: it counts toward {!idle} and is
+    additionally recorded under {!retry_idle}. *)
+val wait_retry : t -> float -> unit
+
 (** Total CPU charged so far. *)
 val cpu : t -> float
 
 (** Total idle (waiting-for-source) time so far. *)
 val idle : t -> float
+
+(** The subset of {!idle} spent in timeout detection and retry backoff
+    on unresponsive sources. *)
+val retry_idle : t -> float
 
 val reset : t -> unit

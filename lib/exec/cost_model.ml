@@ -16,10 +16,12 @@ type t = {
   spill_write : float;
   spill_read : float;
   reopt : float;
+  reconnect : float;
 }
 
 let default =
   { hash_build = 1.0; hash_probe = 1.0; per_match = 0.5; merge_append = 0.6;
     merge_probe = 0.6; filter_atom = 0.15; preagg_update = 0.7; pseudo_update = 0.12;
     agg_update = 0.9; output = 0.3; route = 0.1; pq_op = 0.1;
-    histogram_add = 1.4; swap_penalty = 20.0; spill_write = 1.5; spill_read = 1.5; reopt = 500.0 }
+    histogram_add = 1.4; swap_penalty = 20.0; spill_write = 1.5; spill_read = 1.5; reopt = 500.0;
+    reconnect = 50.0 }

@@ -30,6 +30,7 @@ type t = {
   spill_write : float;  (** write one tuple to an overflow partition *)
   spill_read : float;  (** read one tuple back from an overflow partition *)
   reopt : float;  (** one optimizer invocation (background thread) *)
+  reconnect : float;  (** one reconnect attempt on an unresponsive source *)
 }
 
 val default : t

@@ -3,10 +3,14 @@ type t = {
   costs : Cost_model.t;
   mutable tuples_read : int;
   mutable tuples_output : int;
+  mutable retries : int;
+  mutable failovers : int;
+  mutable sources_failed : int;
 }
 
 let create ?(costs = Cost_model.default) () =
-  { clock = Clock.create (); costs; tuples_read = 0; tuples_output = 0 }
+  { clock = Clock.create (); costs; tuples_read = 0; tuples_output = 0;
+    retries = 0; failovers = 0; sources_failed = 0 }
 
 let charge t c = Clock.charge t.clock c
 let now t = Clock.now t.clock

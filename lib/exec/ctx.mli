@@ -6,6 +6,10 @@ type t = {
   costs : Cost_model.t;
   mutable tuples_read : int;  (** source tuples consumed *)
   mutable tuples_output : int;  (** result tuples emitted *)
+  mutable retries : int;  (** source reconnect attempts issued *)
+  mutable failovers : int;  (** mirror failovers performed *)
+  mutable sources_failed : int;
+      (** sources permanently lost (all mirrors exhausted) *)
 }
 
 val create : ?costs:Cost_model.t -> unit -> t

@@ -1,37 +1,66 @@
 type outcome = Exhausted | Switched
 
-let run ctx ~sources ~consume ?poll () =
+type event = Deliver of float | Attempt of float
+
+let time_of = function Deliver t | Attempt t -> t
+
+let run ctx ~sources ~consume ?poll ?(retry = Retry.default_policy) () =
   let srcs = Array.of_list sources in
   let n = Array.length srcs in
+  let ctrls = Array.init n (fun i -> Retry.create ~salt:i retry) in
   let cursor = ref 0 in
   let next_poll =
     ref (match poll with Some (iv, _) -> Ctx.now ctx +. iv | None -> infinity)
   in
+  (* The engine-observable next event on a source.  An arrival within the
+     retry deadline is a delivery; silence past the deadline (a stall, a
+     long gap, or a dropped link) is a timeout, which surfaces as a
+     reconnect attempt — at the deadline, or at the scheduled post-backoff
+     time while attempts are in flight. *)
+  let event i =
+    let s = srcs.(i) in
+    if Source.finished s then None
+    else begin
+      let now = Ctx.now ctx in
+      match Retry.pending_attempt ctrls.(i) with
+      | Some ta -> Some (Attempt (max ta now))
+      | None ->
+        let dl = Retry.deadline ctrls.(i) in
+        (match Source.peek_arrival s with
+         | Some a when a <= max dl now -> Some (Deliver a)
+         | Some _ | None -> Some (Attempt (max dl now)))
+    end
+  in
   let pick () =
-    (* Earliest arrival among unexhausted sources; ties broken round-robin
-       starting after the last pick. *)
+    (* Earliest event among live sources; ties broken round-robin starting
+       after the last pick.  Events at infinite time (a permanently silent
+       source under a no-timeout policy) can never fire: such sources are
+       left behind rather than hanging the loop. *)
     let best = ref None in
     for off = 0 to n - 1 do
       let i = (!cursor + off) mod n in
-      match Source.peek_arrival srcs.(i) with
+      match event i with
       | None -> ()
-      | Some a ->
-        (match !best with
-         | Some (_, ba) when ba <= a -> ()
-         | Some _ | None -> best := Some (i, a))
+      | Some ev ->
+        let t = time_of ev in
+        if Float.is_finite t then
+          (match !best with
+           | Some (_, bev) when time_of bev <= t -> ()
+           | Some _ | None -> best := Some (i, ev))
     done;
     !best
   in
   let rec loop () =
     match pick () with
     | None -> Exhausted
-    | Some (i, arrival) ->
+    | Some (i, Deliver arrival) ->
       cursor := (i + 1) mod n;
       Clock.wait_until ctx.Ctx.clock arrival;
       (match Source.next srcs.(i) with
        | None -> ()
        | Some (tuple, _) ->
          ctx.Ctx.tuples_read <- ctx.Ctx.tuples_read + 1;
+         Retry.note_progress ctrls.(i) ~now:(Ctx.now ctx);
          consume srcs.(i) tuple);
       (match poll with
        | Some (iv, cb) when Ctx.now ctx >= !next_poll ->
@@ -39,5 +68,38 @@ let run ctx ~sources ~consume ?poll () =
          next_poll := Ctx.now ctx +. iv;
          (match cb () with `Continue -> loop () | `Switch -> Switched)
        | Some _ | None -> loop ())
+    | Some (i, Attempt at) ->
+      cursor := (i + 1) mod n;
+      (* Timeout detection and backoff are idle waits on an unresponsive
+         source; the attempt itself costs CPU. *)
+      Clock.wait_retry ctx.Ctx.clock at;
+      Ctx.charge ctx ctx.Ctx.costs.reconnect;
+      let now = Ctx.now ctx in
+      if Retry.exhausted ctrls.(i) then begin
+        (* Retry budget spent: the connection is declared permanently
+           dead.  Fail over to the next mirror, or give the source up and
+           let the run complete with partial results. *)
+        (if Source.failover srcs.(i) ~at:now then begin
+           ctx.Ctx.failovers <- ctx.Ctx.failovers + 1;
+           Retry.note_progress ctrls.(i) ~now
+         end
+         else ctx.Ctx.sources_failed <- ctx.Ctx.sources_failed + 1);
+        (* A permanent source failure changes the best remaining plan:
+           trigger the re-optimizer immediately instead of waiting for
+           the next scheduled poll. *)
+        match poll with
+        | Some (iv, cb) ->
+          Ctx.charge ctx ctx.Ctx.costs.reopt;
+          next_poll := Ctx.now ctx +. iv;
+          (match cb () with `Continue -> loop () | `Switch -> Switched)
+        | None -> loop ()
+      end
+      else begin
+        ctx.Ctx.retries <- ctx.Ctx.retries + 1;
+        if Source.try_reconnect srcs.(i) ~at:now then
+          Retry.record_success ctrls.(i) ~now
+        else Retry.record_failure ctrls.(i) ~now;
+        loop ()
+      end
   in
   loop ()

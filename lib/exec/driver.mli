@@ -6,6 +6,17 @@
     blocks work available on another), advances the virtual clock, and
     hands the tuple to the consumer.
 
+    Sources may also fail.  A {!Retry.policy} governs how silence is
+    interpreted: when no tuple arrives within the timeout, the driver
+    issues reconnect attempts separated by exponential backoff (both
+    waits recorded as retry idle time on the {!Clock}); when the attempt
+    budget is exhausted the connection is declared permanently dead and
+    the driver fails over to the source's next mirror mid-pipeline — or,
+    with no mirror left, marks the source [Failed] and completes the run
+    with partial results.  Failovers and permanent losses immediately
+    invoke the poll hook, so a re-optimizer can react to the changed
+    source landscape without waiting for the next scheduled poll.
+
     An optional poll hook fires whenever the given virtual-time interval
     has elapsed — this is the corrective query processor's background
     re-optimizer (§4.1), whose invocation cost is charged to the clock.
@@ -14,10 +25,13 @@
 
 type outcome = Exhausted | Switched
 
+(** [retry] defaults to {!Retry.default_policy}, which is generous enough
+    that fault-free workloads never trigger it. *)
 val run :
   Ctx.t ->
   sources:Source.t list ->
   consume:(Source.t -> Adp_relation.Tuple.t -> unit) ->
   ?poll:float * (unit -> [ `Continue | `Switch ]) ->
+  ?retry:Retry.policy ->
   unit ->
   outcome

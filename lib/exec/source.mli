@@ -14,6 +14,13 @@ open Adp_relation
       arrive at [rate]; between bursts the stream goes silent for an
       exponentially distributed gap (Figure 3's wireless network).
 
+    Sources are also unreliable.  A composable, seeded fault specification
+    makes a source stall, drop its connection mid-stream, or never answer
+    at all, and a list of mirrors (same relation, possibly lagging
+    replicas) gives the engine somewhere to fail over when the primary is
+    declared permanently dead.  All fault behaviour is deterministic in
+    virtual time, so every faulty run is exactly reproducible.
+
     Observers may be attached (e.g. §4.5's incremental histograms); they
     see every tuple as it is consumed and their cost is the caller's to
     charge. *)
@@ -26,11 +33,50 @@ type model =
           separated by exponential gaps of mean [mean_gap] virtual
           seconds *)
 
+(** Injected failures.  [after_tuples] counts tuples delivered over the
+    current connection: from the start of the stream on the primary, from
+    the failover point on a mirror. *)
+type fault =
+  | Stall of { after_tuples : int; duration_s : float }
+      (** transient silence: the link stays up but the next tuple is
+          delayed by [duration_s] virtual seconds *)
+  | Disconnect of { after_tuples : int; rejoin_after_s : float option }
+      (** mid-stream drop.  With [Some s], a reconnect attempt issued
+          [s] virtual seconds after the drop succeeds and the stream
+          resumes from the same position; with [None] the connection is
+          gone for good and only a mirror can continue the stream. *)
+  | Dead_on_arrival  (** the source never answers the first connection *)
+
+(** A mirror: the same relation behind an alternate (possibly slower)
+    link.  A lagging replica resumes [lag_tuples] before the primary's
+    last delivered position and streams that overlap again — the
+    re-delivered prefix costs transfer time but is never handed to the
+    consumer twice, because positions below the consumption cursor
+    already belong to some phase's region. *)
+type mirror
+
+val mirror :
+  ?model:model -> ?lag_tuples:int -> ?faults:fault list -> unit -> mirror
+
+(** Engine-observable connection state.  [Down] is recoverable (by a
+    reconnect or a failover); [Failed] means every mirror is exhausted
+    and the remainder of this source is permanently lost. *)
+type status = Up | Down | Failed
+
 type t
 
-(** [create ?seed ?name relation model] — [name] defaults to a fresh
-    label; [seed] controls burst randomness. *)
-val create : ?seed:int -> ?name:string -> Relation.t -> model -> t
+(** [create ?seed ?name ?faults ?mirrors relation model] — [name]
+    defaults to a fresh label; [seed] controls burst randomness; [faults]
+    are injected on the primary connection, and [mirrors] are tried in
+    order when it permanently fails. *)
+val create :
+  ?seed:int ->
+  ?name:string ->
+  ?faults:fault list ->
+  ?mirrors:mirror list ->
+  Relation.t ->
+  model ->
+  t
 
 val name : t -> string
 val schema : t -> Schema.t
@@ -43,15 +89,49 @@ val consumed : t -> int
 
 val exhausted : t -> bool
 
-(** Arrival time of the next tuple, if any. *)
+(** Connection state of the current (primary or mirror) link. *)
+val status : t -> status
+
+(** [exhausted t || status t = Failed]: no further tuples will ever be
+    delivered. *)
+val finished : t -> bool
+
+(** Mirror failovers performed so far. *)
+val failovers : t -> int
+
+(** Overlap tuples re-streamed by lagging mirrors (paid for on the wire,
+    skipped before the consumer). *)
+val redelivered : t -> int
+
+(** Arrival time of the next tuple; [None] when exhausted or the link is
+    not up. *)
 val peek_arrival : t -> float option
 
 (** Consume the next tuple; returns it with its arrival time and feeds
-    observers. *)
+    observers.  [None] when exhausted or the link is not up. *)
 val next : t -> (Tuple.t * float) option
+
+(** Append a fault to the current connection's pending set (fires
+    immediately if its trigger point has already passed). *)
+val inject : t -> fault -> unit
+
+(** Append a failover target. *)
+val add_mirror : t -> mirror -> unit
+
+(** [try_reconnect t ~at] — a reconnect attempt issued at virtual time
+    [at].  Succeeds on an up link (the source was merely silent) or on a
+    recoverable disconnect whose rejoin time has passed; the stream then
+    resumes from the same position with arrivals rebased to [at]. *)
+val try_reconnect : t -> at:float -> bool
+
+(** [failover t ~at] — abandon the current connection for the next
+    mirror.  Returns [false] (and marks the source [Failed]) when no
+    mirror remains. *)
+val failover : t -> at:float -> bool
 
 (** Attach an observer called on every consumed tuple. *)
 val observe : t -> (Tuple.t -> unit) -> unit
 
-(** Reset consumption to the beginning (observers retained). *)
+(** Reset consumption, fault and mirror state to the beginning
+    (observers retained). *)
 val rewind : t -> unit

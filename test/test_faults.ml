@@ -1,0 +1,257 @@
+(* Fault-injection and fault-tolerance layer: deterministic stalls,
+   disconnects, retry/backoff schedules, mirror failover (with lagging
+   replicas re-streaming an overlap), and graceful degradation to partial
+   results when every mirror is gone. *)
+
+open Adp_relation
+open Adp_datagen
+open Adp_exec
+open Adp_core
+open Adp_query
+open Helpers
+
+let mk_rel n = rel [ "t.k"; "t.p" ] (List.init n (fun i -> [ vi i; vi 0 ]))
+
+(* Zero-cost reconnects keep the retry arithmetic exact. *)
+let free_costs = { Cost_model.default with Cost_model.reconnect = 0.0 }
+
+let policy ?(timeout = 0.2) ?(retries = 5) ?(backoff = 0.1) () =
+  { Retry.default_policy with
+    Retry.timeout_s = timeout; max_retries = retries;
+    backoff_initial_s = backoff; backoff_multiplier = 2.0; jitter = 0.0 }
+
+let drain ?poll ?retry ?(costs = free_costs) sources =
+  let ctx = Ctx.create ~costs () in
+  let seen = ref [] in
+  let consume _ t = seen := t :: !seen in
+  let outcome = Driver.run ctx ~sources ~consume ?poll ?retry () in
+  ctx, List.rev !seen, outcome
+
+(* ---------------- Retry controller ---------------- *)
+
+let test_retry_schedule () =
+  let c = Retry.create (policy ()) in
+  Alcotest.(check (float 1e-6)) "deadline from zero" 2e5 (Retry.deadline c);
+  Retry.note_progress c ~now:1e5;
+  Alcotest.(check (float 1e-6)) "deadline tracks progress" 3e5
+    (Retry.deadline c);
+  (* Failed attempts: exponential backoff 0.1s, 0.2s, 0.4s ... *)
+  Retry.record_failure c ~now:3e5;
+  Alcotest.(check (option (float 1e-6))) "first backoff" (Some 4e5)
+    (Retry.pending_attempt c);
+  Retry.record_failure c ~now:4e5;
+  Alcotest.(check (option (float 1e-6))) "second backoff doubles" (Some 6e5)
+    (Retry.pending_attempt c);
+  Retry.record_failure c ~now:6e5;
+  Alcotest.(check (option (float 1e-6))) "third backoff doubles again"
+    (Some 1e6) (Retry.pending_attempt c);
+  Alcotest.(check int) "attempts counted" 3 (Retry.attempts c);
+  Alcotest.(check bool) "budget not yet spent" false (Retry.exhausted c);
+  Retry.record_failure c ~now:1e6;
+  Retry.record_failure c ~now:1.8e6;
+  Alcotest.(check bool) "budget spent" true (Retry.exhausted c);
+  Retry.record_success c ~now:2e6;
+  Alcotest.(check int) "success resets attempts" 0 (Retry.attempts c);
+  Alcotest.(check int) "all attempts recorded" 6 (Retry.retries_total c);
+  (* Backoff caps at backoff_max_s. *)
+  let capped =
+    Retry.create
+      { (policy ~backoff:10.0 ()) with Retry.backoff_max_s = 15.0 }
+  in
+  Retry.record_failure capped ~now:0.0;
+  Retry.record_failure capped ~now:0.0;
+  Alcotest.(check (option (float 1e-6))) "backoff capped" (Some 15e6)
+    (Retry.pending_attempt capped)
+
+(* ---------------- Stall ---------------- *)
+
+let test_stall_is_transient () =
+  (* Bandwidth 10 t/s: arrivals 0, 1e5, 2e5, ...; a 1 s stall after two
+     tuples pushes the third to 1.2e6.  The 0.2 s timeout fires repeatedly
+     but every reconnect finds the link up, so the stall never consumes
+     the retry budget and never fails over. *)
+  let s =
+    Source.create ~name:"r"
+      ~faults:[ Source.Stall { after_tuples = 2; duration_s = 1.0 } ]
+      (mk_rel 5) (Source.Bandwidth 10.0)
+  in
+  let ctx, seen, outcome = drain ~retry:(policy ()) [ s ] in
+  Alcotest.(check bool) "exhausted" true (outcome = Driver.Exhausted);
+  Alcotest.(check int) "all tuples delivered" 5 (List.length seen);
+  (* Reconnect probes at deadlines 3e5, 5e5, 7e5, 9e5, 1.1e6; the tuple
+     lands at 1.2e6 within the next window. *)
+  Alcotest.(check int) "probes during the stall" 5 ctx.Ctx.retries;
+  Alcotest.(check int) "no failover" 0 ctx.Ctx.failovers;
+  Alcotest.(check (float 1e-6)) "completion time" 1.4e6 (Ctx.now ctx);
+  Alcotest.(check bool) "timeout waits recorded as retry idle" true
+    (Clock.retry_idle ctx.Ctx.clock > 0.0)
+
+(* ---------------- Disconnect + rejoin: exact backoff schedule -------- *)
+
+let test_disconnect_rejoin_backoff () =
+  (* Drop after tuple 2 (arrival 1e5), rejoin 1 s later at 1.1e6.
+     Timeout 0.2 s => first attempt at 3e5; backoffs 0.1/0.2/0.4/0.8 s =>
+     attempts at 4e5, 6e5, 1e6 all fail, the attempt at 1.8e6 succeeds.
+     Arrivals rebase to 1.9e6, 2.0e6, 2.1e6. *)
+  let s =
+    Source.create ~name:"r"
+      ~faults:
+        [ Source.Disconnect { after_tuples = 2; rejoin_after_s = Some 1.0 } ]
+      (mk_rel 5) (Source.Bandwidth 10.0)
+  in
+  let ctx, seen, _ = drain ~retry:(policy ()) [ s ] in
+  Alcotest.(check int) "all tuples delivered" 5 (List.length seen);
+  Alcotest.(check int) "five attempts" 5 ctx.Ctx.retries;
+  Alcotest.(check int) "no failover needed" 0 ctx.Ctx.failovers;
+  Alcotest.(check (float 1e-6)) "completion time" 2.1e6 (Ctx.now ctx);
+  (* Retry idle: waits into the five attempt events,
+     2e5 + 1e5 + 2e5 + 4e5 + 8e5. *)
+  Alcotest.(check (float 1e-6)) "backoff schedule charged as retry idle"
+    1.7e6
+    (Clock.retry_idle ctx.Ctx.clock);
+  Alcotest.(check (float 1e-6)) "idle includes retry idle" 2.1e6
+    (Clock.idle ctx.Ctx.clock)
+
+(* ---------------- Mirror failover ---------------- *)
+
+let test_failover_to_lagging_mirror () =
+  (* Permanent drop after tuple 2; budget of two attempts (3e5 and 4e5)
+     fails, so the third timeout event (6e5) fails over.  The mirror lags
+     one tuple: it re-streams position 1 (one 1e5 gap) before new data, so
+     tuples 3..5 arrive at 8e5, 9e5, 1.0e6 — and exactly once each. *)
+  let s =
+    Source.create ~name:"r"
+      ~faults:
+        [ Source.Disconnect { after_tuples = 2; rejoin_after_s = None } ]
+      ~mirrors:[ Source.mirror ~lag_tuples:1 () ]
+      (mk_rel 5) (Source.Bandwidth 10.0)
+  in
+  let ctx, seen, _ = drain ~retry:(policy ~retries:2 ()) [ s ] in
+  Alcotest.(check int) "all tuples delivered exactly once" 5
+    (List.length seen);
+  check_bag "no duplicates from the overlap"
+    (Relation.to_list (mk_rel 5))
+    seen;
+  Alcotest.(check int) "two failed attempts" 2 ctx.Ctx.retries;
+  Alcotest.(check int) "one failover" 1 ctx.Ctx.failovers;
+  Alcotest.(check int) "overlap re-streamed" 1 (Source.redelivered s);
+  Alcotest.(check (float 1e-6)) "completion time" 1e6 (Ctx.now ctx);
+  Alcotest.(check bool) "source healthy on the mirror" true
+    (Source.status s = Source.Up)
+
+let test_all_mirrors_die () =
+  (* The primary drops for good and the only mirror never answers: after
+     both budgets are spent the source is Failed, the run completes, and
+     only the prefix was delivered. *)
+  let s =
+    Source.create ~name:"r"
+      ~faults:
+        [ Source.Disconnect { after_tuples = 2; rejoin_after_s = None } ]
+      ~mirrors:[ Source.mirror ~faults:[ Source.Dead_on_arrival ] () ]
+      (mk_rel 5) (Source.Bandwidth 10.0)
+  in
+  let other = Source.create ~name:"o" (mk_rel 3) (Source.Bandwidth 10.0) in
+  let ctx, seen, outcome = drain ~retry:(policy ~retries:2 ()) [ s; other ] in
+  Alcotest.(check bool) "run completes" true (outcome = Driver.Exhausted);
+  Alcotest.(check int) "partial delivery" (2 + 3) (List.length seen);
+  Alcotest.(check bool) "source permanently failed" true
+    (Source.status s = Source.Failed);
+  Alcotest.(check int) "one failover attempted" 1 ctx.Ctx.failovers;
+  Alcotest.(check int) "one source lost" 1 ctx.Ctx.sources_failed;
+  Alcotest.(check bool) "other source unaffected" true
+    (Source.exhausted other)
+
+let test_no_timeout_policy_never_hangs () =
+  (* Under the wait-forever policy a permanently dead source can never be
+     detected; the driver must still terminate, leaving it behind. *)
+  let s =
+    Source.create ~name:"r"
+      ~faults:
+        [ Source.Disconnect { after_tuples = 1; rejoin_after_s = None } ]
+      (mk_rel 4) Source.Local
+  in
+  let _, seen, outcome = drain ~retry:Retry.no_timeouts [ s ] in
+  Alcotest.(check bool) "terminates" true (outcome = Driver.Exhausted);
+  Alcotest.(check int) "prefix only" 1 (List.length seen)
+
+(* ---------------- Full query: failover equals the fault-free run ----- *)
+
+let scale = 0.004
+
+let dataset =
+  lazy (Tpch.generate { Tpch.scale; distribution = Tpch.Uniform; seed = 42 })
+
+let q3a = lazy (Workload.query Workload.Q3A)
+
+let faulty_sources ?(mirrors = [ Source.mirror ~lag_tuples:150 () ]) ds q () =
+  let srcs = Workload.sources ~model:(Source.Bandwidth 100_000.0) ds q () in
+  let lineitem = List.find (fun s -> Source.name s = "lineitem") srcs in
+  Source.inject lineitem
+    (Source.Disconnect { after_tuples = 300; rejoin_after_s = None });
+  List.iter (Source.add_mirror lineitem) mirrors;
+  srcs
+
+let run_corrective ?mirrors () =
+  let ds = Lazy.force dataset in
+  let q = Lazy.force q3a in
+  let catalog = Workload.catalog ~with_cardinalities:false ds q in
+  let retry = policy ~timeout:0.02 ~retries:2 ~backoff:0.01 () in
+  Strategy.run ~label:"faulty" ~retry
+    (Strategy.Corrective
+       { Corrective.default_config with
+         Corrective.poll_interval = 2e4; min_leaf_seen = 50 })
+    q catalog
+    ~sources:(faulty_sources ?mirrors ds q)
+
+let test_failover_query_matches_fault_free () =
+  let ds = Lazy.force dataset in
+  let q = Lazy.force q3a in
+  let catalog = Workload.catalog ~with_cardinalities:false ds q in
+  let clean =
+    Strategy.reference q catalog
+      ~sources:(Workload.sources ~model:Source.Local ds q)
+  in
+  let o = run_corrective () in
+  Alcotest.(check bool) "failed over at least once" true
+    (o.Strategy.report.Report.failovers >= 1);
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    o.Strategy.report.Report.coverage;
+  check_approx_rel
+    "mirror overlap deduplicated: result equals the fault-free answer"
+    clean o.Strategy.result
+
+let test_failover_query_deterministic () =
+  let a = run_corrective () and b = run_corrective () in
+  let render (o : Strategy.outcome) =
+    (* wall_s is real processor time and legitimately varies. *)
+    Format.asprintf "%a|%a" Report.pp_run
+      { o.Strategy.report with Report.wall_s = 0.0 }
+      (Relation.pp ~limit:max_int) o.Strategy.result
+  in
+  Alcotest.(check string) "byte-for-byte identical report and result"
+    (render a) (render b)
+
+let test_partial_results_without_mirror () =
+  let o = run_corrective ~mirrors:[] () in
+  let r = o.Strategy.report in
+  Alcotest.(check bool) "coverage below 1" true (r.Report.coverage < 1.0);
+  Alcotest.(check bool) "coverage above 0" true (r.Report.coverage > 0.0);
+  Alcotest.(check int) "no failover possible" 0 r.Report.failovers;
+  Alcotest.(check bool) "still produced rows" true (r.Report.result_card > 0)
+
+let suite =
+  [ Alcotest.test_case "retry schedule" `Quick test_retry_schedule;
+    Alcotest.test_case "stall is transient" `Quick test_stall_is_transient;
+    Alcotest.test_case "disconnect/rejoin backoff" `Quick
+      test_disconnect_rejoin_backoff;
+    Alcotest.test_case "failover to lagging mirror" `Quick
+      test_failover_to_lagging_mirror;
+    Alcotest.test_case "all mirrors die" `Quick test_all_mirrors_die;
+    Alcotest.test_case "no-timeout policy terminates" `Quick
+      test_no_timeout_policy_never_hangs;
+    Alcotest.test_case "failover query = fault-free" `Quick
+      test_failover_query_matches_fault_free;
+    Alcotest.test_case "failover query deterministic" `Quick
+      test_failover_query_deterministic;
+    Alcotest.test_case "partial results without mirror" `Quick
+      test_partial_results_without_mirror ]

@@ -10,6 +10,7 @@ let () =
       "stats", Test_stats.suite;
       "storage", Test_storage.suite;
       "exec", Test_exec.suite;
+      "faults", Test_faults.suite;
       "plan", Test_plan.suite;
       "joins", Test_joins.suite;
       "eddy", Test_eddy.suite;

@@ -16,7 +16,8 @@ let test_pp_run () =
   let r =
     { Report.label = "x"; time_s = 1.0; cpu_s = 0.8; idle_s = 0.2;
       wall_s = 0.1; phases = 2; stitch_time_s = 0.3; reused = 1200;
-      discarded = 5; result_card = 42 }
+      discarded = 5; result_card = 42; coverage = 1.0; retries = 0;
+      failovers = 0 }
   in
   let s = Format.asprintf "%a" Report.pp_run r in
   let contains needle =
