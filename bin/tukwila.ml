@@ -4,7 +4,8 @@
      generate   print rows of a generated TPC-H-style table
      plan       show the optimizer's plan for a SQL query
      query      execute a SQL query under a chosen adaptive strategy
-     explain    parse a SQL query and print its logical structure *)
+     explain    parse a SQL query and print its logical structure
+     check      statically analyze a query/plan without executing it *)
 
 open Cmdliner
 open Adp_relation
@@ -352,10 +353,188 @@ let query_cmd =
           $ strategy_arg $ preagg_arg $ model_arg $ fault_arg $ mirror_arg
           $ retry_arg $ limit_arg)
 
+(* ---------------- check ---------------- *)
+
+module Analyzer = Adp_analysis.Analyzer
+module Diagnostic = Adp_analysis.Diagnostic
+module Stitch_matrix = Adp_analysis.Stitch_matrix
+module Determinism = Adp_analysis.Determinism
+
+(* Deliberate plan mutations, for demonstrating the analyzer and for
+   exercising it in CI: each introduces one class of bug the analyzer must
+   catch before execution would. *)
+let break_arg =
+  let mutation_conv =
+    Arg.enum
+      [ "drop-join-key", `Drop_join_key; "swap-join-keys", `Swap_join_keys;
+        "unknown-source", `Unknown_source; "preagg-on-join", `Preagg_on_join;
+        "uniform-leak", `Uniform_leak ]
+  in
+  let doc =
+    "Mutate the optimized plan before analysis (repeatable): \
+     $(b,drop-join-key) drops one key column from the top join, \
+     $(b,swap-join-keys) swaps the top join's key sides, \
+     $(b,unknown-source) renames a scan to a nonexistent source, \
+     $(b,preagg-on-join) puts a pre-aggregation above a join in the \
+     stitch-up tree, $(b,uniform-leak) models a stitch-up evaluator that \
+     forgets the root exclusion list."
+  in
+  Arg.(value & opt_all mutation_conv [] & info [ "break" ] ~docv:"MUTATION" ~doc)
+
+let phases_arg =
+  let doc =
+    "Phase count for the stitch-up coverage check (the nᵐ − n matrix)."
+  in
+  Arg.(value & opt int 2 & info [ "phases" ] ~docv:"N" ~doc)
+
+let audit_arg =
+  let doc =
+    "Also run the determinism audit over the given file or directory \
+     (repeatable): flags unseeded randomness and wall-clock reads in \
+     OCaml sources."
+  in
+  Arg.(value & opt_all string [] & info [ "audit" ] ~docv:"PATH" ~doc)
+
+let workloads_arg =
+  let doc = "Check every bundled workload (TPC-H Q3/3A/10/10A/5, flights)." in
+  Arg.(value & flag & info [ "workloads" ] ~doc)
+
+let check_sql_arg =
+  let doc = "The SQL query to check (omit with $(b,--workloads))." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+let rec apply_mutation m spec =
+  match m, spec with
+  | `Drop_join_key, Plan.Join ({ left_key = _ :: _ as ks; _ } as j) ->
+    Plan.Join { j with left_key = List.tl ks }
+  | `Swap_join_keys, Plan.Join j ->
+    Plan.Join { j with left_key = j.right_key; right_key = j.left_key }
+  | (`Drop_join_key | `Swap_join_keys), Plan.Preagg ({ child; _ } as p) ->
+    Plan.Preagg { p with child = apply_mutation m child }
+  | `Unknown_source, _ ->
+    let rec rename done_ spec =
+      match spec with
+      | Plan.Scan s when not !done_ ->
+        done_ := true;
+        Plan.Scan { s with source = s.source ^ "_missing" }
+      | Plan.Scan _ -> spec
+      | Plan.Join j ->
+        let left = rename done_ j.left in
+        Plan.Join { j with left; right = rename done_ j.right }
+      | Plan.Preagg p -> Plan.Preagg { p with child = rename done_ p.child }
+    in
+    rename (ref false) spec
+  | `Preagg_on_join, (Plan.Join { left_key = k :: _; _ } as root) ->
+    Plan.preagg ~group_cols:[ k ]
+      ~aggs:[ Aggregate.count_all ~name:"n" ]
+      root
+  | _, spec -> spec
+
+let check_cmd =
+  let run sql_opt scale skew seed phases workloads breaks audits =
+    let ds = dataset scale skew seed in
+    let exit_code = ref 0 in
+    let report label diags =
+      let errs = Diagnostic.errors diags in
+      if diags = [] then Format.printf "%s: OK@." label
+      else begin
+        Format.printf "%s: %d error%s, %d warning%s@." label
+          (List.length errs)
+          (if List.length errs = 1 then "" else "s")
+          (List.length diags - List.length errs)
+          (if List.length diags - List.length errs = 1 then "" else "s");
+        List.iter (fun d -> Format.printf "  %a@." Diagnostic.pp d) diags
+      end;
+      if errs <> [] then exit_code := 1
+    in
+    let check_one label q ~catalog ~table =
+      let lookup r =
+        try Some (Catalog.schema_of catalog r) with Not_found -> None
+      in
+      let types =
+        Analyzer.types_of_relations
+          (List.filter_map
+             (fun r ->
+               try Some (r, table r) with Not_found -> None)
+             (Logical.source_names q))
+      in
+      let qds = Analyzer.check_query ~lookup q in
+      (* A broken query has no meaningful plan to check. *)
+      if Diagnostic.has_errors qds then report label qds
+      else begin
+        let sels = Adp_stats.Selectivity.create () in
+        let plan =
+          List.fold_left
+            (fun spec m -> apply_mutation m spec)
+            (Optimizer.optimize ~preagg:Optimizer.Auto q catalog sels)
+              .Optimizer.spec
+            breaks
+        in
+        let uniform_leak =
+          if List.mem `Uniform_leak breaks then
+            Stitch_matrix.check ~exclude_root_uniform:false ~phases plan
+          else []
+        in
+        report label
+          (qds
+          @ Analyzer.check_plan_for_query ~types ~lookup q plan
+          @ Analyzer.check_stitch_tree ~phases q plan
+          @ uniform_leak)
+      end
+    in
+    (match sql_opt with
+     | Some sql ->
+       let q = parse_query sql in
+       check_one "query" q
+         ~catalog:(Workload.catalog ~with_cardinalities:true ds q)
+         ~table:(Tpch.table ds)
+     | None ->
+       if not workloads && audits = [] then begin
+         Printf.eprintf
+           "nothing to check: give a SQL query, --workloads, or --audit\n";
+         exit 2
+       end);
+    if workloads then begin
+      List.iter
+        (fun wq ->
+          let q = Workload.query wq in
+          check_one (Workload.name wq) q
+            ~catalog:(Workload.catalog ~with_cardinalities:true ds q)
+            ~table:(Tpch.table ds))
+        Workload.evaluated;
+      let fds = Flights.generate Flights.default_config in
+      let flights_table = function
+        | "f" -> fds.Flights.flights
+        | "t" -> fds.Flights.travelers
+        | "c" -> fds.Flights.children
+        | _ -> raise Not_found
+      in
+      check_one "flights" Workload.flights_query
+        ~catalog:(Workload.flights_catalog fds)
+        ~table:flights_table
+    end;
+    if audits <> [] then report "audit" (Determinism.audit_paths audits);
+    exit !exit_code
+  in
+  let doc =
+    "Statically analyze a query and its plan without executing anything: \
+     schema and join-key type checks, ADP conformance, symbolic stitch-up \
+     coverage (the nᵐ − n matrix), and an optional determinism audit of \
+     the source tree.  Exits 1 when any error-severity diagnostic is \
+     found."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const run $ check_sql_arg $ scale_arg $ skew_arg $ seed_arg
+          $ phases_arg $ workloads_arg $ break_arg $ audit_arg)
+
 let () =
   let doc =
     "Tukwila-style adaptive query processing over generated data-integration \
      workloads (reproduction of Ives, Halevy & Weld, SIGMOD 2004)"
   in
   let info = Cmd.info "tukwila" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; explain_cmd; plan_cmd; query_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; explain_cmd; plan_cmd; query_cmd; check_cmd ]))

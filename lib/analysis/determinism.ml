@@ -1,0 +1,65 @@
+let banned =
+  (* determinism-ok: this is the pattern table itself *)
+  [ "unseeded-randomness", "Random.self_init"; (* determinism-ok *)
+    "unseeded-randomness", "Random.init"; (* determinism-ok *)
+    "unseeded-randomness", "Random.int"; (* determinism-ok *)
+    "unseeded-randomness", "Random.float"; (* determinism-ok *)
+    "unseeded-randomness", "Random.bool"; (* determinism-ok *)
+    "unseeded-randomness", "Random.bits"; (* determinism-ok *)
+    "wall-clock", "Sys.time"; (* determinism-ok *)
+    "wall-clock", "Unix.time"; (* determinism-ok *)
+    "wall-clock", "Unix.gettimeofday" (* determinism-ok *) ]
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let audit_line line =
+  if contains ~sub:"determinism-ok" line then None
+  else
+    List.find_map
+      (fun (code, token) ->
+        if contains ~sub:token line then Some (code, token) else None)
+      banned
+
+let audit_source ~path text =
+  let diags = ref [] in
+  List.iteri
+    (fun i line ->
+      match audit_line line with
+      | Some (code, token) ->
+        diags :=
+          Diagnostic.error ~code
+            ~path:(Printf.sprintf "%s:%d" path (i + 1))
+            (Printf.sprintf
+               "%s breaks virtual-time reproducibility (mark the line \
+                determinism-ok if intentional)"
+               token)
+          :: !diags
+      | None -> ())
+    (String.split_on_char '\n' text);
+  List.rev !diags
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec audit_path path =
+  match Sys.is_directory path with
+  | true ->
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry -> audit_path (Filename.concat path entry))
+  | false ->
+    (* Only .ml: interfaces carry no executable code, and doc comments
+       legitimately name the banned primitives. *)
+    if Filename.check_suffix path ".ml" then
+      audit_source ~path (read_file path)
+    else []
+  | exception Sys_error _ ->
+    [ Diagnostic.warning ~code:"unreadable-path" ~path
+        "path does not exist or cannot be read" ]
+
+let audit_paths paths = List.concat_map audit_path paths

@@ -1,0 +1,25 @@
+(** Determinism audit (part of the static analyzer).
+
+    The whole reproduction accounts time on the {!Adp_exec.Clock} virtual
+    clock and draws randomness from seeded generators ({!Adp_datagen.Prng},
+    seeded [Random.State]); a single call to the global [Random] module or
+    to a wall clock silently breaks run-to-run reproducibility.  This pass
+    scans OCaml sources for such calls.
+
+    A line carrying the marker comment ["determinism-ok"] is exempt —
+    used where wall-clock time is read deliberately (e.g. reporting real
+    elapsed time alongside virtual time). *)
+
+(** [audit_line line] is [Some (code, token)] when the line calls a
+    banned primitive: code ["unseeded-randomness"] for global [Random]
+    calls ([Random.self_init], [Random.int], ... — [Random.State] is
+    fine), code ["wall-clock"] for [Sys.time], [Unix.time],
+    [Unix.gettimeofday].  [None] for clean or marker-exempt lines. *)
+val audit_line : string -> (string * string) option
+
+(** Scan one source text; [path] labels the diagnostics ([path:line]). *)
+val audit_source : path:string -> string -> Diagnostic.t list
+
+(** Audit files and directories (recursively, [*.ml] only).  Unreadable
+    paths yield an ["unreadable-path"] warning. *)
+val audit_paths : string list -> Diagnostic.t list

@@ -1,0 +1,44 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  path : string;
+  message : string;
+}
+
+let error ~code ~path message = { code; severity = Error; path; message }
+let warning ~code ~path message = { code; severity = Warning; path; message }
+
+let errorf ~code ~path fmt =
+  Format.kasprintf (fun message -> error ~code ~path message) fmt
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+let errors ds = List.filter is_error ds
+
+let codes ds =
+  List.sort_uniq String.compare (List.map (fun d -> d.code) ds)
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.code d.path d.message
+
+let pp_list fmt ds =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp fmt ds
+
+let to_string ds = Format.asprintf "%a" pp_list ds
+
+exception Failed of string * t list
+
+let () =
+  Printexc.register_printer (function
+    | Failed (where, ds) ->
+      Some
+        (Printf.sprintf "Analysis failed at %s:\n%s" where
+           (to_string (errors ds)))
+    | _ -> None)
+
+let raise_if_errors ~where ds =
+  if has_errors ds then raise (Failed (where, ds))

@@ -1,0 +1,183 @@
+open Adp_exec
+
+type combo = (string * int) list
+
+let combo_to_string c =
+  String.concat ","
+    (List.map (fun (r, p) -> Printf.sprintf "%s=%d" r p) c)
+
+let enumeration_bound = 65536
+
+let matrix_size ~relations ~phases =
+  float_of_int phases ** float_of_int (List.length relations)
+
+let all_combos ~relations ~phases =
+  let relations = List.sort String.compare relations in
+  List.fold_left
+    (fun acc r ->
+      List.concat_map
+        (fun combo -> List.init phases (fun p -> (r, p) :: combo))
+        acc)
+    [ [] ] (List.rev relations)
+  |> List.map (List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* Symbolic mirror of Stitchup.eval: a node's value is the set of uniform
+   lineages (one structure per phase) plus the multiset of mixed lineage
+   vectors its evaluation emits. *)
+type sym = {
+  rels : string list;  (* sorted *)
+  uniform : int list;
+  mixed : combo list;
+}
+
+let uvec rels p = List.map (fun r -> (r, p)) rels
+
+let merge a b =
+  List.sort (fun (x, _) (y, _) -> String.compare x y) (a @ b)
+
+let rec eval ~phases ~is_root spec =
+  match spec with
+  | Plan.Scan { source; _ } ->
+    { rels = [ source ]; uniform = List.init phases Fun.id; mixed = [] }
+  | Plan.Preagg { child; _ } ->
+    (* Pre-aggregation never mixes lineages; transparent here.  Its legal
+       placement (directly above a scan) is Analyzer.check_stitch_tree's
+       concern. *)
+    eval ~phases ~is_root child
+  | Plan.Join { left; right; _ } ->
+    let l = eval ~phases ~is_root:false left in
+    let r = eval ~phases ~is_root:false right in
+    let rels = List.sort String.compare (l.rels @ r.rels) in
+    let uniform =
+      if is_root then []
+      else List.filter (fun p -> List.mem p r.uniform) l.uniform
+    in
+    let mixed = ref [] in
+    (* Mirrors the probe order of Stitchup.eval: each uniform left
+       structure against every differently-phased uniform right structure
+       and the mixed right structure; then the mixed left structure
+       against every right structure. *)
+    List.iter
+      (fun pl ->
+        List.iter
+          (fun pr ->
+            if pl <> pr then
+              mixed := merge (uvec l.rels pl) (uvec r.rels pr) :: !mixed)
+          r.uniform;
+        List.iter
+          (fun mv -> mixed := merge (uvec l.rels pl) mv :: !mixed)
+          r.mixed)
+      l.uniform;
+    List.iter
+      (fun pr ->
+        List.iter
+          (fun mv -> mixed := merge mv (uvec r.rels pr) :: !mixed)
+          l.mixed)
+      r.uniform;
+    List.iter
+      (fun ml ->
+        List.iter (fun mr -> mixed := merge ml mr :: !mixed) l.mixed)
+      r.mixed;
+    { rels; uniform; mixed = !mixed }
+
+let symbolic ?(exclude_root_uniform = true) ~phases spec =
+  let root = eval ~phases ~is_root:true spec in
+  if exclude_root_uniform then root.mixed
+  else root.mixed @ List.init phases (fun p -> uvec root.rels p)
+
+(* Cap per-code diagnostic volume: a badly broken matrix misses thousands
+   of combinations; the first few plus a count tell the whole story. *)
+let cap = 8
+
+let capped code path msgs =
+  let n = List.length msgs in
+  let shown = List.filteri (fun i _ -> i < cap) msgs in
+  let ds = List.map (Diagnostic.error ~code ~path) shown in
+  if n > cap then
+    ds
+    @ [ Diagnostic.error ~code ~path
+          (Printf.sprintf "... and %d more combinations" (n - cap)) ]
+  else ds
+
+let check_cover ~relations ~phases combos =
+  let relations = List.sort String.compare relations in
+  let m = List.length relations in
+  if phases <= 1 then
+    (* A single phase needs no stitch-up; anything emitted is spurious. *)
+    (match combos with
+     | [] -> []
+     | _ ->
+       [ Diagnostic.error ~code:"stitch-duplicate-combo" ~path:"stitchup"
+           "single-phase execution must emit no stitch-up combinations" ])
+  else if matrix_size ~relations ~phases > float_of_int enumeration_bound
+  then
+    [ Diagnostic.warning ~code:"stitch-matrix-too-large" ~path:"stitchup"
+        (Printf.sprintf
+           "%d^%d combinations exceed the enumeration bound (%d); coverage \
+            not verified"
+           phases m enumeration_bound) ]
+  else begin
+    let counts = Hashtbl.create 256 in
+    List.iter
+      (fun c ->
+        let c = List.sort (fun (a, _) (b, _) -> String.compare a b) c in
+        Hashtbl.replace counts c
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+      combos;
+    let is_uniform c =
+      match c with
+      | [] -> true
+      | (_, p0) :: rest -> List.for_all (fun (_, p) -> p = p0) rest
+    in
+    let missing = ref [] and dup = ref [] and uniform = ref [] and alien = ref [] in
+    List.iter
+      (fun c ->
+        let n = Option.value ~default:0 (Hashtbl.find_opt counts c) in
+        Hashtbl.remove counts c;
+        if is_uniform c then begin
+          if n > 0 then
+            uniform :=
+              Printf.sprintf "uniform combination %s must be excluded"
+                (combo_to_string c)
+              :: !uniform
+        end
+        else if n = 0 then
+          missing :=
+            Printf.sprintf "combination %s is never produced"
+              (combo_to_string c)
+            :: !missing
+        else if n > 1 then
+          dup :=
+            Printf.sprintf "combination %s produced %d times"
+              (combo_to_string c) n
+            :: !dup)
+      (all_combos ~relations ~phases);
+    (* Whatever is left in [counts] covers relations or phases outside the
+       expected matrix. *)
+    Hashtbl.iter
+      (fun c _ ->
+        alien :=
+          Printf.sprintf "combination %s is outside the %d-phase matrix"
+            (combo_to_string c) phases
+          :: !alien)
+      counts;
+    capped "stitch-missing-combo" "stitchup" (List.rev !missing)
+    @ capped "stitch-duplicate-combo" "stitchup" (List.rev !dup)
+    @ capped "stitch-uniform-combo" "stitchup" (List.rev !uniform)
+    @ capped "stitch-alien-combo" "stitchup" (List.rev !alien)
+  end
+
+let check ?exclude_root_uniform ~phases spec =
+  let relations = Plan.relations spec in
+  if phases <= 1 then []
+  else if
+    matrix_size ~relations ~phases > float_of_int enumeration_bound
+  then
+    [ Diagnostic.warning ~code:"stitch-matrix-too-large" ~path:"stitchup"
+        (Printf.sprintf
+           "%d^%d combinations exceed the enumeration bound (%d); coverage \
+            not verified"
+           phases (List.length relations) enumeration_bound) ]
+  else
+    check_cover ~relations ~phases
+      (symbolic ?exclude_root_uniform ~phases spec)

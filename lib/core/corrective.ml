@@ -1,6 +1,8 @@
 open Adp_exec
 open Adp_storage
 open Adp_optimizer
+module Analyzer = Adp_analysis.Analyzer
+module Diagnostic = Adp_analysis.Diagnostic
 
 type config = {
   poll_interval : float;
@@ -379,16 +381,35 @@ let run ?(config = default_config) query catalog sources =
   in
   let registry = Registry.create () in
   let schema_of = Catalog.schema_of catalog in
+  (* Static analysis before any tuple flows: a bad knob, query, or plan
+     fails here with every problem listed at once, instead of surfacing as
+     an Invalid_argument somewhere mid-run. *)
+  let lookup r = try Some (schema_of r) with Not_found -> None in
+  Diagnostic.raise_if_errors ~where:"corrective"
+    (Analyzer.check_knobs ~poll_interval:cfg.poll_interval
+       ~switch_threshold:cfg.switch_threshold ~max_phases:cfg.max_phases
+       ~min_leaf_seen:cfg.min_leaf_seen
+       ~min_remaining_fraction:cfg.min_remaining_fraction ~retry:cfg.retry
+    @ Analyzer.check_query ~lookup query);
   let initial_spec =
     match cfg.initial_plan with
     | Some spec ->
       (* Every plan of one execution must carry the same pre-aggregation
          treatment so equivalent subexpressions share schemas (§3.2). *)
-      Optimizer.apply_preagg_strategy cfg.preagg query spec
+      let rewritten = Optimizer.apply_preagg_strategy cfg.preagg query spec in
+      Diagnostic.raise_if_errors ~where:"corrective.initial-plan"
+        (Analyzer.check_plan_for_query ~lookup query spec
+        @ Analyzer.check_equivalent ~before:spec ~after:rewritten);
+      rewritten
     | None ->
-      (Optimizer.optimize ~preagg:cfg.preagg ~costs:cfg.costs query catalog
-         sels)
-        .spec
+      let spec =
+        (Optimizer.optimize ~preagg:cfg.preagg ~costs:cfg.costs query catalog
+           sels)
+          .spec
+      in
+      Diagnostic.raise_if_errors ~where:"corrective.optimizer"
+        (Analyzer.check_plan_for_query ~lookup query spec);
+      spec
   in
   let record_outputs = cfg.max_phases > 1 in
   let current =
@@ -465,6 +486,14 @@ let run ?(config = default_config) query catalog sources =
       if best.spec <> ph.Phase.spec
          && switch_cost < cfg.switch_threshold *. current_cost
       then begin
+        (* The re-optimized plan joins a running ADP execution: its regions
+           will be stitched against those of every earlier phase, so it
+           must cover the same base set with the same effective leaves. *)
+        Diagnostic.raise_if_errors ~where:"corrective.switch"
+          (Analyzer.check_plan_for_query ~lookup query best.spec
+          @ Analyzer.check_conformance
+              (List.rev_map (fun (p, _) -> p.Phase.spec) !completed
+              @ [ ph.Phase.spec; best.spec ]));
         next_spec := Some best.spec;
         `Switch
       end
@@ -569,6 +598,12 @@ let run ?(config = default_config) query catalog sources =
       let stitch_registry =
         if cfg.reuse_intermediates then registry else Registry.create ()
       in
+      (* Before paying for stitch-up, verify the chosen tree symbolically:
+         legal pre-aggregation placement and an exactly-covered nᵐ − n
+         combination matrix. *)
+      Diagnostic.raise_if_errors ~where:"corrective.stitchup"
+        (Analyzer.check_stitch_tree ~phases:(List.length phases) query
+           join_tree);
       Stitchup.run ctx query ~join_tree ~phases ~registry:stitch_registry
         ~sink
     end

@@ -21,7 +21,15 @@ let us_to_s v = v /. 1e6
 
 let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
     ?(label = "run") ?initial_plan ?retry strategy query catalog ~sources =
-  let wall0 = Sys.time () in
+  let wall0 = Sys.time () (* determinism-ok: real elapsed time for reports *) in
+  (* Static analysis of the query before any strategy runs: catches what
+     used to die as [Eddy: unknown relation] or an unqualified column deep
+     inside execution, reporting every problem at once. *)
+  Adp_analysis.Diagnostic.raise_if_errors ~where:"strategy"
+    (Adp_analysis.Analyzer.check_query
+       ~lookup:(fun r ->
+         try Some (Catalog.schema_of catalog r) with Not_found -> None)
+       query);
   let outcome =
     match strategy with
     | Static | Corrective _ ->
@@ -119,7 +127,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
       in
       { result; report; corrective_stats = None }
   in
-  let wall = Sys.time () -. wall0 in
+  let wall = Sys.time () -. wall0 (* determinism-ok: real elapsed time *) in
   { outcome with report = { outcome.report with Report.wall_s = wall } }
 
 (* ------------------------------------------------------------------ *)

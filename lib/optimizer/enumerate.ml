@@ -1,5 +1,15 @@
 open Adp_exec
 
+(* Subset enumeration is exponential in the relation count; beyond this
+   the optimizer must not even try.  The static analyzer checks the same
+   bound before execution (diagnostic code "too-many-relations"). *)
+let max_relations = 20
+
+let check_relation_count n =
+  if n > max_relations then
+    invalid_arg
+      (Printf.sprintf "Enumerate: more than %d relations" max_relations)
+
 let rels_of names mask =
   let acc = ref [] in
   Array.iteri (fun i n -> if mask land (1 lsl i) <> 0 then acc := n :: !acc) names;
@@ -13,7 +23,7 @@ let scan_spec q name =
 let build_table q est (costs : Cost_model.t) =
   let names = Array.of_list (Logical.source_names q) in
   let n = Array.length names in
-  if n > 20 then invalid_arg "Enumerate: too many relations";
+  check_relation_count n;
   let full = (1 lsl n) - 1 in
   let memo = Array.make (full + 1) None in
   let rec best mask =
@@ -95,7 +105,7 @@ let worst_join_tree ?(depth = 2) q est (costs : Cost_model.t) =
   let best, _, full = build_table q est costs in
   let names = Array.of_list (Logical.source_names q) in
   let n = Array.length names in
-  if n > 20 then invalid_arg "Enumerate: too many relations";
+  check_relation_count n;
   let rec worst depth mask =
     if depth = 0 then begin
       (* Optimizer-quality subplan — but a disconnected subset's best plan

@@ -8,9 +8,15 @@ open Adp_exec
     connected split of every subset and never introduces cross products
     when a connected split exists. *)
 
+(** Upper bound on the relation count the enumerator accepts; every entry
+    point raises [Invalid_argument] beyond it.  The static analyzer
+    ([adp_analysis]) reports the same bound pre-execution. *)
+val max_relations : int
+
 (** [best_join_tree q est costs] returns the minimum-estimated-cost join
     tree (scans carry their pushed-down filters) and its estimated cost.
-    @raise Invalid_argument for queries over more than 20 relations. *)
+    @raise Invalid_argument for queries over more than {!max_relations}
+    relations. *)
 val best_join_tree :
   Logical.query -> Cardinality.t -> Cost_model.t -> Plan.spec * float
 

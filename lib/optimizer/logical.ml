@@ -76,20 +76,37 @@ let signature_of_set q rels =
     ~relations:(List.map (scan_token_of q) rels)
     ~predicates:(preds_within q rels) ~preaggs:[]
 
-let validate ~schema_of q =
-  if q.sources = [] then invalid_arg "Logical.validate: no sources";
+let relation_of_column_opt col =
+  match String.index_opt col '.' with
+  | Some i -> Some (String.sub col 0 i)
+  | None -> None
+
+let validate_list ~schema_of q =
+  let errs = ref [] in
+  let add code msg = errs := (code, msg) :: !errs in
+  if q.sources = [] then add "no-sources" "query has no sources";
   let names = source_names q in
   let dup =
     List.filter (fun n -> List.length (List.filter (( = ) n) names) > 1) names
+    |> List.sort_uniq String.compare
   in
   if dup <> [] then
-    invalid_arg ("Logical.validate: duplicate sources " ^ String.concat "," dup);
+    add "duplicate-source" ("duplicate sources " ^ String.concat "," dup);
   let check_col col =
-    let r = relation_of_column col in
-    if not (List.mem r names) then
-      invalid_arg ("Logical.validate: column " ^ col ^ " has no source");
-    if not (Schema.mem (schema_of r) col) then
-      invalid_arg ("Logical.validate: column " ^ col ^ " not in " ^ r)
+    match relation_of_column_opt col with
+    | None -> add "unqualified-column" ("column " ^ col ^ " is unqualified")
+    | Some r ->
+      if not (List.mem r names) then
+        add "unknown-source-for-column"
+          ("column " ^ col ^ " has no source in the query")
+      else begin
+        match schema_of r with
+        | exception Not_found ->
+          add "unknown-source" ("no schema known for source " ^ r)
+        | schema ->
+          if not (Schema.mem schema col) then
+            add "unknown-column" ("column " ^ col ^ " not in " ^ r)
+      end
   in
   List.iter
     (fun s -> List.iter check_col (Predicate.columns s.filter))
@@ -104,7 +121,9 @@ let validate ~schema_of q =
     (fun (a : Aggregate.spec) -> List.iter check_col (Expr.columns a.expr))
     q.aggs;
   List.iter check_col q.projection;
-  (* Connectivity of the join graph (avoids accidental cross products). *)
+  (* Connectivity of the join graph (avoids accidental cross products).
+     Predicates with unqualified columns were already reported above and
+     are skipped here. *)
   if List.length names > 1 then begin
     let reached = Hashtbl.create 8 in
     (match names with
@@ -116,25 +135,34 @@ let validate ~schema_of q =
          changed := false;
          List.iter
            (fun (a, b) ->
-             let ra = relation_of_column a and rb = relation_of_column b in
-             let ha = Hashtbl.mem reached ra
-             and hb = Hashtbl.mem reached rb in
-             if ha && not hb then begin
-               Hashtbl.replace reached rb ();
-               changed := true
-             end;
-             if hb && not ha then begin
-               Hashtbl.replace reached ra ();
-               changed := true
-             end)
+             match relation_of_column_opt a, relation_of_column_opt b with
+             | Some ra, Some rb ->
+               let ha = Hashtbl.mem reached ra
+               and hb = Hashtbl.mem reached rb in
+               if ha && not hb then begin
+                 Hashtbl.replace reached rb ();
+                 changed := true
+               end;
+               if hb && not ha then begin
+                 Hashtbl.replace reached ra ();
+                 changed := true
+               end
+             | _ -> ())
            q.join_preds
        done);
     let unreached = List.filter (fun n -> not (Hashtbl.mem reached n)) names in
     if unreached <> [] then
-      invalid_arg
-        ("Logical.validate: join graph disconnected at "
-        ^ String.concat "," unreached)
-  end
+      add "disconnected-join-graph"
+        ("join graph disconnected at " ^ String.concat "," unreached)
+  end;
+  List.rev !errs
+
+let validate ~schema_of q =
+  match validate_list ~schema_of q with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      ("Logical.validate: " ^ String.concat "; " (List.map snd errs))
 
 let pp fmt q =
   Format.fprintf fmt "SELECT %s"

@@ -50,9 +50,23 @@ val scan_token_of : query -> string -> string
     subtrees). *)
 val signature_of_set : query -> string list -> string
 
+(** Relation qualifier of a column name, or [None] when unqualified. *)
+val relation_of_column_opt : string -> string option
+
 (** Sanity checks: every join/group/aggregate column resolves to a source,
-    and the join graph is connected.  @raise Invalid_argument with a
-    description otherwise. *)
+    and the join graph is connected.  Returns ALL problems found as
+    [(code, message)] pairs with stable kebab-case codes
+    (["no-sources"], ["duplicate-source"], ["unqualified-column"],
+    ["unknown-source-for-column"], ["unknown-source"], ["unknown-column"],
+    ["disconnected-join-graph"]), so callers — notably the static analyzer
+    in [adp_analysis] — can report every problem at once instead of dying
+    on the first.  [schema_of] may raise [Not_found] for unknown sources;
+    that is reported, not propagated. *)
+val validate_list :
+  schema_of:(string -> Schema.t) -> query -> (string * string) list
+
+(** Raising wrapper over {!validate_list}.
+    @raise Invalid_argument listing every problem found. *)
 val validate : schema_of:(string -> Schema.t) -> query -> unit
 
 val pp : Format.formatter -> query -> unit

@@ -5,6 +5,30 @@ type t =
   | Str of string
   | Date of int
 
+type ty = Ty_int | Ty_float | Ty_str | Ty_date
+
+let ty_of = function
+  | Null -> None
+  | Int _ -> Some Ty_int
+  | Float _ -> Some Ty_float
+  | Str _ -> Some Ty_str
+  | Date _ -> Some Ty_date
+
+let ty_to_string = function
+  | Ty_int -> "int"
+  | Ty_float -> "float"
+  | Ty_str -> "string"
+  | Ty_date -> "date"
+
+let ty_joinable a b =
+  match a, b with
+  | Ty_int, Ty_float | Ty_float, Ty_int -> true
+  | _ -> a = b
+
+let ty_numeric = function
+  | Ty_int | Ty_float -> true
+  | Ty_str | Ty_date -> false
+
 let type_rank = function
   | Null -> 0
   | Int _ -> 1

@@ -14,6 +14,24 @@ type t =
   | Str of string
   | Date of int  (** days since 1992-01-01, the TPC-H epoch *)
 
+(** Runtime type tag of a non-null value, used by the static analyzer to
+    type-check join keys and aggregate inputs before execution. *)
+type ty = Ty_int | Ty_float | Ty_str | Ty_date
+
+(** [ty_of v] is [None] for [Null] (a null reveals nothing about the
+    column's type). *)
+val ty_of : t -> ty option
+
+val ty_to_string : ty -> string
+
+(** Whether values of the two types can ever compare equal under
+    {!eq_sql} — integers and floats compare numerically, every other
+    cross-type pair never matches. *)
+val ty_joinable : ty -> ty -> bool
+
+(** Whether aggregation arithmetic ([sum]/[avg]) accepts the type. *)
+val ty_numeric : ty -> bool
+
 (** Total order over values, usable by sorted structures.  Values of
     different types are ordered by type tag; [Null] sorts first. *)
 val compare : t -> t -> int

@@ -1,0 +1,523 @@
+(* Static analyzer tests: every plan the optimizer can produce must pass
+   the analyzer clean (property), and every deliberately broken plan must
+   yield its expected diagnostic code (mutations).  The stitch-up matrix
+   checker is additionally tested against hand-damaged combination sets —
+   a matrix that misses or duplicates a combination must be rejected. *)
+
+open Adp_relation
+open Adp_exec
+open Adp_optimizer
+open Adp_analysis
+open Adp_core
+open Adp_query
+open Adp_datagen
+open Helpers
+
+(* ---------------- fixture: small star workload ---------------- *)
+
+let fact_schema = Schema.make [ "f.k1"; "f.k2"; "f.v"; "f.s" ]
+let dim_schema prefix = Schema.make [ prefix ^ ".k"; prefix ^ ".w" ]
+
+let catalog () =
+  let c = Catalog.create () in
+  Catalog.add c "f"
+    { Catalog.schema = fact_schema; cardinality = Some 10_000.0; key = None };
+  Catalog.add c "a"
+    { Catalog.schema = dim_schema "a"; cardinality = Some 100.0;
+      key = Some "a.k" };
+  Catalog.add c "b"
+    { Catalog.schema = dim_schema "b"; cardinality = Some 1000.0;
+      key = Some "b.k" };
+  c
+
+let lookup =
+  let c = catalog () in
+  fun r -> try Some (Catalog.schema_of c r) with Not_found -> None
+
+(* f.s is a string, everything else an int. *)
+let types col = if col = "f.s" then Some Value.Ty_str else Some Value.Ty_int
+
+let query () =
+  { Logical.sources =
+      [ { Logical.name = "f"; filter = Predicate.tt };
+        { Logical.name = "a"; filter = Predicate.gt "a.w" (vi 5) };
+        { Logical.name = "b"; filter = Predicate.tt } ];
+    join_preds = [ "f.k1", "a.k"; "f.k2", "b.k" ];
+    group_cols = []; aggs = []; projection = [] }
+
+let good_plan () =
+  Plan.join
+    (Plan.join (Plan.scan "f")
+       (Plan.scan ~filter:(Predicate.gt "a.w" (vi 5)) "a")
+       ~on:[ "f.k1", "a.k" ])
+    (Plan.scan "b")
+    ~on:[ "f.k2", "b.k" ]
+
+let codes ds = Diagnostic.codes (Diagnostic.errors ds)
+let has_code c ds = List.mem c (codes ds)
+
+let check_code name c ds =
+  Alcotest.(check bool) (name ^ " yields " ^ c) true (has_code c ds)
+
+(* ---------------- pass 1: schema / type checking ---------------- *)
+
+let test_clean_plan () =
+  let ds = Analyzer.check_plan_for_query ~types ~lookup (query ()) (good_plan ()) in
+  Alcotest.(check (list string)) "no diagnostics" [] (List.map (fun d -> d.Diagnostic.code) ds)
+
+let test_spec_schema () =
+  match Analyzer.spec_schema ~lookup (good_plan ()) with
+  | Ok s ->
+    Alcotest.(check int) "arity is concat of inputs" 8 (Schema.arity s)
+  | Error ds -> Alcotest.fail (Diagnostic.to_string ds)
+
+let test_unknown_source () =
+  check_code "unknown scan" "unknown-source"
+    (Analyzer.check_plan ~lookup (Plan.scan "nope"))
+
+let test_unknown_filter_column () =
+  check_code "bad filter column" "unknown-column"
+    (Analyzer.check_plan ~lookup
+       (Plan.scan ~filter:(Predicate.gt "f.zz" (vi 0)) "f"))
+
+let test_dropped_join_key () =
+  let p =
+    match good_plan () with
+    | Plan.Join j -> Plan.Join { j with right_key = [] }
+    | _ -> assert false
+  in
+  check_code "dropped key" "join-key-arity-mismatch"
+    (Analyzer.check_plan ~lookup p)
+
+let test_unresolved_join_key () =
+  check_code "key on wrong side" "join-key-unresolved"
+    (Analyzer.check_plan ~lookup
+       (Plan.join (Plan.scan "f") (Plan.scan "a") ~on:[ "a.k", "f.k1" ]))
+
+let test_swapped_key_types () =
+  (* f.s is a string; joining it with the int a.k can never match. *)
+  check_code "str-int join" "join-key-type-mismatch"
+    (Analyzer.check_plan ~types ~lookup
+       (Plan.join (Plan.scan "f") (Plan.scan "a") ~on:[ "f.s", "a.k" ]))
+
+let test_int_float_keys_joinable () =
+  let types _ = Some Value.Ty_float in
+  let ds =
+    Analyzer.check_plan ~types ~lookup
+      (Plan.join (Plan.scan "f") (Plan.scan "a") ~on:[ "f.k1", "a.k" ])
+  in
+  Alcotest.(check bool) "numeric cross-type keys are fine" false
+    (has_code "join-key-type-mismatch" ds)
+
+let test_duplicate_source_in_plan () =
+  check_code "self-join without rename" "duplicate-source-in-plan"
+    (Analyzer.check_plan ~lookup
+       (Plan.join (Plan.scan "f") (Plan.scan "f") ~on:[ "f.k1", "f.k1" ]))
+
+let test_cross_product_warning () =
+  let ds =
+    Analyzer.check_plan ~lookup
+      (Plan.join (Plan.scan "f") (Plan.scan "a") ~on:[])
+  in
+  Alcotest.(check bool) "warns" true
+    (List.exists (fun d -> d.Diagnostic.code = "cross-product-join") ds);
+  Alcotest.(check bool) "only a warning" false (Diagnostic.has_errors ds)
+
+let test_preagg_missing_column () =
+  check_code "group col absent" "preagg-missing-column"
+    (Analyzer.check_plan ~lookup
+       (Plan.preagg ~group_cols:[ "f.zz" ]
+          ~aggs:[ Aggregate.count_all ~name:"n" ]
+          (Plan.scan "f")));
+  check_code "agg input absent" "preagg-missing-column"
+    (Analyzer.check_plan ~lookup
+       (Plan.preagg ~group_cols:[ "f.k1" ]
+          ~aggs:[ Aggregate.sum ~name:"s" (Expr.col "f.zz") ]
+          (Plan.scan "f")))
+
+let test_preagg_non_numeric_agg () =
+  check_code "sum over string" "preagg-non-numeric-agg"
+    (Analyzer.check_plan ~types ~lookup
+       (Plan.preagg ~group_cols:[ "f.k1" ]
+          ~aggs:[ Aggregate.sum ~name:"s" (Expr.col "f.s") ]
+          (Plan.scan "f")));
+  (* min/max order strings fine. *)
+  let ds =
+    Analyzer.check_plan ~types ~lookup
+      (Plan.preagg ~group_cols:[ "f.k1" ]
+         ~aggs:[ Aggregate.max_of ~name:"m" (Expr.col "f.s") ]
+         (Plan.scan "f"))
+  in
+  Alcotest.(check bool) "max over string is fine" false
+    (has_code "preagg-non-numeric-agg" ds)
+
+let test_plan_query_mismatches () =
+  let q = query () in
+  check_code "missing relation" "plan-relation-mismatch"
+    (Analyzer.check_plan_for_query ~lookup q
+       (Plan.join (Plan.scan "f")
+          (Plan.scan ~filter:(Predicate.gt "a.w" (vi 5)) "a")
+          ~on:[ "f.k1", "a.k" ]));
+  let p =
+    match good_plan () with
+    | Plan.Join j -> Plan.Join { j with left_key = [ "f.k1" ]; right_key = [ "b.k" ] }
+    | _ -> assert false
+  in
+  check_code "altered predicate" "plan-predicate-mismatch"
+    (Analyzer.check_plan_for_query ~lookup q p);
+  let rec drop_filters = function
+    | Plan.Scan s -> Plan.Scan { s with filter = Predicate.tt }
+    | Plan.Join j ->
+      Plan.Join { j with left = drop_filters j.left; right = drop_filters j.right }
+    | Plan.Preagg p -> Plan.Preagg { p with child = drop_filters p.child }
+  in
+  check_code "dropped pushdown filter" "plan-filter-mismatch"
+    (Analyzer.check_plan_for_query ~lookup q (drop_filters (good_plan ())))
+
+(* ---------------- query checking ---------------- *)
+
+let test_check_query () =
+  let ds = Analyzer.check_query ~lookup (query ()) in
+  Alcotest.(check (list string)) "clean query" [] (codes ds);
+  let dup =
+    { (query ()) with
+      Logical.sources =
+        { Logical.name = "f"; filter = Predicate.tt }
+        :: (query ()).Logical.sources }
+  in
+  check_code "duplicate source" "duplicate-source"
+    (Analyzer.check_query ~lookup dup);
+  let disc = { (query ()) with Logical.join_preds = [ "f.k1", "a.k" ] } in
+  check_code "disconnected" "disconnected-join-graph"
+    (Analyzer.check_query ~lookup disc);
+  let bad = { (query ()) with Logical.group_cols = [ "f.zz" ] } in
+  check_code "unknown column" "unknown-column"
+    (Analyzer.check_query ~lookup bad);
+  (* All problems reported at once, not first-error-only. *)
+  let multi =
+    { (query ()) with
+      Logical.join_preds = [ "f.k1", "a.k" ];
+      group_cols = [ "f.zz" ] }
+  in
+  Alcotest.(check (list string)) "both reported"
+    [ "disconnected-join-graph"; "unknown-column" ]
+    (codes (Analyzer.check_query ~lookup multi))
+
+let test_too_many_relations () =
+  let n = Enumerate.max_relations + 1 in
+  let names = List.init n (Printf.sprintf "r%d") in
+  let lookup r =
+    if List.mem r names then Some (Schema.make [ r ^ ".k" ]) else None
+  in
+  let q =
+    { Logical.sources =
+        List.map (fun r -> { Logical.name = r; filter = Predicate.tt }) names;
+      join_preds =
+        List.init (n - 1) (fun i ->
+            Printf.sprintf "r%d.k" i, Printf.sprintf "r%d.k" (i + 1));
+      group_cols = []; aggs = []; projection = [] }
+  in
+  check_code "beyond enumerator bound" "too-many-relations"
+    (Analyzer.check_query ~lookup q)
+
+(* ---------------- pass 2: ADP conformance ---------------- *)
+
+let test_conformance () =
+  let left_deep = good_plan () in
+  let bushy =
+    Plan.join
+      (Plan.join (Plan.scan "f")
+         (Plan.scan ~filter:(Predicate.gt "a.w" (vi 5)) "a")
+         ~on:[ "f.k1", "a.k" ])
+      (Plan.scan "b")
+      ~on:[ "f.k2", "b.k" ]
+  in
+  Alcotest.(check (list string)) "same leaves conform" []
+    (codes (Analyzer.check_conformance [ left_deep; bushy ]));
+  (* Mismatched leaf sets across phases. *)
+  let smaller =
+    Plan.join (Plan.scan "f")
+      (Plan.scan ~filter:(Predicate.gt "a.w" (vi 5)) "a")
+      ~on:[ "f.k1", "a.k" ]
+  in
+  check_code "phase covers fewer relations" "adp-base-set-mismatch"
+    (Analyzer.check_conformance [ left_deep; smaller ]);
+  (* Same base set but a different pushed-down filter: the phases would
+     partition *different* streams of a. *)
+  let refiltered =
+    Plan.join
+      (Plan.join (Plan.scan "f")
+         (Plan.scan ~filter:(Predicate.gt "a.w" (vi 99)) "a")
+         ~on:[ "f.k1", "a.k" ])
+      (Plan.scan "b")
+      ~on:[ "f.k2", "b.k" ]
+  in
+  check_code "phase refilters a leaf" "adp-leaf-signature-mismatch"
+    (Analyzer.check_conformance [ left_deep; refiltered ])
+
+let test_equivalence () =
+  let before = good_plan () in
+  let after =
+    Plan.join
+      (Plan.join (Plan.scan "f")
+         (Plan.scan ~filter:(Predicate.gt "a.w" (vi 5)) "a")
+         ~on:[ "f.k1", "a.k" ])
+      (Plan.preagg ~group_cols:[ "b.k" ]
+         ~aggs:[ Aggregate.count_all ~name:"n" ]
+         (Plan.scan "b"))
+      ~on:[ "f.k2", "b.k" ]
+  in
+  Alcotest.(check (list string)) "preagg insertion is equivalent" []
+    (codes (Analyzer.check_equivalent ~before ~after));
+  let dropped =
+    Plan.join (Plan.scan "f")
+      (Plan.scan ~filter:(Predicate.gt "a.w" (vi 5)) "a")
+      ~on:[ "f.k1", "a.k" ]
+  in
+  check_code "dropping a relation" "rewrite-relation-mismatch"
+    (Analyzer.check_equivalent ~before ~after:dropped)
+
+(* ---------------- pass 3: stitch-up coverage ---------------- *)
+
+let test_symbolic_counts () =
+  (* Left-deep over 3 relations, n phases → n³ − n mixed combinations. *)
+  let tree = good_plan () in
+  List.iter
+    (fun n ->
+      let combos = Stitch_matrix.symbolic ~phases:n tree in
+      Alcotest.(check int)
+        (Printf.sprintf "left-deep 3 leaves, %d phases" n)
+        ((n * n * n) - n)
+        (List.length combos);
+      Alcotest.(check (list string)) "and exactly covers the matrix" []
+        (codes
+           (Stitch_matrix.check_cover ~relations:(Plan.relations tree)
+              ~phases:n combos)))
+    [ 2; 3; 4 ];
+  (* Bushy over 4 relations. *)
+  let bushy =
+    Plan.join
+      (Plan.join (Plan.scan "w") (Plan.scan "x") ~on:[ "w.k", "x.k" ])
+      (Plan.join (Plan.scan "y") (Plan.scan "z") ~on:[ "y.k", "z.k" ])
+      ~on:[ "w.k", "y.k" ]
+  in
+  List.iter
+    (fun n ->
+      let combos = Stitch_matrix.symbolic ~phases:n bushy in
+      Alcotest.(check int)
+        (Printf.sprintf "bushy 4 leaves, %d phases" n)
+        ((n * n * n * n) - n)
+        (List.length combos);
+      Alcotest.(check (list string)) "exactly covers" []
+        (codes
+           (Stitch_matrix.check_cover ~relations:(Plan.relations bushy)
+              ~phases:n combos)))
+    [ 2; 3 ]
+
+let test_matrix_damage () =
+  let tree = good_plan () in
+  let relations = Plan.relations tree in
+  let combos = Stitch_matrix.symbolic ~phases:2 tree in
+  (* 2³ − 2 = 6 combinations; damage them one way at a time. *)
+  Alcotest.(check int) "baseline count" 6 (List.length combos);
+  check_code "missing combination" "stitch-missing-combo"
+    (Stitch_matrix.check_cover ~relations ~phases:2 (List.tl combos));
+  check_code "duplicated combination" "stitch-duplicate-combo"
+    (Stitch_matrix.check_cover ~relations ~phases:2
+       (List.hd combos :: combos));
+  check_code "uniform combination leaks through" "stitch-uniform-combo"
+    (Stitch_matrix.check_cover ~relations ~phases:2
+       (List.map (fun r -> (r, 0)) relations :: combos));
+  check_code "combination outside the matrix" "stitch-alien-combo"
+    (Stitch_matrix.check_cover ~relations ~phases:2
+       (List.map (fun r -> (r, 7)) relations :: combos));
+  (* The buggy-evaluator model (no root exclusion list) is rejected. *)
+  check_code "evaluator without exclusion list" "stitch-uniform-combo"
+    (Stitch_matrix.check ~exclude_root_uniform:false ~phases:2 tree)
+
+let test_stitch_tree_checks () =
+  let q = query () in
+  Alcotest.(check (list string)) "good tree passes" []
+    (codes (Analyzer.check_stitch_tree ~phases:3 q (good_plan ())));
+  let preagg_high =
+    Plan.preagg ~group_cols:[ "f.k1" ]
+      ~aggs:[ Aggregate.count_all ~name:"n" ]
+      (good_plan ())
+  in
+  check_code "preagg above a join" "stitch-preagg-above-join"
+    (Analyzer.check_stitch_tree ~phases:3 q preagg_high)
+
+let test_matrix_too_large () =
+  (* 8 relations × 6 phases = 6⁸ ≈ 1.7M > bound: warn, don't enumerate. *)
+  let rels = List.init 8 (Printf.sprintf "r%d") in
+  let ds = Stitch_matrix.check_cover ~relations:rels ~phases:6 [] in
+  Alcotest.(check bool) "warns instead" true
+    (List.exists (fun d -> d.Diagnostic.code = "stitch-matrix-too-large") ds);
+  Alcotest.(check bool) "not an error" false (Diagnostic.has_errors ds)
+
+(* ---------------- pass 4: knobs and determinism ---------------- *)
+
+let test_knobs () =
+  let ok =
+    Analyzer.check_knobs ~poll_interval:1e4 ~switch_threshold:0.7
+      ~max_phases:4 ~min_leaf_seen:100 ~min_remaining_fraction:0.25
+      ~retry:Retry.default_policy
+  in
+  Alcotest.(check (list string)) "defaults are clean" [] (codes ok);
+  let zero =
+    Analyzer.check_knobs ~poll_interval:1e4 ~switch_threshold:0.0
+      ~max_phases:1 ~min_leaf_seen:0 ~min_remaining_fraction:0.0
+      ~retry:Retry.no_timeouts
+  in
+  Alcotest.(check (list string)) "pinned-plan config is legal" [] (codes zero);
+  let bad =
+    Analyzer.check_knobs ~poll_interval:(-1.0) ~switch_threshold:(-0.5)
+      ~max_phases:0 ~min_leaf_seen:(-1) ~min_remaining_fraction:1.5
+      ~retry:{ Retry.default_policy with jitter = 1.5; backoff_multiplier = 0.5 }
+  in
+  Alcotest.(check bool) "every bad knob reported" true
+    (List.length (Diagnostic.errors bad) >= 6);
+  Alcotest.(check (list string)) "all under one code" [ "bad-knob" ] (codes bad)
+
+let test_determinism_audit () =
+  Alcotest.(check bool) "flags Sys.time" true
+    (Determinism.audit_line "  let t0 = Sys.time () in" <> None);
+  Alcotest.(check bool) "flags global Random" true
+    (Determinism.audit_line "let x = Random.int 10" <> None);
+  Alcotest.(check bool) "marker exempts" true
+    (Determinism.audit_line "let t = Sys.time () (* determinism-ok *)" = None);
+  Alcotest.(check bool) "seeded Random.State is fine" true
+    (Determinism.audit_line "let x = Random.State.int st 10" = None);
+  let ds =
+    Determinism.audit_source ~path:"x.ml"
+      "let a = 1\nlet t = Unix.gettimeofday ()\n"
+  in
+  (match ds with
+   | [ d ] ->
+     Alcotest.(check string) "code" "wall-clock" d.Diagnostic.code;
+     Alcotest.(check string) "file:line" "x.ml:2" d.Diagnostic.path
+   | _ -> Alcotest.fail "expected exactly one diagnostic")
+
+(* ---------------- property: optimizer output is always clean ------- *)
+
+let gen_chain_workload =
+  QCheck2.Gen.(
+    let* n = int_range 2 5 in
+    let* cards = list_repeat n (int_range 10 100_000) in
+    let* filtered = list_repeat n bool in
+    let* phases = int_range 2 4 in
+    pure (n, cards, filtered, phases))
+
+let build_chain (n, cards, filtered, _phases) =
+  let name i = Printf.sprintf "r%d" i in
+  let schema i = Schema.make [ name i ^ ".k"; name i ^ ".v" ] in
+  let c = Catalog.create () in
+  List.iteri
+    (fun i card ->
+      Catalog.add c (name i)
+        { Catalog.schema = schema i; cardinality = Some (float_of_int card);
+          key = (if i mod 2 = 0 then Some (name i ^ ".k") else None) })
+    cards;
+  let q =
+    { Logical.sources =
+        List.init n (fun i ->
+            { Logical.name = name i;
+              filter =
+                (if List.nth filtered i then
+                   Predicate.gt (name i ^ ".v") (vi 500)
+                 else Predicate.tt) });
+      join_preds =
+        List.init (n - 1) (fun i -> (name i ^ ".k", name (i + 1) ^ ".k"));
+      group_cols = []; aggs = []; projection = [] }
+  in
+  (q, c)
+
+let prop_enumerated_plans_clean =
+  QCheck2.Test.make ~count:60 ~name:"every enumerated plan passes the analyzer"
+    gen_chain_workload (fun ((_, _, _, phases) as w) ->
+      let q, c = build_chain w in
+      let lookup r = try Some (Catalog.schema_of c r) with Not_found -> None in
+      let sels = Adp_stats.Selectivity.create () in
+      let est = Cardinality.create q c sels in
+      let best, _ = Enumerate.best_join_tree q est Cost_model.default in
+      let worst, _ = Enumerate.worst_join_tree q est Cost_model.default in
+      let top = List.map fst (Enumerate.top_trees ~k:3 q est Cost_model.default) in
+      let plans = best :: worst :: top in
+      List.for_all
+        (fun p ->
+          Analyzer.check_plan_for_query ~lookup q p
+          |> Diagnostic.has_errors |> not)
+        plans
+      && Analyzer.check_conformance plans |> Diagnostic.has_errors |> not
+      && List.for_all
+           (fun p ->
+             Analyzer.check_stitch_tree ~phases q p
+             |> Diagnostic.has_errors |> not)
+           plans)
+
+(* ---------------- integration: boundaries actually fire ----------- *)
+
+let test_corrective_rejects_bad_initial_plan () =
+  let ds = Tpch.generate { Tpch.scale = 0.001; distribution = Tpch.Uniform; seed = 7 } in
+  let q = Workload.query Workload.Q3A in
+  let catalog = Workload.catalog ds q in
+  let sources () = Workload.sources ds q () in
+  (* An initial plan that drops one of Q3's relations: the analyzer must
+     refuse it before any tuple is read. *)
+  let bad =
+    Plan.join (Plan.scan "customer") (Plan.scan "orders")
+      ~on:[ "customer.c_custkey", "orders.o_custkey" ]
+  in
+  match
+    Strategy.run ~label:"bad" ~initial_plan:bad Strategy.corrective_default q
+      catalog ~sources
+  with
+  | _ -> Alcotest.fail "bad initial plan accepted"
+  | exception Diagnostic.Failed (where, diags) ->
+    Alcotest.(check string) "failed at the initial-plan boundary"
+      "corrective.initial-plan" where;
+    Alcotest.(check bool) "reports the relation mismatch" true
+      (has_code "plan-relation-mismatch" diags)
+
+let test_strategy_rejects_bad_query () =
+  let ds = Tpch.generate { Tpch.scale = 0.001; distribution = Tpch.Uniform; seed = 7 } in
+  let q = Workload.query Workload.Q3A in
+  let catalog = Workload.catalog ds q in
+  let sources () = Workload.sources ds q () in
+  let broken = { q with Logical.group_cols = [ "customer.c_nope" ] } in
+  match Strategy.run ~label:"bad" Strategy.Eddying broken catalog ~sources with
+  | _ -> Alcotest.fail "bad query accepted"
+  | exception Diagnostic.Failed (where, diags) ->
+    Alcotest.(check string) "failed at the strategy boundary" "strategy" where;
+    Alcotest.(check bool) "reports the unknown column" true
+      (has_code "unknown-column" diags)
+
+let suite =
+  [ Alcotest.test_case "clean plan" `Quick test_clean_plan;
+    Alcotest.test_case "spec schema" `Quick test_spec_schema;
+    Alcotest.test_case "unknown source" `Quick test_unknown_source;
+    Alcotest.test_case "unknown filter column" `Quick test_unknown_filter_column;
+    Alcotest.test_case "dropped join key" `Quick test_dropped_join_key;
+    Alcotest.test_case "unresolved join key" `Quick test_unresolved_join_key;
+    Alcotest.test_case "swapped key types" `Quick test_swapped_key_types;
+    Alcotest.test_case "int-float keys joinable" `Quick test_int_float_keys_joinable;
+    Alcotest.test_case "duplicate source in plan" `Quick test_duplicate_source_in_plan;
+    Alcotest.test_case "cross product warning" `Quick test_cross_product_warning;
+    Alcotest.test_case "preagg missing column" `Quick test_preagg_missing_column;
+    Alcotest.test_case "preagg non-numeric agg" `Quick test_preagg_non_numeric_agg;
+    Alcotest.test_case "plan-query mismatches" `Quick test_plan_query_mismatches;
+    Alcotest.test_case "check query" `Quick test_check_query;
+    Alcotest.test_case "too many relations" `Quick test_too_many_relations;
+    Alcotest.test_case "ADP conformance" `Quick test_conformance;
+    Alcotest.test_case "rewrite equivalence" `Quick test_equivalence;
+    Alcotest.test_case "symbolic matrix counts" `Quick test_symbolic_counts;
+    Alcotest.test_case "damaged matrix rejected" `Quick test_matrix_damage;
+    Alcotest.test_case "stitch tree checks" `Quick test_stitch_tree_checks;
+    Alcotest.test_case "oversized matrix warns" `Quick test_matrix_too_large;
+    Alcotest.test_case "knob ranges" `Quick test_knobs;
+    Alcotest.test_case "determinism audit" `Quick test_determinism_audit;
+    qtest prop_enumerated_plans_clean;
+    Alcotest.test_case "corrective rejects bad initial plan" `Quick
+      test_corrective_rejects_bad_initial_plan;
+    Alcotest.test_case "strategy rejects bad query" `Quick
+      test_strategy_rejects_bad_query ]

@@ -17,6 +17,7 @@ let () =
       "preagg", Test_preagg.suite;
       "optimizer", Test_optimizer.suite;
       "stitchup", Test_stitchup.suite;
+      "analysis", Test_analysis.suite;
       "strategies", Test_strategies.suite;
       "sql", Test_sql.suite;
       "report", Test_report.suite ]
