@@ -100,6 +100,15 @@ let run_cqp ?(model = Source.Local) ~variant ~query:qid ~dataset:(ds_name, ds)
 
 let seconds = Report.seconds
 
+(* Machine-readable companion output: experiments that feed CI trend
+   tracking write a JSON file next to their printed tables. *)
+let emit_json ~file body =
+  let oc = open_out file in
+  output_string oc body;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[wrote %s]\n%!" file
+
 let time_cell (o : Strategy.outcome) = seconds o.Strategy.report.Report.time_s
 
 (* The bursty 802.11b-style model of Figure 3: limited bandwidth with

@@ -59,6 +59,21 @@ let cell (o : Strategy.outcome) =
     (Report.percent r.Report.coverage)
     r.Report.retries r.Report.failovers
 
+(* Raw cells accumulated for the BENCH_faults.json companion file. *)
+let json_cells = ref []
+
+let record ~mirrored ~frac ~budget (o : Strategy.outcome) =
+  let r = o.Strategy.report in
+  json_cells :=
+    Printf.sprintf
+      "    { \"mirrored\": %b, \"drop_fraction\": %.2f, \"budget\": %d, \
+       \"time_s\": %.6f, \"coverage\": %.4f, \"retries\": %d, \
+       \"failovers\": %d, \"result_card\": %d }"
+      mirrored frac budget r.Report.time_s r.Report.coverage
+      r.Report.retries r.Report.failovers r.Report.result_card
+    :: !json_cells;
+  o
+
 let sweep ~mirrored ~title =
   let card = Lazy.force lineitem_card in
   let header =
@@ -71,7 +86,10 @@ let sweep ~mirrored ~title =
         let drop_at = int_of_float (frac *. float_of_int card) in
         Printf.sprintf "%.0f%% of lineitem" (100.0 *. frac)
         :: List.map
-             (fun budget -> cell (run_one ~drop_at ~budget ~mirrored))
+             (fun budget ->
+               cell
+                 (record ~mirrored ~frac ~budget
+                    (run_one ~drop_at ~budget ~mirrored)))
           budgets
       )
       drop_fractions
@@ -90,4 +108,10 @@ let run () =
   sweep ~mirrored:false
     ~title:
       "Fault sweep with no mirror: exhausted budgets degrade to partial \
-       results"
+       results";
+  emit_json ~file:"BENCH_faults.json"
+    (Printf.sprintf
+       "{\n  \"query\": %S,\n  \"scale\": %g,\n  \"rejoin_s\": %g,\n  \
+        \"cells\": [\n%s\n  ]\n}"
+       (Workload.name qid) scale rejoin_s
+       (String.concat ",\n" (List.rev !json_cells)))

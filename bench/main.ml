@@ -14,6 +14,7 @@ let experiments =
     "sec45", ("join-size predictability", Bench_sec45.run);
     "ablation", ("design-choice ablations", Bench_ablation.run);
     "faults", ("fault-tolerance sweep, disconnects x retry budgets", Bench_faults.run);
+    "recovery", ("checkpoint overhead and crash recovery", Bench_recovery.run);
     "check", ("static-analyzer overhead per plan boundary", Bench_check.run);
     "micro", ("bechamel micro-benchmarks", Bench_micro.run) ]
 

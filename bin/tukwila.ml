@@ -280,9 +280,68 @@ let retry_arg =
   in
   Term.(const combine $ timeout $ retries $ backoff)
 
+(* ---------------- checkpointing / crash recovery ---------------- *)
+
+let checkpoint_dir_arg =
+  let doc =
+    "Write execution checkpoints (phase ledger, operator state, stream \
+     positions, observed statistics) into $(i,DIR).  By default one \
+     checkpoint is written at every phase boundary; add \
+     $(b,--checkpoint-every) for mid-phase snapshots."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Also checkpoint every $(i,N) consumed source tuples (requires \
+     $(b,--checkpoint-dir))."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume an interrupted run from $(i,PATH) (a checkpoint file or a \
+     directory holding them; with no value, the latest checkpoint in \
+     $(b,--checkpoint-dir)).  The interrupted phase is closed at its \
+     recorded positions and the residual input continues in a new, \
+     re-optimized phase; stitch-up makes the answer equal an \
+     uninterrupted run's."
+  in
+  Arg.(value & opt ~vopt:(Some "") (some string) None
+       & info [ "resume" ] ~docv:"PATH" ~doc)
+
+let crash_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "tuples"; n ] ->
+      (try Ok (Adp_recovery.Crash.After_tuples (int_of_string n))
+       with Failure _ -> Error (`Msg "tuples:<count>"))
+    | [ "phase"; k ] ->
+      (try Ok (Adp_recovery.Crash.At_phase_boundary (int_of_string k))
+       with Failure _ -> Error (`Msg "phase:<id>"))
+    | [ "stitchup" ] -> Ok Adp_recovery.Crash.During_stitchup
+    | _ -> Error (`Msg "expected tuples:N, phase:K, or stitchup")
+  in
+  let print fmt = function
+    | Adp_recovery.Crash.After_tuples n -> Format.fprintf fmt "tuples:%d" n
+    | Adp_recovery.Crash.At_phase_boundary k -> Format.fprintf fmt "phase:%d" k
+    | Adp_recovery.Crash.During_stitchup -> Format.fprintf fmt "stitchup"
+  in
+  let doc =
+    "Kill the engine at an execution point (after any due checkpoint is \
+     written): $(b,tuples:N) after N consumed tuples, $(b,phase:K) while \
+     closing phase K, $(b,stitchup) once result assembly starts.  The \
+     process exits 3; a later $(b,--resume) run picks up from the last \
+     checkpoint.  Repeatable."
+  in
+  Arg.(value & opt_all (conv (parse, print)) []
+       & info [ "crash-after"; "crash" ] ~docv:"POINT" ~doc)
+
 let query_cmd =
   let run sql scale skew seed cards strategy preagg model faults mirrors
-      retry limit =
+      retry limit ckpt_dir ckpt_every resume crash =
     let ds = dataset scale skew seed in
     let q, order = parse_query_with_order sql in
     let catalog = Workload.catalog ~with_cardinalities:cards ds q in
@@ -314,19 +373,70 @@ let query_cmd =
       end;
       srcs
     in
+    let checkpoint =
+      match ckpt_dir with
+      | Some dir ->
+        Some
+          (Adp_recovery.Checkpoint.policy ?every_tuples:ckpt_every ~dir ())
+      | None ->
+        if ckpt_every <> None then
+          Printf.eprintf
+            "warning: --checkpoint-every needs --checkpoint-dir\n%!";
+        None
+    in
+    let resume_from =
+      match resume with
+      | None -> None
+      | Some "" -> (
+        match ckpt_dir with
+        | Some dir -> Some dir
+        | None ->
+          Printf.eprintf "--resume with no path needs --checkpoint-dir\n%!";
+          exit 2)
+      | Some path -> Some path
+    in
+    let recovery_cfg c =
+      { c with Corrective.checkpoint; resume_from; crash }
+    in
     let strategy =
       match strategy with
-      | `Static -> Strategy.Static
+      | `Static ->
+        if checkpoint = None && resume_from = None && crash = [] then
+          Strategy.Static
+        else
+          (* Static is corrective that never switches on its own; recovery
+             can still force a phase switch across a crash. *)
+          Strategy.Corrective
+            (recovery_cfg
+               { Corrective.default_config with
+                 poll_interval = infinity; max_phases = 1 })
       | `Corrective ->
         Strategy.Corrective
-          { Corrective.default_config with poll_interval = 2e4 }
+          (recovery_cfg
+             { Corrective.default_config with poll_interval = 2e4 })
       | `Planpart -> Strategy.Plan_partitioned { break_after = 3 }
       | `Competitive ->
         Strategy.Competitive { candidates = 3; explore_budget = 5e4 }
       | `Eddy -> Strategy.Eddying
     in
+    (match strategy with
+     | Strategy.Corrective _ | Strategy.Static -> ()
+     | _ ->
+       if checkpoint <> None || resume_from <> None || crash <> [] then
+         Printf.eprintf
+           "warning: checkpointing applies only to static/corrective runs\n%!");
     let o =
-      Strategy.run ~preagg ~label:"query" ~retry strategy q catalog ~sources
+      match
+        Strategy.run ~preagg ~label:"query" ~retry strategy q catalog ~sources
+      with
+      | o -> o
+      | exception Adp_recovery.Crash.Crashed msg ->
+        Printf.eprintf "%s\n%!" msg;
+        exit 3
+      | exception Adp_analysis.Diagnostic.Failed (where, ds) ->
+        Printf.eprintf "%s: %d problem(s)\n%s\n%!" where (List.length ds)
+          (Adp_analysis.Diagnostic.to_string ds);
+        exit 1
     in
     Format.printf "%a@.@." Report.pp_run o.Strategy.report;
     (match o.Strategy.corrective_stats with
@@ -351,7 +461,8 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Term.(const run $ sql_arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
           $ strategy_arg $ preagg_arg $ model_arg $ fault_arg $ mirror_arg
-          $ retry_arg $ limit_arg)
+          $ retry_arg $ limit_arg $ checkpoint_dir_arg $ checkpoint_every_arg
+          $ resume_arg $ crash_arg)
 
 (* ---------------- check ---------------- *)
 

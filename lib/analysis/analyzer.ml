@@ -456,3 +456,90 @@ let check_workload ?(types = no_types) ?(phases = 2) ~lookup q specs =
       | _ -> []
     in
     qds @ pds @ cds @ sds
+
+(* ------------------------------------------------------------------ *)
+(* Pass 5: checkpoint phase ledger                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_checkpoint_regions ~ledger ~sources =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  (match ledger with
+   | [] -> add (Diagnostic.error ~code:"ckpt-empty-ledger" ~path:"ledger"
+                  "checkpoint carries no phase regions")
+   | _ -> ());
+  (* Phase ids must be strictly increasing: the ledger's order *is* the
+     region order (phase k's region is (end_{k-1}, end_k]). *)
+  let rec ids_ok = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if b <= a then
+        add
+          (Diagnostic.errorf ~code:"ckpt-phase-order"
+             ~path:(Printf.sprintf "phase-%d" b)
+             "phase ids out of order in the ledger (%d after %d)" b a);
+      ids_ok rest
+    | [ _ ] | [] -> ()
+  in
+  ids_ok ledger;
+  let source_names = List.map fst sources in
+  (* Every phase entry must speak about the same source set the recovered
+     execution will read, and end positions must be monotone per source
+     (otherwise the regions overlap or leave gaps) and within the
+     re-created source's cardinality (otherwise the stream shrank and the
+     recorded regions no longer partition it). *)
+  List.iter
+    (fun (phase_id, ends) ->
+      let path = Printf.sprintf "phase-%d" phase_id in
+      List.iter
+        (fun (src, pos) ->
+          match List.assoc_opt src sources with
+          | None ->
+            add
+              (Diagnostic.errorf ~code:"ckpt-source-missing"
+                 ~path:(path ^ "." ^ src)
+                 "checkpoint records positions for source %S, which the \
+                  recovered execution does not have" src)
+          | Some card ->
+            if pos < 0 then
+              add
+                (Diagnostic.errorf ~code:"ckpt-region-overlap"
+                   ~path:(path ^ "." ^ src)
+                   "negative stream position %d" pos);
+            if pos > card then
+              add
+                (Diagnostic.errorf ~code:"ckpt-source-truncated"
+                   ~path:(path ^ "." ^ src)
+                   "checkpoint position %d exceeds source %S's cardinality \
+                    %d: the stream shrank and the recorded regions no \
+                    longer partition it" pos src card))
+        ends;
+      List.iter
+        (fun name ->
+          if not (List.mem_assoc name ends) then
+            add
+              (Diagnostic.errorf ~code:"ckpt-source-unknown"
+                 ~path:(path ^ "." ^ name)
+                 "source %S has no recorded position in this phase entry"
+                 name))
+        source_names)
+    ledger;
+  (* Monotone end positions across consecutive phases. *)
+  let rec monotone = function
+    | (pa, ea) :: (((pb, eb) :: _) as rest) ->
+      List.iter
+        (fun (src, pos_a) ->
+          match List.assoc_opt src eb with
+          | Some pos_b when pos_b < pos_a ->
+            add
+              (Diagnostic.errorf ~code:"ckpt-region-overlap"
+                 ~path:(Printf.sprintf "phase-%d.%s" pb src)
+                 "source %S position regresses from %d (phase %d) to %d \
+                  (phase %d): phase regions would overlap" src pos_a pa
+                 pos_b pb)
+          | Some _ | None -> ())
+        ea;
+      monotone rest
+    | [ _ ] | [] -> ()
+  in
+  monotone ledger;
+  List.rev !ds

@@ -112,3 +112,22 @@ val check_knobs :
 val check_workload :
   ?types:type_lookup -> ?phases:int -> lookup:schema_lookup ->
   Logical.query -> Plan.spec list -> Diagnostic.t list
+
+(** {2 Pass 5: checkpoint phase ledger}
+
+    Recovery-time validation that a checkpoint's phase regions still
+    partition the source streams it is being resumed against.  [ledger]
+    is the checkpoint's phase ledger, oldest phase first: each entry is
+    the phase id and the per-source cumulative end position at the moment
+    the phase closed (the last entry is the in-flight phase at capture
+    time).  [sources] are the re-created sources with their current
+    cardinalities.  Codes: ["ckpt-empty-ledger"], ["ckpt-phase-order"],
+    ["ckpt-source-missing"] (ledger names a source the recovered run
+    lacks), ["ckpt-source-unknown"] (a recovered source has no recorded
+    position), ["ckpt-source-truncated"] (recorded position beyond the
+    stream's end — the source shrank), and ["ckpt-region-overlap"]
+    (positions regress between phases). *)
+val check_checkpoint_regions :
+  ledger:(int * (string * int) list) list ->
+  sources:(string * int) list ->
+  Diagnostic.t list

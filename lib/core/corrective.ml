@@ -3,6 +3,8 @@ open Adp_storage
 open Adp_optimizer
 module Analyzer = Adp_analysis.Analyzer
 module Diagnostic = Adp_analysis.Diagnostic
+module Checkpoint = Adp_recovery.Checkpoint
+module Crash = Adp_recovery.Crash
 
 type config = {
   poll_interval : float;
@@ -17,6 +19,9 @@ type config = {
   min_remaining_fraction : float;
   use_histograms : bool;
   retry : Retry.policy;
+  checkpoint : Checkpoint.policy option;
+  resume_from : string option;
+  crash : Crash.point list;
 }
 
 let default_config =
@@ -25,7 +30,8 @@ let default_config =
     costs = Cost_model.default; reuse_intermediates = true;
     initial_plan = None; memory_budget = None;
     min_remaining_fraction = 0.25; use_histograms = false;
-    retry = Retry.default_policy }
+    retry = Retry.default_policy; checkpoint = None; resume_from = None;
+    crash = [] }
 
 type phase_info = {
   id : int;
@@ -48,6 +54,17 @@ type stats = {
   retries : int;
   failovers : int;
   sources_failed : int;
+  checkpoints : int;
+  paged_out : int;
+  resumed_phases : int;
+}
+
+(* A closed phase, what it read, and where its region ends per source —
+   the ledger entry a checkpoint records for it. *)
+type closed = {
+  cl_phase : Phase.t;
+  cl_read : int;
+  cl_ends : (string * int) list;
 }
 
 (* Order detection (plus a distinct sketch and the value range) on every
@@ -391,6 +408,46 @@ let run ?(config = default_config) query catalog sources =
        ~min_leaf_seen:cfg.min_leaf_seen
        ~min_remaining_fraction:cfg.min_remaining_fraction ~retry:cfg.retry
     @ Analyzer.check_query ~lookup query);
+  let fp = Checkpoint.fingerprint query in
+  (* Recovery (tentpole): load the checkpoint, validate it against this
+     query and these sources, and absorb its observed statistics so the
+     initial plan of the resumed execution is re-optimized with everything
+     the interrupted run had learned. *)
+  let resume =
+    match cfg.resume_from with
+    | None -> None
+    | Some path ->
+      let path =
+        if Sys.file_exists path && Sys.is_directory path then
+          match Checkpoint.latest ~dir:path with
+          | Some p -> p
+          | None ->
+            raise
+              (Diagnostic.Failed
+                 ( "corrective.resume",
+                   [ Diagnostic.errorf ~code:"ckpt-none-found" ~path
+                       "no checkpoint files in directory" ] ))
+        else path
+      in
+      (match Checkpoint.load path with
+       | Error diags -> raise (Diagnostic.Failed ("corrective.resume", diags))
+       | Ok ck ->
+         let fp_diags =
+           if ck.Checkpoint.fingerprint = fp then []
+           else
+             [ Diagnostic.errorf ~code:"ckpt-fingerprint-mismatch" ~path
+                 "checkpoint was written by a different query" ]
+         in
+         let src_cards =
+           List.map (fun s -> Source.name s, Source.cardinality s) sources
+         in
+         Diagnostic.raise_if_errors ~where:"corrective.resume"
+           (fp_diags
+           @ Analyzer.check_checkpoint_regions
+               ~ledger:(Checkpoint.ledger ck) ~sources:src_cards);
+         Adp_stats.Selectivity.absorb sels ck.Checkpoint.stats;
+         Some ck)
+  in
   let initial_spec =
     match cfg.initial_plan with
     | Some spec ->
@@ -411,21 +468,137 @@ let run ?(config = default_config) query catalog sources =
         (Analyzer.check_plan_for_query ~lookup query spec);
       spec
   in
-  let record_outputs = cfg.max_phases > 1 in
+  let record_outputs =
+    cfg.max_phases > 1 || cfg.checkpoint <> None || resume <> None
+  in
+  let restored =
+    match resume with
+    | None -> []
+    | Some ck -> ck.Checkpoint.completed @ Option.to_list ck.Checkpoint.current
+  in
+  (match resume with
+   | None -> ()
+   | Some _ ->
+     (* Every restored plan plus the new phase's plan must share the same
+        effective leaves and output schema — the standard cross-phase
+        conformance invariant, now spanning the crash. *)
+     Diagnostic.raise_if_errors ~where:"corrective.resume"
+       (Analyzer.check_conformance
+          (List.map (fun pr -> pr.Checkpoint.pr_spec) restored
+          @ [ initial_spec ])));
   let current =
-    ref (Phase.create ~record_outputs ~id:0 ctx initial_spec ~schema_of)
+    ref
+      (Phase.create ~record_outputs ~id:(List.length restored) ctx
+         initial_spec ~schema_of)
   in
   let sink = Sink.create ctx query ~canonical:(Plan.schema !current.Phase.plan) in
   let completed = ref [] in
+  (* Recovery is a forced phase switch: close every checkpointed phase at
+     its recorded positions.  Re-feed the outputs each had already emitted
+     (the sink's state died with the crash), flush the one interrupted
+     mid-phase to a consistent state, and register partitions so stitch-up
+     can reuse them.  Tuples below the checkpointed positions belong to
+     these phases' regions; the residual input belongs to the new phase —
+     that partition of the streams is what makes the resumed answer
+     exactly-once. *)
+  List.iter
+    (fun (pr : Checkpoint.phase_record) ->
+      let ph =
+        Phase.create ~record_outputs:true ~id:pr.Checkpoint.pr_id ctx
+          pr.Checkpoint.pr_spec ~schema_of
+      in
+      Plan.restore ph.Phase.plan pr.Checkpoint.pr_state;
+      ph.Phase.emitted <- pr.Checkpoint.pr_emitted;
+      let sch, outs = Plan.root_results ph.Phase.plan in
+      Sink.feed sink ~from:sch outs;
+      let flushed = Plan.flush ph.Phase.plan in
+      if flushed <> [] then begin
+        ph.Phase.emitted <- ph.Phase.emitted + List.length flushed;
+        Sink.feed sink ~from:(Plan.schema ph.Phase.plan) flushed
+      end;
+      Phase.register ph registry;
+      completed :=
+        { cl_phase = ph; cl_read = pr.Checkpoint.pr_read;
+          cl_ends = pr.Checkpoint.pr_ends }
+        :: !completed)
+    restored;
+  (* Rebuilding state charged the (fresh) virtual clock; the run proper
+     continues from the checkpointed instant and counters. *)
+  (match resume with
+   | None -> ()
+   | Some ck ->
+     Clock.restore ctx.Ctx.clock ck.Checkpoint.clock;
+     ctx.Ctx.tuples_read <- ck.Checkpoint.tuples_read;
+     ctx.Ctx.tuples_output <- ck.Checkpoint.tuples_output;
+     ctx.Ctx.retries <- ck.Checkpoint.retries;
+     ctx.Ctx.failovers <- ck.Checkpoint.failovers;
+     ctx.Ctx.sources_failed <- ck.Checkpoint.sources_failed;
+     let at = Ctx.now ctx in
+     List.iter
+       (fun src ->
+         match
+           List.assoc_opt (Source.name src) ck.Checkpoint.positions
+         with
+         | Some pos -> Source.resume_at src ~pos ~at
+         | None -> ())
+       sources);
   let next_spec = ref None in
   let phase_count () = List.length !completed + 1 in
+  let reads_before = ref ctx.Ctx.tuples_read in
+  let checkpoints = ref 0 in
+  let paged_out = ref 0 in
+  let ckpt_seq =
+    ref (match resume with Some ck -> ck.Checkpoint.seq | None -> 0)
+  in
+  let last_ckpt_read = ref ctx.Ctx.tuples_read in
+  let crash = Crash.injector cfg.crash in
+  let positions () =
+    List.map (fun s -> Source.name s, Source.consumed s) sources
+  in
+  let closed_record cl =
+    { Checkpoint.pr_id = cl.cl_phase.Phase.id;
+      pr_spec = cl.cl_phase.Phase.spec;
+      pr_state = Plan.capture cl.cl_phase.Phase.plan;
+      pr_emitted = cl.cl_phase.Phase.emitted; pr_read = cl.cl_read;
+      pr_ends = cl.cl_ends }
+  in
+  let current_record () =
+    let ph = !current in
+    { Checkpoint.pr_id = ph.Phase.id; pr_spec = ph.Phase.spec;
+      pr_state = Plan.capture ph.Phase.plan; pr_emitted = ph.Phase.emitted;
+      pr_read = ctx.Ctx.tuples_read - !reads_before; pr_ends = positions () }
+  in
+  let write_checkpoint (policy : Checkpoint.policy) ~include_current =
+    incr ckpt_seq;
+    let ck =
+      { Checkpoint.seq = !ckpt_seq; fingerprint = fp;
+        clock = Clock.capture ctx.Ctx.clock;
+        tuples_read = ctx.Ctx.tuples_read;
+        tuples_output = ctx.Ctx.tuples_output; retries = ctx.Ctx.retries;
+        failovers = ctx.Ctx.failovers;
+        sources_failed = ctx.Ctx.sources_failed; positions = positions ();
+        stats = Adp_stats.Selectivity.dump sels;
+        completed = List.rev_map closed_record !completed;
+        current = (if include_current then Some (current_record ()) else None)
+      }
+    in
+    ignore (Checkpoint.save ~dir:policy.Checkpoint.dir ck : string);
+    incr checkpoints;
+    last_ckpt_read := ctx.Ctx.tuples_read
+  in
   let consume src tuple =
     let ph = !current in
     let outs = Plan.push ph.Phase.plan ~source:(Source.name src) tuple in
     if outs <> [] then begin
       ph.Phase.emitted <- ph.Phase.emitted + List.length outs;
       Sink.feed sink ~from:(Plan.schema ph.Phase.plan) outs
-    end
+    end;
+    (match cfg.checkpoint with
+     | Some ({ Checkpoint.every_tuples = Some n; _ } as p)
+       when n > 0 && ctx.Ctx.tuples_read - !last_ckpt_read >= n ->
+       write_checkpoint p ~include_current:true
+     | Some _ | None -> ());
+    Crash.tuple_consumed crash ~total:ctx.Ctx.tuples_read
   in
   let poll () =
     let ph = !current in
@@ -434,8 +607,19 @@ let run ?(config = default_config) query catalog sources =
     (match cfg.memory_budget with
      | Some budget ->
        let sw = Plan.apply_memory_pressure ph.Phase.plan ~budget in
+       if sw <> [] then begin
+         paged_out := !paged_out + List.length sw;
+         (* Paged-out state is the state most expensive to lose: it is
+            about to leave memory anyway, so snapshotting it now is the
+            cheapest moment to make it durable. *)
+         match cfg.checkpoint with
+         | Some p when p.Checkpoint.on_page_out ->
+           write_checkpoint p ~include_current:true
+         | Some _ | None -> ()
+       end;
        if Sys.getenv_opt "ADP_DEBUG" <> None then
-         Printf.eprintf "poll: swapped=%d in_use=%d\n%!" sw (Plan.memory_in_use ph.Phase.plan)
+         Printf.eprintf "poll: swapped=%d in_use=%d\n%!" (List.length sw)
+           (Plan.memory_in_use ph.Phase.plan)
      | None -> ());
     update_observations cfg query catalog sels sources order_detectors ph.Phase.plan;
     (* §4.3: factor in work already performed — late in the input there
@@ -492,7 +676,7 @@ let run ?(config = default_config) query catalog sources =
         Diagnostic.raise_if_errors ~where:"corrective.switch"
           (Analyzer.check_plan_for_query ~lookup query best.spec
           @ Analyzer.check_conformance
-              (List.rev_map (fun (p, _) -> p.Phase.spec) !completed
+              (List.rev_map (fun c -> c.cl_phase.Phase.spec) !completed
               @ [ ph.Phase.spec; best.spec ]));
         next_spec := Some best.spec;
         `Switch
@@ -500,7 +684,6 @@ let run ?(config = default_config) query catalog sources =
       else `Continue
     end
   in
-  let reads_before = ref 0 in
   let finish_phase () =
     let ph = !current in
     let outs = Plan.flush ph.Phase.plan in
@@ -512,7 +695,13 @@ let run ?(config = default_config) query catalog sources =
     Phase.register ph registry;
     let read = ctx.Ctx.tuples_read - !reads_before in
     reads_before := ctx.Ctx.tuples_read;
-    completed := (ph, read) :: !completed
+    completed :=
+      { cl_phase = ph; cl_read = read; cl_ends = positions () } :: !completed;
+    (match cfg.checkpoint with
+     | Some p when p.Checkpoint.at_phase_boundary ->
+       write_checkpoint p ~include_current:false
+     | Some _ | None -> ());
+    Crash.phase_closed crash ~id:ph.Phase.id
   in
   let rec drive () =
     match
@@ -534,7 +723,8 @@ let run ?(config = default_config) query catalog sources =
     | Driver.Exhausted -> finish_phase ()
   in
   drive ();
-  let phases = List.rev_map fst !completed in
+  Crash.stitchup_started crash;
+  let phases = List.rev_map (fun c -> c.cl_phase) !completed in
   let stitch =
     if List.length phases <= 1 then
       { Stitchup.combos_possible = 0; output = 0; reused = 0;
@@ -588,7 +778,7 @@ let run ?(config = default_config) query catalog sources =
           in
           let candidates =
             optimized
-            :: List.map (fun (ph, _) -> ph.Phase.spec) !completed
+            :: List.map (fun c -> c.cl_phase.Phase.spec) !completed
           in
           List.fold_left
             (fun best cand -> if score cand < score best then cand else best)
@@ -611,9 +801,9 @@ let run ?(config = default_config) query catalog sources =
   let result = Sink.result sink in
   let phase_log =
     List.rev_map
-      (fun ((ph : Phase.t), read) ->
-        { id = ph.Phase.id; plan_desc = plan_desc ph.Phase.spec;
-          emitted = ph.Phase.emitted; read })
+      (fun c ->
+        { id = c.cl_phase.Phase.id; plan_desc = plan_desc c.cl_phase.Phase.spec;
+          emitted = c.cl_phase.Phase.emitted; read = c.cl_read })
       !completed
   in
   let coverage =
@@ -637,4 +827,6 @@ let run ?(config = default_config) query catalog sources =
          else Registry.discarded_tuples registry);
       phase_log; coverage; retries = ctx.Ctx.retries;
       failovers = ctx.Ctx.failovers;
-      sources_failed = ctx.Ctx.sources_failed } )
+      sources_failed = ctx.Ctx.sources_failed;
+      checkpoints = !checkpoints; paged_out = !paged_out;
+      resumed_phases = List.length restored } )

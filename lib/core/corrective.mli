@@ -51,6 +51,21 @@ type config = {
           permanent source failure triggers an immediate re-optimizer
           poll (a dead build-side input changes the best remaining
           plan) *)
+  checkpoint : Adp_recovery.Checkpoint.policy option;
+      (** when set, write consistent snapshots of the execution (phase
+          ledger, operator state, stream positions, clock, observed
+          statistics) to the policy's directory at the policy's trigger
+          points *)
+  resume_from : string option;
+      (** recovery: path to a checkpoint file (or a directory, meaning
+          its latest checkpoint).  The run closes the interrupted phase at
+          its recorded positions and continues the residual input in a
+          new, freshly re-optimized phase; stitch-up joins the cross-phase
+          combinations, so the answer equals an uninterrupted run's *)
+  crash : Adp_recovery.Crash.point list;
+      (** engine-level fault injection: raise
+          {!Adp_recovery.Crash.Crashed} at the given execution points
+          (after any due checkpoint has been written) *)
 }
 
 val default_config : config
@@ -80,6 +95,11 @@ type stats = {
   retries : int;  (** reconnect attempts issued *)
   failovers : int;  (** mirror failovers performed *)
   sources_failed : int;  (** sources permanently lost *)
+  checkpoints : int;  (** checkpoint files written by this run *)
+  paged_out : int;
+      (** state structures paged out by memory pressure over the run *)
+  resumed_phases : int;
+      (** phases restored from a checkpoint (0 for a fresh run) *)
 }
 
 (** Execute the query under corrective query processing.  Sources are

@@ -12,6 +12,8 @@ type run = {
   coverage : float;
   retries : int;
   failovers : int;
+  paged_out : int;
+  checkpoints : int;
 }
 
 let human_int n =
@@ -37,7 +39,10 @@ let pp_run fmt r =
     r.result_card;
   if r.retries > 0 || r.failovers > 0 || r.coverage < 1.0 then
     Format.fprintf fmt ", coverage %s (%d retries, %d failovers)"
-      (percent r.coverage) r.retries r.failovers
+      (percent r.coverage) r.retries r.failovers;
+  if r.paged_out > 0 then Format.fprintf fmt ", %d paged out" r.paged_out;
+  if r.checkpoints > 0 then
+    Format.fprintf fmt ", %d checkpoint(s)" r.checkpoints
 
 let table ~title ~header rows =
   let all = header :: rows in

@@ -18,6 +18,11 @@ type run = {
           permanently lost and the run completed with partial results *)
   retries : int;  (** source reconnect attempts issued *)
   failovers : int;  (** mirror failovers performed *)
+  paged_out : int;
+      (** state structures paged out under memory pressure (which nodes
+          were swapped is reported per-poll by
+          {!Adp_exec.Plan.apply_memory_pressure}) *)
+  checkpoints : int;  (** checkpoint files written during the run *)
 }
 
 val pp_run : Format.formatter -> run -> unit

@@ -54,7 +54,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           stitch_time_s = us_to_s stats.stitch.Stitchup.time;
           reused = stats.reused_tuples; discarded = stats.discarded_tuples;
           result_card = stats.result_card; coverage = stats.coverage;
-          retries = stats.retries; failovers = stats.failovers }
+          retries = stats.retries; failovers = stats.failovers;
+          paged_out = stats.paged_out; checkpoints = stats.checkpoints }
       in
       { result; report; corrective_stats = Some stats }
     | Plan_partitioned { break_after } ->
@@ -67,7 +68,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           cpu_s = us_to_s stats.cpu; idle_s = us_to_s stats.idle;
           wall_s = 0.0; phases = stats.stages; stitch_time_s = 0.0;
           reused = 0; discarded = 0; result_card = stats.result_card;
-          coverage = 1.0; retries = 0; failovers = 0 }
+          coverage = 1.0; retries = 0; failovers = 0; paged_out = 0;
+          checkpoints = 0 }
       in
       { result; report; corrective_stats = None }
     | Competitive { candidates; explore_budget } ->
@@ -80,7 +82,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           cpu_s = us_to_s stats.cpu; idle_s = us_to_s stats.idle;
           wall_s = 0.0; phases = 1; stitch_time_s = 0.0; reused = 0;
           discarded = 0; result_card = stats.result_card; coverage = 1.0;
-          retries = 0; failovers = 0 }
+          retries = 0; failovers = 0; paged_out = 0; checkpoints = 0 }
       in
       { result; report; corrective_stats = None }
     | Eddying ->
@@ -123,7 +125,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           idle_s = us_to_s (Clock.idle ctx.Ctx.clock); wall_s = 0.0;
           phases = 1; stitch_time_s = 0.0; reused = 0; discarded = 0;
           result_card = Relation.cardinality result; coverage;
-          retries = ctx.Ctx.retries; failovers = ctx.Ctx.failovers }
+          retries = ctx.Ctx.retries; failovers = ctx.Ctx.failovers;
+          paged_out = 0; checkpoints = 0 }
       in
       { result; report; corrective_stats = None }
   in

@@ -34,3 +34,19 @@ let reset t =
   t.cpu <- 0.0;
   t.idle <- 0.0;
   t.retry_idle <- 0.0
+
+type state = {
+  s_now : float;
+  s_cpu : float;
+  s_idle : float;
+  s_retry_idle : float;
+}
+
+let capture t =
+  { s_now = t.now; s_cpu = t.cpu; s_idle = t.idle; s_retry_idle = t.retry_idle }
+
+let restore t s =
+  t.now <- s.s_now;
+  t.cpu <- s.s_cpu;
+  t.idle <- s.s_idle;
+  t.retry_idle <- s.s_retry_idle

@@ -38,3 +38,15 @@ val idle : t -> float
 val retry_idle : t -> float
 
 val reset : t -> unit
+
+(** Snapshot of the clock's counters, for checkpointing: a recovered
+    execution resumes virtual time where the interrupted one stopped. *)
+type state = {
+  s_now : float;
+  s_cpu : float;
+  s_idle : float;
+  s_retry_idle : float;
+}
+
+val capture : t -> state
+val restore : t -> state -> unit

@@ -473,15 +473,16 @@ let join_tables t =
     (fun acc node ->
       match node.impl with
       | RJoin j ->
-        (List.length node.n_relations, j.ltbl)
-        :: (List.length node.n_relations, j.rtbl)
+        (List.length node.n_relations, node.n_signature ^ "#build-left", j.ltbl)
+        :: ( List.length node.n_relations,
+             node.n_signature ^ "#build-right", j.rtbl )
         :: acc
       | RLeaf _ | RPreagg _ -> acc)
     [] t.root
 
 let memory_in_use t =
   List.fold_left
-    (fun acc (_, tbl) ->
+    (fun acc (_, _, tbl) ->
       if Hash_table.swapped tbl then acc else acc + Hash_table.length tbl)
     0 (join_tables t)
 
@@ -489,20 +490,119 @@ let apply_memory_pressure t ~budget =
   (* Keep the simplest expressions resident (they are the likeliest to be
      shared); page out from the most complex end once the budget runs out. *)
   let tables =
-    List.sort (fun (ca, _) (cb, _) -> Int.compare ca cb) (join_tables t)
+    List.sort
+      (fun (ca, na, _) (cb, nb, _) ->
+        let c = Int.compare ca cb in
+        if c <> 0 then c else String.compare na nb)
+      (join_tables t)
   in
-  let swapped = ref 0 in
+  let swapped = ref [] in
   let used = ref 0 in
   List.iter
-    (fun (_, tbl) ->
+    (fun (_, descr, tbl) ->
       let size = Hash_table.length tbl in
       if !used + size <= budget then begin
         used := !used + size;
         Hash_table.swap_in tbl
       end
       else begin
-        incr swapped;
+        swapped := descr :: !swapped;
         Hash_table.swap_out tbl
       end)
     tables;
-  !swapped
+  List.rev !swapped
+
+(* ------------------------------------------------------------------ *)
+(* State capture and restore (checkpoint/recovery)                    *)
+(* ------------------------------------------------------------------ *)
+
+type preagg_state = {
+  ps_window : int;
+  ps_in_window : int;
+  ps_in_total : int;
+  ps_out_total : int;
+  ps_groups : (Tuple.t * Tuple.t) list;
+}
+
+type state = {
+  st_outputs : Tuple.t list;
+  st_out_count : int;
+  st_impl : impl_state;
+}
+
+and impl_state =
+  | St_leaf of { seen : int }
+  | St_join of {
+      st_left : state;
+      st_right : state;
+      ltuples : Tuple.t list;
+      rtuples : Tuple.t list;
+      lswapped : bool;
+      rswapped : bool;
+    }
+  | St_preagg of { st_child : state; st_pa : preagg_state }
+
+let rec capture_node node =
+  let st_impl =
+    match node.impl with
+    | RLeaf l -> St_leaf { seen = l.seen }
+    | RJoin j ->
+      St_join
+        { st_left = capture_node j.left; st_right = capture_node j.right;
+          ltuples = Hash_table.to_list j.ltbl;
+          rtuples = Hash_table.to_list j.rtbl;
+          lswapped = Hash_table.swapped j.ltbl;
+          rswapped = Hash_table.swapped j.rtbl }
+    | RPreagg p ->
+      St_preagg
+        { st_child = capture_node p.child;
+          st_pa =
+            { ps_window = p.pa.p_window; ps_in_window = p.pa.p_in_window;
+              ps_in_total = p.pa.p_in_total; ps_out_total = p.pa.p_out_total;
+              ps_groups =
+                List.rev_map
+                  (fun k -> (k, Array.copy (Ktbl.find p.pa.p_buffer k)))
+                  p.pa.p_order } }
+  in
+  { st_outputs = List.rev node.n_outputs; st_out_count = node.n_out_count;
+    st_impl }
+
+let capture t = capture_node t.root
+
+let shape_error () =
+  invalid_arg "Plan.restore: state shape does not match the plan"
+
+let rec restore_node node st =
+  node.n_outputs <- List.rev st.st_outputs;
+  node.n_out_count <- st.st_out_count;
+  match node.impl, st.st_impl with
+  | RLeaf l, St_leaf s -> l.seen <- s.seen
+  | RJoin j, St_join s ->
+    Hash_table.clear j.ltbl;
+    List.iter (Hash_table.insert j.ltbl) s.ltuples;
+    if s.lswapped then Hash_table.swap_out j.ltbl
+    else Hash_table.swap_in j.ltbl;
+    Hash_table.clear j.rtbl;
+    List.iter (Hash_table.insert j.rtbl) s.rtuples;
+    if s.rswapped then Hash_table.swap_out j.rtbl
+    else Hash_table.swap_in j.rtbl;
+    restore_node j.left s.st_left;
+    restore_node j.right s.st_right
+  | RPreagg p, St_preagg s ->
+    Ktbl.reset p.pa.p_buffer;
+    p.pa.p_order <- [];
+    List.iter
+      (fun (k, acc) ->
+        Ktbl.replace p.pa.p_buffer k (Array.copy acc);
+        p.pa.p_order <- k :: p.pa.p_order)
+      s.st_pa.ps_groups;
+    p.pa.p_window <- s.st_pa.ps_window;
+    p.pa.p_in_window <- s.st_pa.ps_in_window;
+    p.pa.p_in_total <- s.st_pa.ps_in_total;
+    p.pa.p_out_total <- s.st_pa.ps_out_total;
+    restore_node p.child s.st_child
+  | (RLeaf _ | RJoin _ | RPreagg _), _ -> shape_error ()
+
+let restore t st = restore_node t.root st
+
+let root_results t = (t.root.n_schema, List.rev t.root.n_outputs)

@@ -147,5 +147,58 @@ val memory_in_use : t -> int
     in most-complex-expression-first order (§3.4.2's heuristic — complex
     expressions are least likely to be shared).  Swapped structures stay
     correct but their probes pay the cost model's I/O penalty.  Returns
-    the number of structures currently swapped out. *)
-val apply_memory_pressure : t -> budget:int -> int
+    a descriptor (node signature plus build side) for every structure
+    currently paged out — empty means everything is resident.  The
+    on-memory-pressure checkpoint policy and [Report.run]'s page-out
+    counter consume this list. *)
+val apply_memory_pressure : t -> budget:int -> string list
+
+(** {2 State capture and restore (checkpoint/recovery)}
+
+    A plan's complete runtime state as plain data: per-leaf consumption
+    counters, every join's two hash-table contents (and swapped flags),
+    every pre-aggregation's open window, and each node's materialized
+    output list.  [capture] walks the runtime tree; [restore] writes a
+    captured state back into a freshly instantiated plan of the {e same
+    spec} — the recovery path rebuilds an interrupted phase by
+    instantiating its spec and restoring its state.  All tuple lists are
+    oldest-first, so a state serialized and reloaded restores
+    byte-identical iteration order. *)
+
+type preagg_state = {
+  ps_window : int;
+  ps_in_window : int;
+  ps_in_total : int;
+  ps_out_total : int;
+  ps_groups : (Tuple.t * Tuple.t) list;
+      (** (group key, accumulator), oldest first *)
+}
+
+type state = {
+  st_outputs : Tuple.t list;  (** oldest first *)
+  st_out_count : int;
+  st_impl : impl_state;
+}
+
+and impl_state =
+  | St_leaf of { seen : int }
+  | St_join of {
+      st_left : state;
+      st_right : state;
+      ltuples : Tuple.t list;
+      rtuples : Tuple.t list;
+      lswapped : bool;
+      rswapped : bool;
+    }
+  | St_preagg of { st_child : state; st_pa : preagg_state }
+
+val capture : t -> state
+
+(** @raise Invalid_argument when the state's shape does not match the
+    plan's spec tree. *)
+val restore : t -> state -> unit
+
+(** The root's materialized output (schema, tuples oldest-first) — what
+    the recovery path re-feeds to a rebuilt sink.  Requires
+    [record_outputs]. *)
+val root_results : t -> Schema.t * Tuple.t list

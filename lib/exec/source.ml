@@ -209,6 +209,27 @@ let failover t ~at =
 
 let observe t f = t.observers <- t.observers @ [ f ]
 
+let resume_at t ~pos ~at =
+  let pos = max 0 (min pos (Relation.cardinality t.relation)) in
+  t.pos <- pos;
+  t.link <- Link_up;
+  (* The recovered connection behaves like the primary reopened at the
+     stream position the checkpoint recorded: faults whose trigger point
+     lies below it already fired (and were survived) before the crash, so
+     they are dropped rather than replayed; later triggers stay armed. *)
+  t.conn_delivered <- pos;
+  t.faults <-
+    List.filter
+      (fun f ->
+        match f with
+        | Stall { after_tuples; _ } | Disconnect { after_tuples; _ } ->
+          after_tuples > pos
+        | Dead_on_arrival -> pos = 0)
+      t.faults;
+  t.last_arrival <- at;
+  rebase_arrivals t ~at;
+  fire_faults t
+
 let rewind t =
   t.pos <- 0;
   t.model <- t.initial_model;

@@ -132,6 +132,15 @@ val failover : t -> at:float -> bool
 (** Attach an observer called on every consumed tuple. *)
 val observe : t -> (Tuple.t -> unit) -> unit
 
+(** [resume_at t ~pos ~at] fast-forwards a fresh source to stream
+    position [pos] at virtual time [at] — the crash-recovery path: the
+    tuples below [pos] belong to regions of checkpointed phases and are
+    never re-delivered.  The link comes up, arrivals are rebased to [at],
+    and injected faults whose trigger point lies below [pos] (already
+    fired and survived before the crash) are discarded; later triggers
+    stay armed.  [pos] is clamped to the relation's cardinality. *)
+val resume_at : t -> pos:int -> at:float -> unit
+
 (** Reset consumption, fault and mirror state to the beginning
     (observers retained). *)
 val rewind : t -> unit

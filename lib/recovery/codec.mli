@@ -1,0 +1,25 @@
+open Adp_storage
+open Adp_exec
+
+(** Binary codecs for the executor-side values a checkpoint carries —
+    plan specs (predicates, expressions, aggregates, pre-aggregation
+    modes), captured plan runtime state, clock state, and the observed-
+    statistics dump.  Built on {!Adp_storage.Snapshot}'s primitives; kept
+    here (not in [adp_storage]) so the storage layer stays free of
+    executor dependencies.
+
+    Every [read_*] raises {!Adp_storage.Snapshot.Corrupt} on malformed
+    input; the checkpoint loader turns that into a structured
+    diagnostic. *)
+
+val spec : Snapshot.enc -> Plan.spec -> unit
+val read_spec : Snapshot.dec -> Plan.spec
+
+val plan_state : Snapshot.enc -> Plan.state -> unit
+val read_plan_state : Snapshot.dec -> Plan.state
+
+val clock_state : Snapshot.enc -> Clock.state -> unit
+val read_clock_state : Snapshot.dec -> Clock.state
+
+val stats_dump : Snapshot.enc -> Adp_stats.Selectivity.dump -> unit
+val read_stats_dump : Snapshot.dec -> Adp_stats.Selectivity.dump

@@ -1,0 +1,43 @@
+(** Engine-level fault injection for the crash-recovery tests and CLI.
+
+    PR 1's fault layer makes {e sources} fail; this module makes the
+    {e engine} fail, deterministically, at interesting points of an
+    adaptive execution — mid-phase after a given number of consumed
+    tuples, while closing a specific phase, or once stitch-up has begun.
+    The corrective driver consults an {!injector} at those points and
+    raises {!Crashed}, which a caller (test harness, CLI) treats as the
+    process dying; a subsequent run with [resume_from] then exercises the
+    recovery path against the last checkpoint written before the
+    crash. *)
+
+type point =
+  | After_tuples of int
+      (** crash once this many source tuples have been consumed *)
+  | At_phase_boundary of int
+      (** crash while closing the phase with this id, after its boundary
+          checkpoint *)
+  | During_stitchup  (** crash after stitch-up has started *)
+
+exception Crashed of string
+
+val pp_point : Format.formatter -> point -> unit
+
+(** Mutable trigger set; each point fires at most once. *)
+type injector
+
+val injector : point list -> injector
+
+(** Points that have not fired yet. *)
+val pending : injector -> point list
+
+(** Call after consuming a tuple (and after any due checkpoint was
+    written).  @raise Crashed when an [After_tuples] trigger is due. *)
+val tuple_consumed : injector -> total:int -> unit
+
+(** Call after closing phase [id] (and writing its boundary checkpoint).
+    @raise Crashed when an [At_phase_boundary id] trigger is due. *)
+val phase_closed : injector -> id:int -> unit
+
+(** Call when stitch-up begins.
+    @raise Crashed when a [During_stitchup] trigger is armed. *)
+val stitchup_started : injector -> unit

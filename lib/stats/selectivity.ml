@@ -43,3 +43,42 @@ let size t = Hashtbl.length t.sels
 let entries t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sels []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Dump / load (checkpointing)                                        *)
+(* ------------------------------------------------------------------ *)
+
+type dump = {
+  d_sels : (string * float) list;
+  d_outs : (string * float) list;
+  d_cards : (string * int) list;
+  d_finals : (string * int) list;
+  d_mult : (string * float) list;
+}
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dump t =
+  { d_sels = sorted_bindings t.sels; d_outs = sorted_bindings t.outs;
+    d_cards = sorted_bindings t.cards; d_finals = sorted_bindings t.finals;
+    d_mult = sorted_bindings t.mult }
+
+let load d =
+  let t = create () in
+  List.iter (fun (k, v) -> Hashtbl.replace t.sels k v) d.d_sels;
+  List.iter (fun (k, v) -> Hashtbl.replace t.outs k v) d.d_outs;
+  List.iter (fun (k, v) -> Hashtbl.replace t.cards k v) d.d_cards;
+  List.iter (fun (k, v) -> Hashtbl.replace t.finals k v) d.d_finals;
+  List.iter (fun (k, v) -> Hashtbl.replace t.mult k v) d.d_mult;
+  t
+
+let absorb t d =
+  let other = load d in
+  let merge dst src = Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src in
+  merge t.sels other.sels;
+  merge t.outs other.outs;
+  merge t.cards other.cards;
+  merge t.finals other.finals;
+  merge t.mult other.mult

@@ -64,3 +64,26 @@ val size : t -> int
 
 (** All (signature, selectivity) pairs, for reporting/tests. *)
 val entries : t -> (string * float) list
+
+(** {2 Dump / load}
+
+    The checkpoint layer serializes the registry so a recovered execution
+    re-optimizes with everything the interrupted one had observed.  A
+    dump is plain data with deterministically ordered bindings. *)
+
+type dump = {
+  d_sels : (string * float) list;
+  d_outs : (string * float) list;
+  d_cards : (string * int) list;
+  d_finals : (string * int) list;
+  d_mult : (string * float) list;
+}
+
+(** Snapshot every table, sorted by key. *)
+val dump : t -> dump
+
+(** Fresh registry holding exactly the dump's contents. *)
+val load : dump -> t
+
+(** Merge a dump into an existing registry (dump entries win). *)
+val absorb : t -> dump -> unit

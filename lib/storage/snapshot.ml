@@ -1,0 +1,256 @@
+open Adp_relation
+
+(* ------------------------------------------------------------------ *)
+(* Encoder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type enc = Buffer.t
+
+let encoder () = Buffer.create 4096
+let contents = Buffer.contents
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+(* Zigzag varint: small magnitudes of either sign stay short. *)
+let int b v =
+  let u = ref ((v lsl 1) lxor (v asr 62)) in
+  while !u lor 0x7f <> 0x7f do
+    u8 b (0x80 lor (!u land 0x7f));
+    u := !u lsr 7
+  done;
+  u8 b (!u land 0x7f)
+
+let bool b v = u8 b (if v then 1 else 0)
+
+let f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let str b s =
+  int b (String.length s);
+  Buffer.add_string b s
+
+let list f b l =
+  int b (List.length l);
+  List.iter (f b) l
+
+let option f b = function
+  | None -> u8 b 0
+  | Some v ->
+    u8 b 1;
+    f b v
+
+let pair f g b (x, y) =
+  f b x;
+  g b y
+
+let value b = function
+  | Value.Null -> u8 b 0
+  | Value.Int i ->
+    u8 b 1;
+    int b i
+  | Value.Float f ->
+    u8 b 2;
+    f64 b f
+  | Value.Str s ->
+    u8 b 3;
+    str b s
+  | Value.Date d ->
+    u8 b 4;
+    int b d
+
+let tuple b (t : Tuple.t) =
+  int b (Array.length t);
+  Array.iter (value b) t
+
+let schema b s = list str b (Array.to_list (Schema.columns s))
+
+(* ------------------------------------------------------------------ *)
+(* Decoder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type dec = { data : string; mutable off : int }
+
+exception Corrupt of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt m -> Some ("Snapshot.Corrupt: " ^ m)
+    | _ -> None)
+
+let corrupt m = raise (Corrupt m)
+
+let decoder data = { data; off = 0 }
+let at_end d = d.off >= String.length d.data
+
+let read_u8 d =
+  if d.off >= String.length d.data then corrupt "unexpected end of input";
+  let v = Char.code d.data.[d.off] in
+  d.off <- d.off + 1;
+  v
+
+let read_int d =
+  let u = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 62 then corrupt "varint too long";
+    let byte = read_u8 d in
+    u := !u lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := byte land 0x80 <> 0
+  done;
+  (!u lsr 1) lxor (- (!u land 1))
+
+let read_bool d =
+  match read_u8 d with
+  | 0 -> false
+  | 1 -> true
+  | n -> corrupt (Printf.sprintf "bad bool tag %d" n)
+
+let read_f64 d =
+  if d.off + 8 > String.length d.data then corrupt "truncated float";
+  let bits = String.get_int64_le d.data d.off in
+  d.off <- d.off + 8;
+  Int64.float_of_bits bits
+
+let read_str d =
+  let n = read_int d in
+  if n < 0 || d.off + n > String.length d.data then
+    corrupt "truncated string";
+  let s = String.sub d.data d.off n in
+  d.off <- d.off + n;
+  s
+
+let read_list f d =
+  let n = read_int d in
+  if n < 0 then corrupt "negative list length";
+  List.init n (fun _ -> f d)
+
+let read_option f d =
+  match read_u8 d with
+  | 0 -> None
+  | 1 -> Some (f d)
+  | n -> corrupt (Printf.sprintf "bad option tag %d" n)
+
+let read_pair f g d =
+  let x = f d in
+  let y = g d in
+  (x, y)
+
+let read_value d =
+  match read_u8 d with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (read_int d)
+  | 2 -> Value.Float (read_f64 d)
+  | 3 -> Value.Str (read_str d)
+  | 4 -> Value.Date (read_int d)
+  | n -> corrupt (Printf.sprintf "bad value tag %d" n)
+
+let read_tuple d =
+  let n = read_int d in
+  if n < 0 then corrupt "negative tuple arity";
+  Array.init n (fun _ -> read_value d)
+
+let read_schema d =
+  match Schema.make (read_list read_str d) with
+  | s -> s
+  | exception Invalid_argument m -> corrupt ("bad schema: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Segmented container files                                          *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "ADPCKPT\n"
+
+type file_error =
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated of string
+  | Crc_mismatch of string
+  | Io_error of string
+
+let pp_file_error fmt = function
+  | Bad_magic -> Format.pp_print_string fmt "not a checkpoint file (bad magic)"
+  | Unsupported_version v ->
+    Format.fprintf fmt "unsupported checkpoint format version %d" v
+  | Truncated what -> Format.fprintf fmt "file truncated while reading %s" what
+  | Crc_mismatch seg ->
+    Format.fprintf fmt "CRC mismatch in segment %S (torn or corrupt write)" seg
+  | Io_error m -> Format.fprintf fmt "I/O error: %s" m
+
+let write_file ~path ~version segments =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b magic;
+  int b version;
+  list
+    (fun b (name, payload) ->
+      str b name;
+      int b (crc32 payload);
+      str b payload)
+    b segments;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Buffer.output_buffer oc b;
+      close_out oc);
+  Sys.rename tmp path
+
+let read_file ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error (Io_error m)
+  | exception End_of_file -> Error (Truncated "file")
+  | data ->
+    if
+      String.length data < String.length magic
+      || String.sub data 0 (String.length magic) <> magic
+    then Error Bad_magic
+    else begin
+      let d = decoder data in
+      d.off <- String.length magic;
+      match read_int d with
+      | exception Corrupt _ -> Error (Truncated "version")
+      | version when version <> 1 -> Error (Unsupported_version version)
+      | version -> (
+        let read_segment d =
+          let name =
+            try read_str d with Corrupt _ -> corrupt "segment name"
+          in
+          let crc = try read_int d with Corrupt _ -> corrupt name in
+          let payload = try read_str d with Corrupt _ -> corrupt name in
+          if crc32 payload <> crc then raise (Corrupt ("crc:" ^ name));
+          (name, payload)
+        in
+        match read_list read_segment d with
+        | exception Corrupt m ->
+          if String.length m > 4 && String.sub m 0 4 = "crc:" then
+            Error (Crc_mismatch (String.sub m 4 (String.length m - 4)))
+          else Error (Truncated m)
+        | segments ->
+          if at_end d then Ok (version, segments)
+          else Error (Truncated "trailing garbage"))
+    end

@@ -1,0 +1,91 @@
+open Adp_relation
+
+(** Binary snapshot encoding for the checkpoint/recovery layer.
+
+    A hand-written, dependency-free codec: varint integers (zigzag, so
+    negative values stay short), IEEE-754 floats as little-endian 64-bit
+    words, length-prefixed strings, and combinators for lists, options and
+    pairs.  On top of it, a segmented container file — magic, format
+    version, and a sequence of named segments each protected by a CRC-32 —
+    written atomically (temp file + rename) so a crash during a checkpoint
+    write can tear at most the temp file, never an existing checkpoint.
+
+    The container is deliberately generic (segments are named byte
+    strings); what goes *into* the segments — plan state, source
+    positions, the phase ledger — is the recovery library's business, so
+    this module stays free of executor dependencies. *)
+
+(** {2 Encoder} *)
+
+type enc
+
+val encoder : unit -> enc
+
+(** Everything encoded so far. *)
+val contents : enc -> string
+
+val u8 : enc -> int -> unit
+val int : enc -> int -> unit
+val bool : enc -> bool -> unit
+val f64 : enc -> float -> unit
+val str : enc -> string -> unit
+val list : (enc -> 'a -> unit) -> enc -> 'a list -> unit
+val option : (enc -> 'a -> unit) -> enc -> 'a option -> unit
+val pair : (enc -> 'a -> unit) -> (enc -> 'b -> unit) -> enc -> 'a * 'b -> unit
+val value : enc -> Value.t -> unit
+val tuple : enc -> Tuple.t -> unit
+val schema : enc -> Schema.t -> unit
+
+(** {2 Decoder} *)
+
+type dec
+
+(** Raised by every [read_*] on malformed or truncated input. *)
+exception Corrupt of string
+
+val decoder : string -> dec
+
+(** All input consumed — decoding stopped exactly at the end. *)
+val at_end : dec -> bool
+
+val read_u8 : dec -> int
+val read_int : dec -> int
+val read_bool : dec -> bool
+val read_f64 : dec -> float
+val read_str : dec -> string
+val read_list : (dec -> 'a) -> dec -> 'a list
+val read_option : (dec -> 'a) -> dec -> 'a option
+val read_pair : (dec -> 'a) -> (dec -> 'b) -> dec -> 'a * 'b
+val read_value : dec -> Value.t
+val read_tuple : dec -> Tuple.t
+val read_schema : dec -> Schema.t
+
+(** {2 CRC-32}
+
+    IEEE 802.3 polynomial, as in zip/png.  Result in [0, 2^32). *)
+
+val crc32 : string -> int
+
+(** {2 Segmented container files} *)
+
+type file_error =
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated of string  (** what was being read when input ran out *)
+  | Crc_mismatch of string  (** segment name *)
+  | Io_error of string
+
+val pp_file_error : Format.formatter -> file_error -> unit
+
+(** [write_file ~path ~version segments] writes the container atomically:
+    the bytes go to [path ^ ".tmp"], which is renamed over [path] only
+    after a successful close.  Segment order is preserved. *)
+val write_file :
+  path:string -> version:int -> (string * string) list -> unit
+
+(** Read a container back: the format version and the named segments in
+    file order.  Every structural problem — wrong magic, unknown version,
+    torn file, per-segment CRC mismatch — is an [Error], never an
+    exception, so callers can turn it into a diagnostic. *)
+val read_file :
+  path:string -> (int * (string * string) list, file_error) result

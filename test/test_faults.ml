@@ -63,6 +63,44 @@ let test_retry_schedule () =
   Alcotest.(check (option (float 1e-6))) "backoff capped" (Some 15e6)
     (Retry.pending_attempt capped)
 
+let test_backoff_jitter_deterministic () =
+  (* Jittered backoff draws from a seeded stream: the same seed and salt
+     must reproduce the exact attempt schedule, run after run. *)
+  let jittered = { (policy ()) with Retry.jitter = 0.3; seed = 42 } in
+  let schedule ~salt =
+    let c = Retry.create ~salt jittered in
+    List.map
+      (fun i ->
+        Retry.record_failure c ~now:(float_of_int i *. 1e5);
+        Retry.pending_attempt c)
+      [ 3; 4; 6; 10 ]
+  in
+  Alcotest.(check bool) "same seed+salt => identical schedule" true
+    (schedule ~salt:1 = schedule ~salt:1);
+  Alcotest.(check bool) "different salt => different jitter stream" true
+    (schedule ~salt:1 <> schedule ~salt:2);
+  (* End to end: two identical faulty runs with jitter enabled must agree
+     on every clock counter — in particular the retry-idle charge, which
+     accumulates exactly the jittered backoff waits. *)
+  let run () =
+    let s =
+      Source.create ~name:"r"
+        ~faults:
+          [ Source.Disconnect { after_tuples = 2; rejoin_after_s = Some 1.0 } ]
+        (mk_rel 5) (Source.Bandwidth 10.0)
+    in
+    let ctx, seen, outcome = drain ~retry:jittered [ s ] in
+    ( Clock.retry_idle ctx.Ctx.clock, Clock.idle ctx.Ctx.clock,
+      Clock.capture ctx.Ctx.clock, ctx.Ctx.retries, List.length seen,
+      outcome )
+  in
+  let (ri_a, _, _, retries_a, _, _) as a = run () in
+  let b = run () in
+  Alcotest.(check bool) "identical retry_idle sequence across runs" true
+    (a = b);
+  Alcotest.(check bool) "jittered backoff actually waited" true (ri_a > 0.0);
+  Alcotest.(check bool) "retries actually happened" true (retries_a > 0)
+
 (* ---------------- Stall ---------------- *)
 
 let test_stall_is_transient () =
@@ -241,6 +279,8 @@ let test_partial_results_without_mirror () =
 
 let suite =
   [ Alcotest.test_case "retry schedule" `Quick test_retry_schedule;
+    Alcotest.test_case "backoff jitter deterministic" `Quick
+      test_backoff_jitter_deterministic;
     Alcotest.test_case "stall is transient" `Quick test_stall_is_transient;
     Alcotest.test_case "disconnect/rejoin backoff" `Quick
       test_disconnect_rejoin_backoff;

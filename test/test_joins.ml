@@ -240,6 +240,49 @@ let comp_overflow_prop =
       in
       same_bag outs (oracle_join l r ~on:[ 0, 0 ]))
 
+let comp_budget_matches_unbounded =
+  (* Stronger than comparing against the oracle: a budgeted run must
+     produce exactly what the *unbounded-memory* run produces — spilling
+     and overflow resolution may reorder the output but never change the
+     multiset, tuple for tuple.  Inputs arrive interleaved so the budget
+     bites while both sides are still growing. *)
+  QCheck2.Test.make
+    ~name:"overflow resolution = unbounded-memory run exactly (qcheck)"
+    ~count:60
+    QCheck2.Gen.(
+      tup4
+        (gen_keyed_tuples ~key_range:10 ~max_len:60)
+        (gen_keyed_tuples ~key_range:10 ~max_len:60)
+        (int_bound 100)
+        (int_bound 16))
+    (fun (l, r, budget, qlen) ->
+      let variant =
+        if qlen = 0 then Comp_join.Naive else Comp_join.Priority_queue qlen
+      in
+      let run budget =
+        let ctx = Ctx.create () in
+        let cj =
+          Comp_join.create ?memory_budget:budget ~regions:8 ctx ~variant
+            ~left_schema:lsch ~right_schema:rsch ~left_key:[ "l.k" ]
+            ~right_key:[ "r.k" ]
+        in
+        let rec feed acc ls rs =
+          match ls, rs with
+          | [], [] -> acc
+          | x :: ls', y :: rs' ->
+            let acc = acc @ Comp_join.insert cj Comp_join.L x in
+            let acc = acc @ Comp_join.insert cj Comp_join.R y in
+            feed acc ls' rs'
+          | x :: ls', [] ->
+            feed (acc @ Comp_join.insert cj Comp_join.L x) ls' []
+          | [], y :: rs' ->
+            feed (acc @ Comp_join.insert cj Comp_join.R y) [] rs'
+        in
+        let outs = feed [] l r in
+        outs @ Comp_join.finish cj
+      in
+      same_bag (run (Some (budget + 1))) (run None))
+
 let comp_join_equivalence =
   QCheck2.Test.make
     ~name:"complementary join pair = hash join on arbitrary inputs (qcheck)"
@@ -281,4 +324,5 @@ let suite =
       test_overflow_with_priority_queue;
     Alcotest.test_case "overflow: charges I/O" `Quick test_overflow_charges_io;
     qtest comp_overflow_prop;
+    qtest comp_budget_matches_unbounded;
     qtest comp_join_equivalence ]

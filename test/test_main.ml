@@ -20,4 +20,5 @@ let () =
       "analysis", Test_analysis.suite;
       "strategies", Test_strategies.suite;
       "sql", Test_sql.suite;
-      "report", Test_report.suite ]
+      "report", Test_report.suite;
+      "recovery", Test_recovery.suite ]

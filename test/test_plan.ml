@@ -190,7 +190,21 @@ let test_memory_pressure () =
   Alcotest.(check int) "memory in use" 200 (Plan.memory_in_use plan);
   let cpu_before = Clock.cpu ctx.Ctx.clock in
   let swapped = Plan.apply_memory_pressure plan ~budget:100 in
-  Alcotest.(check bool) "something swapped" true (swapped >= 1);
+  Alcotest.(check bool) "something swapped" true (List.length swapped >= 1);
+  (* The returned descriptors name the paged-out node states. *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        ("descriptor names a build side: " ^ d)
+        true
+        (let has suffix =
+           String.length d >= String.length suffix
+           && String.sub d (String.length d - String.length suffix)
+                (String.length suffix)
+              = suffix
+         in
+         has "#build-left" || has "#build-right"))
+    swapped;
   Alcotest.(check bool) "resident within budget" true
     (Plan.memory_in_use plan <= 100);
   (* Probing a swapped structure pays the I/O penalty but stays correct. *)
@@ -201,7 +215,7 @@ let test_memory_pressure () =
      >= ctx.Ctx.costs.Cost_model.swap_penalty);
   (* A generous budget brings everything back. *)
   let swapped = Plan.apply_memory_pressure plan ~budget:10_000 in
-  Alcotest.(check int) "all resident again" 0 swapped
+  Alcotest.(check int) "all resident again" 0 (List.length swapped)
 
 let join_vs_oracle =
   QCheck2.Test.make ~name:"symmetric join tree = oracle (qcheck)" ~count:80

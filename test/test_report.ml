@@ -17,16 +17,25 @@ let test_pp_run () =
     { Report.label = "x"; time_s = 1.0; cpu_s = 0.8; idle_s = 0.2;
       wall_s = 0.1; phases = 2; stitch_time_s = 0.3; reused = 1200;
       discarded = 5; result_card = 42; coverage = 1.0; retries = 0;
-      failovers = 0 }
+      failovers = 0; paged_out = 0; checkpoints = 0 }
   in
-  let s = Format.asprintf "%a" Report.pp_run r in
-  let contains needle =
+  let render r = Format.asprintf "%a" Report.pp_run r in
+  let contains s needle =
     let nl = String.length needle and sl = String.length s in
     let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
     go 0
   in
-  Alcotest.(check bool) "mentions phases" true (contains "2 phase(s)");
-  Alcotest.(check bool) "mentions reuse" true (contains "1.2K")
+  let s = render r in
+  Alcotest.(check bool) "mentions phases" true (contains s "2 phase(s)");
+  Alcotest.(check bool) "mentions reuse" true (contains s "1.2K");
+  Alcotest.(check bool) "quiet when nothing paged out" false
+    (contains s "paged out");
+  Alcotest.(check bool) "quiet when no checkpoints" false
+    (contains s "checkpoint");
+  let s = render { r with Report.paged_out = 3; checkpoints = 2 } in
+  Alcotest.(check bool) "mentions page-outs" true (contains s "3 paged out");
+  Alcotest.(check bool) "mentions checkpoints" true
+    (contains s "2 checkpoint(s)")
 
 let suite =
   [ Alcotest.test_case "human_int" `Quick test_human_int;
