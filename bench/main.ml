@@ -16,6 +16,7 @@ let experiments =
     "faults", ("fault-tolerance sweep, disconnects x retry budgets", Bench_faults.run);
     "recovery", ("checkpoint overhead and crash recovery", Bench_recovery.run);
     "check", ("static-analyzer overhead per plan boundary", Bench_check.run);
+    "trace", ("observability overhead and clock-perturbation check", Bench_trace.run);
     "micro", ("bechamel micro-benchmarks", Bench_micro.run) ]
 
 let usage () =

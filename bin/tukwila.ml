@@ -4,7 +4,9 @@
      generate   print rows of a generated TPC-H-style table
      plan       show the optimizer's plan for a SQL query
      query      execute a SQL query under a chosen adaptive strategy
-     explain    parse a SQL query and print its logical structure
+                (--trace/--metrics attach observability sinks)
+     explain    parse a SQL query and print its logical structure, or
+                replay a recorded JSONL trace as a decision timeline
      check      statically analyze a query/plan without executing it *)
 
 open Cmdliner
@@ -82,31 +84,50 @@ let generate_cmd =
 
 (* ---------------- explain ---------------- *)
 
-let explain_cmd =
-  let run sql =
-    let q = parse_query sql in
-    Format.printf "%a@." Logical.pp q;
-    Format.printf "sources:@.";
+let explain_sql sql =
+  let q = parse_query sql in
+  Format.printf "%a@." Logical.pp q;
+  Format.printf "sources:@.";
+  List.iter
+    (fun (s : Logical.source) ->
+      Format.printf "  %s%s@." s.Logical.name
+        (if s.Logical.filter = Predicate.tt then ""
+         else " σ[" ^ Predicate.to_string s.Logical.filter ^ "]"))
+    q.Logical.sources;
+  if q.Logical.join_preds <> [] then begin
+    Format.printf "join predicates:@.";
     List.iter
-      (fun (s : Logical.source) ->
-        Format.printf "  %s%s@." s.Logical.name
-          (if s.Logical.filter = Predicate.tt then ""
-           else " σ[" ^ Predicate.to_string s.Logical.filter ^ "]"))
-      q.Logical.sources;
-    if q.Logical.join_preds <> [] then begin
-      Format.printf "join predicates:@.";
-      List.iter
-        (fun (a, b) -> Format.printf "  %s = %s@." a b)
-        q.Logical.join_preds
-    end;
-    (match Optimizer.preagg_point q with
-     | Some (rel, groups) ->
-       Format.printf "pre-aggregation point: %s grouped by %s@." rel
-         (String.concat ", " groups)
-     | None -> ())
+      (fun (a, b) -> Format.printf "  %s = %s@." a b)
+      q.Logical.join_preds
+  end;
+  match Optimizer.preagg_point q with
+  | Some (rel, groups) ->
+    Format.printf "pre-aggregation point: %s grouped by %s@." rel
+      (String.concat ", " groups)
+  | None -> ()
+
+let explain_trace path =
+  match Adp_obs.Trace.read_jsonl path with
+  | Ok events -> Format.printf "%a" Adp_obs.Trace.explain events
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+let explain_cmd =
+  let run arg =
+    if Sys.file_exists arg && not (Sys.is_directory arg) then explain_trace arg
+    else explain_sql arg
   in
-  let doc = "Parse a SQL query and print its logical structure." in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ sql_arg)
+  let doc =
+    "Parse a SQL query and print its logical structure; or, given the \
+     path of a JSONL trace recorded with $(b,query --trace), replay \
+     every adaptive decision as a human-readable timeline."
+  in
+  let arg =
+    let doc = "A SQL query, or the path of a recorded JSONL trace file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL|TRACE" ~doc)
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ arg)
 
 (* ---------------- plan ---------------- *)
 
@@ -339,9 +360,32 @@ let crash_arg =
   Arg.(value & opt_all (conv (parse, print)) []
        & info [ "crash-after"; "crash" ] ~docv:"POINT" ~doc)
 
+(* ---------------- observability ---------------- *)
+
+let trace_arg =
+  let doc =
+    "Record every adaptive decision (re-optimizer polls, plan switches, \
+     routing flips, retries, checkpoints, stitch-up, ...) as a \
+     virtual-clock-stamped event trace in $(i,FILE).  A $(b,.json) \
+     extension selects the Chrome trace_event format (loadable in \
+     Perfetto); anything else writes JSONL, replayable with \
+     $(b,tukwila explain FILE).  Tracing never perturbs the virtual \
+     clock: the reported times are identical with and without it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Dump the engine's metrics registry (global and per-plan-node \
+     counters, clock gauges) into $(i,FILE) when the run ends.  A \
+     $(b,.prom) extension selects the Prometheus text exposition format; \
+     anything else writes JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let query_cmd =
   let run sql scale skew seed cards strategy preagg model faults mirrors
-      retry limit ckpt_dir ckpt_every resume crash =
+      retry limit ckpt_dir ckpt_every resume crash trace_file metrics_file =
     let ds = dataset scale skew seed in
     let q, order = parse_query_with_order sql in
     let catalog = Workload.catalog ~with_cardinalities:cards ds q in
@@ -425,15 +469,47 @@ let query_cmd =
        if checkpoint <> None || resume_from <> None || crash <> [] then
          Printf.eprintf
            "warning: checkpointing applies only to static/corrective runs\n%!");
+    let trace =
+      match trace_file with
+      | None -> None
+      | Some path ->
+        let fmt =
+          if Filename.check_suffix path ".json" then Adp_obs.Trace.Chrome
+          else Adp_obs.Trace.Jsonl
+        in
+        Some (Adp_obs.Trace.file ~format:fmt path)
+    in
+    let metrics =
+      match metrics_file with Some _ -> Some (Adp_obs.Metrics.create ()) | None -> None
+    in
+    (* Flush the observability sinks even when --crash kills the run: the
+       trace of an interrupted run is exactly what --resume explains. *)
+    let finish () =
+      Option.iter Adp_obs.Trace.close trace;
+      match metrics_file, metrics with
+      | Some path, Some m ->
+        let contents =
+          if Filename.check_suffix path ".prom" then
+            Adp_obs.Metrics.to_prometheus m
+          else Adp_obs.Json.to_string (Adp_obs.Metrics.to_json m) ^ "\n"
+        in
+        Adp_storage.Snapshot.write_text ~path contents
+      | _ -> ()
+    in
     let o =
       match
-        Strategy.run ~preagg ~label:"query" ~retry strategy q catalog ~sources
+        Strategy.run ~preagg ~label:"query" ~retry ?trace ?metrics strategy q
+          catalog ~sources
       with
-      | o -> o
+      | o ->
+        finish ();
+        o
       | exception Adp_recovery.Crash.Crashed msg ->
+        finish ();
         Printf.eprintf "%s\n%!" msg;
         exit 3
       | exception Adp_analysis.Diagnostic.Failed (where, ds) ->
+        finish ();
         Printf.eprintf "%s: %d problem(s)\n%s\n%!" where (List.length ds)
           (Adp_analysis.Diagnostic.to_string ds);
         exit 1
@@ -462,7 +538,7 @@ let query_cmd =
     Term.(const run $ sql_arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
           $ strategy_arg $ preagg_arg $ model_arg $ fault_arg $ mirror_arg
           $ retry_arg $ limit_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-          $ resume_arg $ crash_arg)
+          $ resume_arg $ crash_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- check ---------------- *)
 

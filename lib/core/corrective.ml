@@ -5,6 +5,8 @@ module Analyzer = Adp_analysis.Analyzer
 module Diagnostic = Adp_analysis.Diagnostic
 module Checkpoint = Adp_recovery.Checkpoint
 module Crash = Adp_recovery.Crash
+module Trace = Adp_obs.Trace
+module Metrics = Adp_obs.Metrics
 
 type config = {
   poll_interval : float;
@@ -22,6 +24,8 @@ type config = {
   checkpoint : Checkpoint.policy option;
   resume_from : string option;
   crash : Crash.point list;
+  trace : Trace.t;
+  metrics : Metrics.t option;
 }
 
 let default_config =
@@ -31,7 +35,7 @@ let default_config =
     initial_plan = None; memory_budget = None;
     min_remaining_fraction = 0.25; use_histograms = false;
     retry = Retry.default_policy; checkpoint = None; resume_from = None;
-    crash = [] }
+    crash = []; trace = Trace.null; metrics = None }
 
 type phase_info = {
   id : int;
@@ -391,7 +395,9 @@ let feed_histogram_predictions cfg (query : Logical.query) catalog sels attrs
 let run ?(config = default_config) query catalog sources =
   let cfg = config in
   let sels = Adp_stats.Selectivity.create () in
-  let ctx = Ctx.create ~costs:cfg.costs () in
+  let ctx =
+    Ctx.create ~costs:cfg.costs ~trace:cfg.trace ?metrics:cfg.metrics ()
+  in
   let order_detectors = attach_order_detectors query sources in
   let hist_attrs =
     if cfg.use_histograms then attach_histograms ctx query sources else []
@@ -446,8 +452,10 @@ let run ?(config = default_config) query catalog sources =
            @ Analyzer.check_checkpoint_regions
                ~ledger:(Checkpoint.ledger ck) ~sources:src_cards);
          Adp_stats.Selectivity.absorb sels ck.Checkpoint.stats;
-         Some ck)
+         Some (path, ck))
   in
+  let resume = Option.map snd resume
+  and resume_path = Option.map fst resume in
   let initial_spec =
     match cfg.initial_plan with
     | Some spec ->
@@ -528,11 +536,11 @@ let run ?(config = default_config) query catalog sources =
    | None -> ()
    | Some ck ->
      Clock.restore ctx.Ctx.clock ck.Checkpoint.clock;
-     ctx.Ctx.tuples_read <- ck.Checkpoint.tuples_read;
-     ctx.Ctx.tuples_output <- ck.Checkpoint.tuples_output;
-     ctx.Ctx.retries <- ck.Checkpoint.retries;
-     ctx.Ctx.failovers <- ck.Checkpoint.failovers;
-     ctx.Ctx.sources_failed <- ck.Checkpoint.sources_failed;
+     Metrics.set_count ctx.Ctx.tuples_read ck.Checkpoint.tuples_read;
+     Metrics.set_count ctx.Ctx.tuples_output ck.Checkpoint.tuples_output;
+     Metrics.set_count ctx.Ctx.retries ck.Checkpoint.retries;
+     Metrics.set_count ctx.Ctx.failovers ck.Checkpoint.failovers;
+     Metrics.set_count ctx.Ctx.sources_failed ck.Checkpoint.sources_failed;
      let at = Ctx.now ctx in
      List.iter
        (fun src ->
@@ -541,16 +549,21 @@ let run ?(config = default_config) query catalog sources =
          with
          | Some pos -> Source.resume_at src ~pos ~at
          | None -> ())
-       sources);
+       sources;
+     if Ctx.traced ctx then
+       Ctx.emit ctx
+         (Trace.Checkpoint_resumed
+            { seq = ck.Checkpoint.seq;
+              path = Option.value ~default:"" resume_path;
+              phases = List.length restored }));
   let next_spec = ref None in
   let phase_count () = List.length !completed + 1 in
-  let reads_before = ref ctx.Ctx.tuples_read in
-  let checkpoints = ref 0 in
-  let paged_out = ref 0 in
+  let tuples_read () = Metrics.count ctx.Ctx.tuples_read in
+  let reads_before = ref (tuples_read ()) in
   let ckpt_seq =
     ref (match resume with Some ck -> ck.Checkpoint.seq | None -> 0)
   in
-  let last_ckpt_read = ref ctx.Ctx.tuples_read in
+  let last_ckpt_read = ref (tuples_read ()) in
   let crash = Crash.injector cfg.crash in
   let positions () =
     List.map (fun s -> Source.name s, Source.consumed s) sources
@@ -566,25 +579,37 @@ let run ?(config = default_config) query catalog sources =
     let ph = !current in
     { Checkpoint.pr_id = ph.Phase.id; pr_spec = ph.Phase.spec;
       pr_state = Plan.capture ph.Phase.plan; pr_emitted = ph.Phase.emitted;
-      pr_read = ctx.Ctx.tuples_read - !reads_before; pr_ends = positions () }
+      pr_read = tuples_read () - !reads_before; pr_ends = positions () }
   in
   let write_checkpoint (policy : Checkpoint.policy) ~include_current =
     incr ckpt_seq;
     let ck =
       { Checkpoint.seq = !ckpt_seq; fingerprint = fp;
         clock = Clock.capture ctx.Ctx.clock;
-        tuples_read = ctx.Ctx.tuples_read;
-        tuples_output = ctx.Ctx.tuples_output; retries = ctx.Ctx.retries;
-        failovers = ctx.Ctx.failovers;
-        sources_failed = ctx.Ctx.sources_failed; positions = positions ();
+        tuples_read = tuples_read ();
+        tuples_output = Metrics.count ctx.Ctx.tuples_output;
+        retries = Metrics.count ctx.Ctx.retries;
+        failovers = Metrics.count ctx.Ctx.failovers;
+        sources_failed = Metrics.count ctx.Ctx.sources_failed;
+        positions = positions ();
         stats = Adp_stats.Selectivity.dump sels;
         completed = List.rev_map closed_record !completed;
         current = (if include_current then Some (current_record ()) else None)
       }
     in
-    ignore (Checkpoint.save ~dir:policy.Checkpoint.dir ck : string);
-    incr checkpoints;
-    last_ckpt_read := ctx.Ctx.tuples_read
+    let path = Checkpoint.save ~dir:policy.Checkpoint.dir ck in
+    Metrics.incr ctx.Ctx.checkpoints;
+    let bytes =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> in_channel_length ic)
+    in
+    Metrics.incr ~by:bytes ctx.Ctx.checkpoint_bytes;
+    if Ctx.traced ctx then
+      Ctx.emit ctx
+        (Trace.Checkpoint_written { seq = !ckpt_seq; path; bytes });
+    last_ckpt_read := tuples_read ()
   in
   let consume src tuple =
     let ph = !current in
@@ -595,10 +620,10 @@ let run ?(config = default_config) query catalog sources =
     end;
     (match cfg.checkpoint with
      | Some ({ Checkpoint.every_tuples = Some n; _ } as p)
-       when n > 0 && ctx.Ctx.tuples_read - !last_ckpt_read >= n ->
+       when n > 0 && tuples_read () - !last_ckpt_read >= n ->
        write_checkpoint p ~include_current:true
      | Some _ | None -> ());
-    Crash.tuple_consumed crash ~total:ctx.Ctx.tuples_read
+    Crash.tuple_consumed crash ~total:(tuples_read ())
   in
   let poll () =
     let ph = !current in
@@ -606,9 +631,11 @@ let run ?(config = default_config) query catalog sources =
       feed_histogram_predictions cfg query catalog sels hist_attrs sources;
     (match cfg.memory_budget with
      | Some budget ->
+       (* Page-outs are counted and traced inside
+          [Plan.apply_memory_pressure]; the per-poll stderr chatter this
+          used to print under ADP_DEBUG now lives in the trace. *)
        let sw = Plan.apply_memory_pressure ph.Phase.plan ~budget in
        if sw <> [] then begin
-         paged_out := !paged_out + List.length sw;
          (* Paged-out state is the state most expensive to lose: it is
             about to leave memory anyway, so snapshotting it now is the
             cheapest moment to make it durable. *)
@@ -616,10 +643,7 @@ let run ?(config = default_config) query catalog sources =
          | Some p when p.Checkpoint.on_page_out ->
            write_checkpoint p ~include_current:true
          | Some _ | None -> ()
-       end;
-       if Sys.getenv_opt "ADP_DEBUG" <> None then
-         Printf.eprintf "poll: swapped=%d in_use=%d\n%!" (List.length sw)
-           (Plan.memory_in_use ph.Phase.plan)
+       end
      | None -> ());
     update_observations cfg query catalog sels sources order_detectors ph.Phase.plan;
     (* §4.3: factor in work already performed — late in the input there
@@ -663,13 +687,20 @@ let run ?(config = default_config) query catalog sources =
       let switch_cost =
         best.est_cost *. (1.0 +. (1.0 -. remaining_fraction))
       in
-      if Sys.getenv_opt "ADP_DEBUG" <> None then
-        Printf.eprintf "poll t=%.0f current=%.0f best=%.0f switch=%.0f same=%b\n%!"
-          (Ctx.now ctx) current_cost best.est_cost switch_cost
-          (best.spec = ph.Phase.spec);
-      if best.spec <> ph.Phase.spec
-         && switch_cost < cfg.switch_threshold *. current_cost
-      then begin
+      let switching =
+        best.spec <> ph.Phase.spec
+        && switch_cost < cfg.switch_threshold *. current_cost
+      in
+      if Ctx.traced ctx then
+        Ctx.emit ctx
+          (Trace.Reopt_poll
+             { phase = ph.Phase.id; est_cost = current_cost;
+               best_cost = best.est_cost;
+               best_plan = plan_desc best.spec; switch_cost;
+               remaining_fraction;
+               observed_sel = Adp_stats.Selectivity.entries sels;
+               decision = (if switching then Trace.Switch else Trace.Keep) });
+      if switching then begin
         (* The re-optimized plan joins a running ADP execution: its regions
            will be stitched against those of every earlier phase, so it
            must cover the same base set with the same effective leaves. *)
@@ -678,6 +709,17 @@ let run ?(config = default_config) query catalog sources =
           @ Analyzer.check_conformance
               (List.rev_map (fun c -> c.cl_phase.Phase.spec) !completed
               @ [ ph.Phase.spec; best.spec ]));
+        if Ctx.traced ctx then
+          Ctx.emit ctx
+            (Trace.Plan_switch
+               { from_plan = plan_desc ph.Phase.spec;
+                 to_plan = plan_desc best.spec;
+                 reason =
+                   Printf.sprintf
+                     "switch cost %.0f < %.2f x cost-to-go %.0f with %.0f%% \
+                      of input remaining"
+                     switch_cost cfg.switch_threshold current_cost
+                     (100.0 *. remaining_fraction) });
         next_spec := Some best.spec;
         `Switch
       end
@@ -693,8 +735,12 @@ let run ?(config = default_config) query catalog sources =
     end;
     update_observations cfg query catalog sels sources order_detectors ph.Phase.plan;
     Phase.register ph registry;
-    let read = ctx.Ctx.tuples_read - !reads_before in
-    reads_before := ctx.Ctx.tuples_read;
+    let read = tuples_read () - !reads_before in
+    reads_before := tuples_read ();
+    if Ctx.traced ctx then
+      Ctx.emit ctx
+        (Trace.Phase_closed
+           { id = ph.Phase.id; read; emitted = ph.Phase.emitted });
     completed :=
       { cl_phase = ph; cl_read = read; cl_ends = positions () } :: !completed;
     (match cfg.checkpoint with
@@ -719,9 +765,17 @@ let run ?(config = default_config) query catalog sources =
       current :=
         Phase.create ~record_outputs ~id:(List.length !completed) ctx spec
           ~schema_of;
+      if Ctx.traced ctx then
+        Ctx.emit ctx
+          (Trace.Phase_opened
+             { id = !current.Phase.id; plan = plan_desc spec });
       drive ()
     | Driver.Exhausted -> finish_phase ()
   in
+  if Ctx.traced ctx then
+    Ctx.emit ctx
+      (Trace.Phase_opened
+         { id = !current.Phase.id; plan = plan_desc !current.Phase.spec });
   drive ();
   Crash.stitchup_started crash;
   let phases = List.rev_map (fun c -> c.cl_phase) !completed in
@@ -815,6 +869,10 @@ let run ?(config = default_config) query catalog sources =
     in
     if total = 0 then 1.0 else float_of_int delivered /. float_of_int total
   in
+  Ctx.sync_metrics ctx;
+  (* The fault/checkpoint/page-out numbers come straight out of the
+     metrics registry — the same cells the engine incremented — instead
+     of hand-threaded shadow counters. *)
   ( result,
     { phases = List.length phases; stitch;
       total_time = Ctx.now ctx; cpu = Clock.cpu ctx.Ctx.clock;
@@ -825,8 +883,9 @@ let run ?(config = default_config) query catalog sources =
       discarded_tuples =
         (if List.length phases <= 1 then 0
          else Registry.discarded_tuples registry);
-      phase_log; coverage; retries = ctx.Ctx.retries;
-      failovers = ctx.Ctx.failovers;
-      sources_failed = ctx.Ctx.sources_failed;
-      checkpoints = !checkpoints; paged_out = !paged_out;
+      phase_log; coverage; retries = Metrics.count ctx.Ctx.retries;
+      failovers = Metrics.count ctx.Ctx.failovers;
+      sources_failed = Metrics.count ctx.Ctx.sources_failed;
+      checkpoints = Metrics.count ctx.Ctx.checkpoints;
+      paged_out = Metrics.count ctx.Ctx.paged_out;
       resumed_phases = List.length restored } )

@@ -66,6 +66,12 @@ type config = {
       (** engine-level fault injection: raise
           {!Adp_recovery.Crash.Crashed} at the given execution points
           (after any due checkpoint has been written) *)
+  trace : Adp_obs.Trace.t;
+      (** trace sink; {!Adp_obs.Trace.null} (the default) disables all
+          event emission at zero cost and zero clock perturbation *)
+  metrics : Adp_obs.Metrics.t option;
+      (** record counters into this registry instead of a fresh private
+          one (so a caller can dump them after the run) *)
 }
 
 val default_config : config

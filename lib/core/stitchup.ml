@@ -151,9 +151,17 @@ let run ctx query ~join_tree ~phases ~registry ~sink =
     { combos_possible = 0; output = 0; reused = 0; recomputed_uniform = 0;
       time = 0.0 }
   else begin
+    if Ctx.traced ctx then
+      Ctx.emit ctx
+        (Adp_obs.Trace.Stitchup_begin { phases = n; combos = combos_possible });
     let env = { ctx; query; phases; registry; reused = 0; recomputed = 0 } in
     let result = eval env ~is_root:true join_tree in
     Sink.feed sink ~from:result.schema result.mixed;
+    if Ctx.traced ctx then
+      Ctx.emit ctx
+        (Adp_obs.Trace.Stitchup_end
+           { output = List.length result.mixed; reused = env.reused;
+             recomputed = env.recomputed });
     { combos_possible; output = List.length result.mixed;
       reused = env.reused; recomputed_uniform = env.recomputed;
       time = Ctx.now ctx -. start }

@@ -20,7 +20,8 @@ type outcome = {
 let us_to_s v = v /. 1e6
 
 let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
-    ?(label = "run") ?initial_plan ?retry strategy query catalog ~sources =
+    ?(label = "run") ?initial_plan ?retry ?trace ?metrics strategy query
+    catalog ~sources =
   let wall0 = Sys.time () (* determinism-ok: real elapsed time for reports *) in
   (* Static analysis of the query before any strategy runs: catches what
      used to die as [Eddy: unknown relation] or an unqualified column deep
@@ -37,14 +38,19 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
         match strategy with
         | Corrective c ->
           { c with preagg; costs; initial_plan;
-            retry = Option.value ~default:c.retry retry }
+            retry = Option.value ~default:c.retry retry;
+            trace = Option.value ~default:c.Corrective.trace trace;
+            metrics =
+              (match metrics with Some _ -> metrics | None -> c.metrics) }
         | Static | Plan_partitioned _ | Competitive _ | Eddying ->
           (* Static = corrective that never polls and never switches. *)
           { Corrective.default_config with
             poll_interval = infinity; max_phases = 1; preagg; costs;
             initial_plan;
             retry =
-              Option.value ~default:Corrective.default_config.retry retry }
+              Option.value ~default:Corrective.default_config.retry retry;
+            trace = Option.value ~default:Adp_obs.Trace.null trace;
+            metrics }
       in
       let result, stats = Corrective.run ~config query catalog (sources ()) in
       let report =
@@ -86,7 +92,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
       in
       { result; report; corrective_stats = None }
     | Eddying ->
-      let ctx = Ctx.create ~costs () in
+      let ctx = Ctx.create ~costs ?trace ?metrics () in
       let eddy =
         Eddy.create ctx
           ~sources:
@@ -110,6 +116,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
        | Driver.Exhausted -> ()
        | Driver.Switched -> assert false);
       let result = Sink.result sink in
+      Ctx.sync_metrics ctx;
       let coverage =
         let delivered, total =
           List.fold_left
@@ -125,7 +132,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           idle_s = us_to_s (Clock.idle ctx.Ctx.clock); wall_s = 0.0;
           phases = 1; stitch_time_s = 0.0; reused = 0; discarded = 0;
           result_card = Relation.cardinality result; coverage;
-          retries = ctx.Ctx.retries; failovers = ctx.Ctx.failovers;
+          retries = Adp_obs.Metrics.count ctx.Ctx.retries;
+          failovers = Adp_obs.Metrics.count ctx.Ctx.failovers;
           paged_out = 0; checkpoints = 0 }
       in
       { result; report; corrective_stats = None }

@@ -39,13 +39,21 @@ type outcome = {
     {!Corrective} and {!Plan_partitioned} runs (ignored by
     {!Competitive}); used by experiments reproducing a documented poor
     starting plan.  [retry] overrides the source timeout/retry/failover
-    policy for {!Static}, {!Corrective} and {!Eddying} runs. *)
+    policy for {!Static}, {!Corrective} and {!Eddying} runs.
+
+    [trace] and [metrics] attach observability sinks to {!Static},
+    {!Corrective} and {!Eddying} runs (they override any sink already in
+    a corrective config; the remaining baselines ignore them).  Tracing
+    never perturbs the virtual clock: a traced run and an untraced run
+    report identical virtual times and result multisets. *)
 val run :
   ?preagg:Optimizer.preagg_strategy ->
   ?costs:Cost_model.t ->
   ?label:string ->
   ?initial_plan:Plan.spec ->
   ?retry:Retry.policy ->
+  ?trace:Adp_obs.Trace.t ->
+  ?metrics:Adp_obs.Metrics.t ->
   t ->
   Logical.query ->
   Catalog.t ->

@@ -42,6 +42,9 @@ type t = {
   mutable hash_r : int;
   mutable stitch_out : int;
   mutable finished : bool;
+  (* Last routing target per side, to trace only the flips. *)
+  mutable last_route_l : op_tag option;
+  mutable last_route_r : op_tag option;
 }
 
 let create ?memory_budget ?(regions = 8) ctx ~variant ~left_schema
@@ -61,7 +64,7 @@ let create ?memory_budget ?(regions = 8) ctx ~variant ~left_schema
     disk_r = Array.make (max 1 regions) [];
     next_spill = 0; mem_count = 0; spilled_tuples = 0; overflow_out = 0;
     merge_l = 0; merge_r = 0; hash_l = 0; hash_r = 0; stitch_out = 0;
-    finished = false }
+    finished = false; last_route_l = None; last_route_r = None }
 
 let schema t = t.schema
 
@@ -108,7 +111,11 @@ let spill_next_region t =
     split L Merge_op (Sym_join.left_table t.merge);
     split R Merge_op (Sym_join.right_table t.merge);
     split L Hash_op (Sym_join.left_table t.hash);
-    split R Hash_op (Sym_join.right_table t.hash)
+    split R Hash_op (Sym_join.right_table t.hash);
+    if Ctx.traced t.ctx then
+      Ctx.emit t.ctx
+        (Adp_obs.Trace.Page_out
+           { node = Printf.sprintf "comp-join/region-%d" region })
   end
 
 let maybe_spill t =
@@ -129,19 +136,38 @@ let route t side tuple =
   end
   else begin
     t.mem_count <- t.mem_count + 1;
+    let target =
+      if Sym_join.accepts t.merge (sym_side side) tuple then Merge_op
+      else Hash_op
+    in
+    (if Ctx.traced t.ctx then begin
+       let last = match side with L -> t.last_route_l | R -> t.last_route_r in
+       if last <> Some target then
+         Ctx.emit t.ctx
+           (Adp_obs.Trace.Comp_join_route
+              { side = (match side with L -> "L" | R -> "R");
+                routed_to =
+                  (match target with Merge_op -> "merge" | Hash_op -> "hash");
+                routed =
+                  (match side with
+                   | L -> t.merge_l + t.hash_l
+                   | R -> t.merge_r + t.hash_r) })
+     end);
+    (match side with
+     | L -> t.last_route_l <- Some target
+     | R -> t.last_route_r <- Some target);
     let outs =
-      if Sym_join.accepts t.merge (sym_side side) tuple then begin
+      match target with
+      | Merge_op ->
         (match side with
          | L -> t.merge_l <- t.merge_l + 1
          | R -> t.merge_r <- t.merge_r + 1);
         Sym_join.insert t.merge (sym_side side) tuple
-      end
-      else begin
+      | Hash_op ->
         (match side with
          | L -> t.hash_l <- t.hash_l + 1
          | R -> t.hash_r <- t.hash_r + 1);
         Sym_join.insert t.hash (sym_side side) tuple
-      end
     in
     maybe_spill t;
     outs

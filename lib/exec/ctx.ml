@@ -1,16 +1,58 @@
+module Trace = Adp_obs.Trace
+module Metrics = Adp_obs.Metrics
+
 type t = {
   clock : Clock.t;
   costs : Cost_model.t;
-  mutable tuples_read : int;
-  mutable tuples_output : int;
-  mutable retries : int;
-  mutable failovers : int;
-  mutable sources_failed : int;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  tuples_read : Metrics.counter;
+  tuples_output : Metrics.counter;
+  retries : Metrics.counter;
+  failovers : Metrics.counter;
+  sources_failed : Metrics.counter;
+  checkpoints : Metrics.counter;
+  checkpoint_bytes : Metrics.counter;
+  paged_out : Metrics.counter;
 }
 
-let create ?(costs = Cost_model.default) () =
-  { clock = Clock.create (); costs; tuples_read = 0; tuples_output = 0;
-    retries = 0; failovers = 0; sources_failed = 0 }
+let create ?(costs = Cost_model.default) ?(trace = Trace.null) ?metrics () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let c name help = Metrics.counter metrics ~help name in
+  { clock = Clock.create (); costs; trace; metrics;
+    tuples_read = c "adp_tuples_read_total" "source tuples consumed";
+    tuples_output = c "adp_tuples_output_total" "result tuples emitted";
+    retries = c "adp_retries_total" "source reconnect attempts issued";
+    failovers = c "adp_failovers_total" "mirror failovers performed";
+    sources_failed =
+      c "adp_sources_failed_total"
+        "sources permanently lost (all mirrors exhausted)";
+    checkpoints = c "adp_checkpoints_total" "checkpoint files written";
+    checkpoint_bytes =
+      c "adp_checkpoint_bytes_total" "bytes of checkpoint data written";
+    paged_out =
+      c "adp_paged_out_total"
+        "state structures paged out by memory pressure" }
 
 let charge t c = Clock.charge t.clock c
 let now t = Clock.now t.clock
+let traced t = Trace.enabled t.trace
+let emit t ev = Trace.emit t.trace ~at:(Clock.now t.clock) ev
+
+let sync_metrics t =
+  let g name help = Metrics.gauge t.metrics ~help name in
+  Metrics.set
+    (g "adp_clock_virtual_seconds" "virtual completion time of the run")
+    (Clock.now t.clock /. 1e6);
+  Metrics.set
+    (g "adp_clock_cpu_seconds" "virtual time charged as computation")
+    (Clock.cpu t.clock /. 1e6);
+  Metrics.set
+    (g "adp_clock_idle_seconds" "virtual time spent waiting on sources")
+    (Clock.idle t.clock /. 1e6);
+  Metrics.set
+    (g "adp_clock_retry_idle_seconds"
+       "virtual idle time attributable to retry backoff")
+    (Clock.retry_idle t.clock /. 1e6)

@@ -1,20 +1,54 @@
-(** Execution context: the virtual clock, the cost constants, and global
-    tuple counters shared by all operators of one query execution. *)
+(** Execution context: the virtual clock, the cost constants, the
+    observability sinks and the global counters shared by all operators
+    of one query execution.
+
+    The counters live in the metrics registry (as [adp_*_total] counter
+    cells) rather than as plain record fields, so a metrics dump sees
+    exactly what the engine counted and `Report.run` can be derived from
+    the registry — one source of truth, no hand-threaded duplicates. *)
 
 type t = {
   clock : Clock.t;
   costs : Cost_model.t;
-  mutable tuples_read : int;  (** source tuples consumed *)
-  mutable tuples_output : int;  (** result tuples emitted *)
-  mutable retries : int;  (** source reconnect attempts issued *)
-  mutable failovers : int;  (** mirror failovers performed *)
-  mutable sources_failed : int;
+  trace : Adp_obs.Trace.t;
+  metrics : Adp_obs.Metrics.t;
+  tuples_read : Adp_obs.Metrics.counter;  (** source tuples consumed *)
+  tuples_output : Adp_obs.Metrics.counter;  (** result tuples emitted *)
+  retries : Adp_obs.Metrics.counter;
+      (** source reconnect attempts issued *)
+  failovers : Adp_obs.Metrics.counter;  (** mirror failovers performed *)
+  sources_failed : Adp_obs.Metrics.counter;
       (** sources permanently lost (all mirrors exhausted) *)
+  checkpoints : Adp_obs.Metrics.counter;
+      (** checkpoint files written by this run *)
+  checkpoint_bytes : Adp_obs.Metrics.counter;
+      (** bytes of checkpoint data written *)
+  paged_out : Adp_obs.Metrics.counter;
+      (** state structures paged out by memory pressure *)
 }
 
-val create : ?costs:Cost_model.t -> unit -> t
+(** [trace] defaults to {!Adp_obs.Trace.null} (tracing disabled);
+    [metrics] defaults to a fresh private registry. *)
+val create :
+  ?costs:Cost_model.t ->
+  ?trace:Adp_obs.Trace.t ->
+  ?metrics:Adp_obs.Metrics.t ->
+  unit ->
+  t
 
 (** Charge CPU cost. *)
 val charge : t -> float -> unit
 
 val now : t -> float
+
+(** Is tracing enabled?  Guard every {!emit} with this so event payloads
+    are never constructed against the null sink. *)
+val traced : t -> bool
+
+(** Emit a trace event stamped with the current virtual time.  The clock
+    is read, never advanced: tracing cannot perturb virtual time. *)
+val emit : t -> Adp_obs.Trace.event -> unit
+
+(** Refresh the clock gauges ([adp_clock_*_seconds]) in the metrics
+    registry from the virtual clock.  Called once at the end of a run. *)
+val sync_metrics : t -> unit

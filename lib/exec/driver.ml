@@ -59,7 +59,7 @@ let run ctx ~sources ~consume ?poll ?(retry = Retry.default_policy) () =
       (match Source.next srcs.(i) with
        | None -> ()
        | Some (tuple, _) ->
-         ctx.Ctx.tuples_read <- ctx.Ctx.tuples_read + 1;
+         Adp_obs.Metrics.incr ctx.Ctx.tuples_read;
          Retry.note_progress ctrls.(i) ~now:(Ctx.now ctx);
          consume srcs.(i) tuple);
       (match poll with
@@ -79,11 +79,15 @@ let run ctx ~sources ~consume ?poll ?(retry = Retry.default_policy) () =
         (* Retry budget spent: the connection is declared permanently
            dead.  Fail over to the next mirror, or give the source up and
            let the run complete with partial results. *)
-        (if Source.failover srcs.(i) ~at:now then begin
-           ctx.Ctx.failovers <- ctx.Ctx.failovers + 1;
+        let ok = Source.failover srcs.(i) ~at:now in
+        (if ok then begin
+           Adp_obs.Metrics.incr ctx.Ctx.failovers;
            Retry.note_progress ctrls.(i) ~now
          end
-         else ctx.Ctx.sources_failed <- ctx.Ctx.sources_failed + 1);
+         else Adp_obs.Metrics.incr ctx.Ctx.sources_failed);
+        if Ctx.traced ctx then
+          Ctx.emit ctx
+            (Adp_obs.Trace.Failover { source = Source.name srcs.(i); ok });
         (* A permanent source failure changes the best remaining plan:
            trigger the re-optimizer immediately instead of waiting for
            the next scheduled poll. *)
@@ -95,10 +99,19 @@ let run ctx ~sources ~consume ?poll ?(retry = Retry.default_policy) () =
         | None -> loop ()
       end
       else begin
-        ctx.Ctx.retries <- ctx.Ctx.retries + 1;
-        if Source.try_reconnect srcs.(i) ~at:now then
-          Retry.record_success ctrls.(i) ~now
+        Adp_obs.Metrics.incr ctx.Ctx.retries;
+        let attempt = Retry.attempts ctrls.(i) + 1 in
+        let ok = Source.try_reconnect srcs.(i) ~at:now in
+        if ok then Retry.record_success ctrls.(i) ~now
         else Retry.record_failure ctrls.(i) ~now;
+        if Ctx.traced ctx then
+          Ctx.emit ctx
+            (Adp_obs.Trace.Retry
+               { source = Source.name srcs.(i); attempt; ok;
+                 next_attempt_s =
+                   (match Retry.pending_attempt ctrls.(i) with
+                    | Some t -> t /. 1e6
+                    | None -> 0.0) });
         loop ()
       end
   in

@@ -1,5 +1,7 @@
 open Adp_relation
 open Adp_storage
+module Trace = Adp_obs.Trace
+module Metrics = Adp_obs.Metrics
 
 type preagg_mode =
   | Windowed of { initial : int; max_window : int }
@@ -126,6 +128,7 @@ type preagg_rt = {
   p_group_idx : int array;
   p_comp : Aggregate.compiled;
   p_mode : preagg_mode;
+  p_sig : string;  (* node description for trace events *)
   mutable p_window : int;
   mutable p_in_window : int;
   p_buffer : Value.t array Ktbl.t;  (* group key -> accumulator *)
@@ -143,6 +146,8 @@ type node = {
   n_predicates : string list;
   mutable n_outputs : Tuple.t list;  (* newest first *)
   mutable n_out_count : int;
+  n_in_metric : Metrics.counter;
+  n_out_metric : Metrics.counter;
   impl : impl;
 }
 
@@ -161,6 +166,8 @@ and join_rt = {
   ltbl : Hash_table.t;
   rtbl : Hash_table.t;
   preds : string list;  (* this join's own predicates *)
+  j_probes : Metrics.counter;
+  j_builds : Metrics.counter;
 }
 
 and preagg_node_rt = { child : node; pa : preagg_rt }
@@ -172,14 +179,30 @@ and impl =
 
 type t = { ctx : Ctx.t; root : node; record_outputs : bool }
 
+(* Per-node counters live in the context's metrics registry, labelled
+   with the node's rendering.  Registration is idempotent per (name,
+   labels), so the same logical operator keeps accumulating across the
+   plans of successive phases. *)
+let node_counter ctx name help spec =
+  Metrics.counter ctx.Ctx.metrics
+    ~labels:[ ("node", Format.asprintf "%a" pp_spec spec) ]
+    ~help name
+
 let rec build ctx spec ~schema_of =
+  let n_in_metric =
+    node_counter ctx "adp_node_tuples_in_total"
+      "tuples entering the operator" spec
+  and n_out_metric =
+    node_counter ctx "adp_node_tuples_out_total"
+      "tuples produced by the operator" spec
+  in
   match spec with
   | Scan s ->
     let schema = schema_of s.source in
     { n_spec = spec; n_schema = schema;
       n_signature = signature_of spec; n_relations = [ s.source ];
       n_sources = [ s.source ]; n_predicates = []; n_outputs = [];
-      n_out_count = 0;
+      n_out_count = 0; n_in_metric; n_out_metric;
       impl =
         RLeaf
           { source = s.source; filter = Predicate.compile s.filter schema;
@@ -204,12 +227,19 @@ let rec build ctx spec ~schema_of =
       n_relations = relations spec;
       n_sources = left.n_sources @ right.n_sources;
       n_predicates = predicates spec; n_outputs = []; n_out_count = 0;
+      n_in_metric; n_out_metric;
       impl =
         RJoin
           { left; right; lkey; rkey;
             ltbl = Hash_table.create left.n_schema ~key_cols:j.left_key;
             rtbl = Hash_table.create right.n_schema ~key_cols:j.right_key;
-            preds = List.map2 canon_pred j.left_key j.right_key } }
+            preds = List.map2 canon_pred j.left_key j.right_key;
+            j_probes =
+              node_counter ctx "adp_node_hash_probes_total"
+                "hash-table probes issued by the join" spec;
+            j_builds =
+              node_counter ctx "adp_node_hash_builds_total"
+                "tuples inserted into the join's hash tables" spec } }
   | Preagg p ->
     let child = build ctx p.child ~schema_of in
     let schema = Aggregate.partial_schema ~group_cols:p.group_cols p.aggs in
@@ -225,13 +255,16 @@ let rec build ctx spec ~schema_of =
     { n_spec = spec; n_schema = schema; n_signature = signature_of spec;
       n_relations = child.n_relations; n_sources = child.n_sources;
       n_predicates = child.n_predicates; n_outputs = []; n_out_count = 0;
+      n_in_metric; n_out_metric;
       impl =
         RPreagg
           { child;
             pa =
               { p_group_idx;
                 p_comp = Aggregate.compile p.aggs child.n_schema;
-                p_mode = p.mode; p_window = initial; p_in_window = 0;
+                p_mode = p.mode;
+                p_sig = Format.asprintf "%a" pp_spec spec;
+                p_window = initial; p_in_window = 0;
                 p_buffer = Ktbl.create 256; p_order = [];
                 p_in_total = 0; p_out_total = 0 } } }
 
@@ -245,8 +278,14 @@ let sources t = t.root.n_sources
 let record ~keep node outs =
   if outs <> [] then begin
     if keep then node.n_outputs <- List.rev_append outs node.n_outputs;
-    node.n_out_count <- node.n_out_count + List.length outs
+    let n = List.length outs in
+    node.n_out_count <- node.n_out_count + n;
+    Metrics.incr ~by:n node.n_out_metric
   end;
+  outs
+
+let record_in node outs =
+  if outs <> [] then Metrics.incr ~by:(List.length outs) node.n_in_metric;
   outs
 
 let probe_cost ctx tbl matches =
@@ -256,6 +295,8 @@ let probe_cost ctx tbl matches =
 
 let join_side ctx j ~from_left tuple =
   let c = ctx.Ctx.costs in
+  Metrics.incr j.j_builds;
+  Metrics.incr j.j_probes;
   if from_left then begin
     Ctx.charge ctx c.hash_build;
     Hash_table.insert j.ltbl tuple;
@@ -288,11 +329,16 @@ let preagg_flush_window ctx pa =
   (match pa.p_mode with
    | Windowed w when pa.p_in_window > 0 ->
      let ratio = float_of_int n_out /. float_of_int pa.p_in_window in
+     let before = pa.p_window in
      if ratio <= 0.8 then pa.p_window <- min (2 * pa.p_window) w.max_window
-     else pa.p_window <- max (pa.p_window / 2) 1
+     else pa.p_window <- max (pa.p_window / 2) 1;
+     if pa.p_window <> before && Ctx.traced ctx then
+       Ctx.emit ctx
+         (Trace.Agg_window_resize
+            { node = pa.p_sig; from_window = before;
+              to_window = pa.p_window; reduction = ratio })
    | Windowed _ | Traditional | Pseudogroup | Punctuated -> ());
   pa.p_in_window <- 0;
-  ignore ctx;
   outs
 
 let preagg_insert ctx pa tuple =
@@ -337,6 +383,7 @@ let rec do_push ctx ~keep node ~source tuple =
     match node.impl with
     | RLeaf l ->
       l.seen <- l.seen + 1;
+      Metrics.incr node.n_in_metric;
       Ctx.charge ctx
         (ctx.Ctx.costs.filter_atom *. float_of_int (max 1 l.filter_atoms));
       if l.filter tuple then Some (record ~keep node [ tuple ]) else Some []
@@ -345,18 +392,25 @@ let rec do_push ctx ~keep node ~source tuple =
        | Some outs ->
          Some
            (record ~keep node
-              (List.concat_map (join_side ctx j ~from_left:true) outs))
+              (List.concat_map
+                 (join_side ctx j ~from_left:true)
+                 (record_in node outs)))
        | None ->
          (match do_push ctx ~keep j.right ~source tuple with
           | Some outs ->
             Some
               (record ~keep node
-                 (List.concat_map (join_side ctx j ~from_left:false) outs))
+                 (List.concat_map
+                    (join_side ctx j ~from_left:false)
+                    (record_in node outs)))
           | None -> None))
     | RPreagg p ->
       (match do_push ctx ~keep p.child ~source tuple with
        | Some outs ->
-         Some (record ~keep node (List.concat_map (preagg_insert ctx p.pa) outs))
+         Some
+           (record ~keep node
+              (List.concat_map (preagg_insert ctx p.pa)
+                 (record_in node outs)))
        | None -> None)
 
 let push t ~source tuple =
@@ -370,16 +424,20 @@ let rec do_flush ctx ~keep node =
   | RJoin j ->
     let louts = do_flush ctx ~keep j.left in
     let from_left =
-      List.concat_map (join_side ctx j ~from_left:true) louts
+      List.concat_map (join_side ctx j ~from_left:true)
+        (record_in node louts)
     in
     let routs = do_flush ctx ~keep j.right in
     let from_right =
-      List.concat_map (join_side ctx j ~from_left:false) routs
+      List.concat_map (join_side ctx j ~from_left:false)
+        (record_in node routs)
     in
     record ~keep node (from_left @ from_right)
   | RPreagg p ->
     let child_outs = do_flush ctx ~keep p.child in
-    let cascaded = List.concat_map (preagg_insert ctx p.pa) child_outs in
+    let cascaded =
+      List.concat_map (preagg_insert ctx p.pa) (record_in node child_outs)
+    in
     let drained = preagg_flush_window ctx p.pa in
     record ~keep node (cascaded @ drained)
 
@@ -507,6 +565,9 @@ let apply_memory_pressure t ~budget =
       end
       else begin
         swapped := descr :: !swapped;
+        Metrics.incr t.ctx.Ctx.paged_out;
+        if Ctx.traced t.ctx then
+          Ctx.emit t.ctx (Trace.Page_out { node = descr });
         Hash_table.swap_out tbl
       end)
     tables;

@@ -1,0 +1,35 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability layer speaks three textual formats — JSONL traces,
+    Chrome [trace_event] files and metrics dumps — and must also read its
+    own JSONL back for [tukwila explain].  Rather than pull a dependency
+    into the build, this is a small self-contained JSON implementation:
+    a value tree, a compact printer with round-trippable float formatting,
+    and a recursive-descent parser for standard JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+(** Shortest decimal form that parses back to the same float; integral
+    values print without a fractional part.  Non-finite floats (which
+    JSON cannot represent) print as [null]. *)
+val float_str : float -> string
+
+val parse : string -> (t, string) result
+
+(** {2 Accessors} — total; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val get_num : t -> float option
+val get_int : t -> int option
+val get_str : t -> string option
+val get_bool : t -> bool option
+val get_list : t -> t list option

@@ -1,0 +1,221 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  h_le : float array;  (* ascending upper bounds, +Inf excluded *)
+  h_counts : int array;  (* one slot per bound, non-cumulative *)
+  mutable h_inf : int;  (* observations above the last bound *)
+  mutable h_sum : float;
+  mutable h_n : int;
+}
+
+type cell =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type entry = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  cell : cell;
+}
+
+type t = { mutable entries : entry list }  (* reversed registration order *)
+
+let create () = { entries = [] }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find t name labels =
+  List.find_opt
+    (fun e -> e.name = name && e.labels = labels)
+    t.entries
+
+let register t ~labels ~help name make same =
+  match find t name labels with
+  | Some e -> (
+    match same e.cell with
+    | Some h -> h
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s re-registered as a different kind (%s)"
+           name (kind_name e.cell)))
+  | None ->
+    let h, cell = make () in
+    t.entries <- { name; labels; help; cell } :: t.entries;
+    h
+
+let counter t ?(labels = []) ?(help = "") name =
+  register t ~labels ~help name
+    (fun () ->
+      let c = { c = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t ?(labels = []) ?(help = "") name =
+  register t ~labels ~help name
+    (fun () ->
+      let g = { g = 0.0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let default_buckets =
+  [ 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0 ]
+
+let histogram t ?(labels = []) ?(help = "") ?(buckets = default_buckets) name
+    =
+  register t ~labels ~help name
+    (fun () ->
+      let le = Array.of_list (List.sort_uniq compare buckets) in
+      let h =
+        { h_le = le; h_counts = Array.make (Array.length le) 0; h_inf = 0;
+          h_sum = 0.0; h_n = 0 }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let count c = c.c
+let set_count c n = c.c <- n
+let set g v = g.g <- v
+let value g = g.g
+
+let observe h v =
+  h.h_sum <- h.h_sum +. v;
+  h.h_n <- h.h_n + 1;
+  let rec slot i =
+    if i >= Array.length h.h_le then h.h_inf <- h.h_inf + 1
+    else if v <= h.h_le.(i) then h.h_counts.(i) <- h.h_counts.(i) + 1
+    else slot (i + 1)
+  in
+  slot 0
+
+let histogram_count h = h.h_n
+let histogram_sum h = h.h_sum
+
+let counter_total t name =
+  List.fold_left
+    (fun acc e ->
+      match e.cell with
+      | Counter c when e.name = name -> acc + c.c
+      | _ -> acc)
+    0 t.entries
+
+(* Deterministic dump order: by name, then by labels. *)
+let sorted t =
+  List.sort
+    (fun a b ->
+      match String.compare a.name b.name with
+      | 0 -> compare a.labels b.labels
+      | c -> c)
+    t.entries
+
+let to_json t =
+  let labels_json labels =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+  in
+  let entry e =
+    let base =
+      [ ("name", Json.Str e.name); ("labels", labels_json e.labels);
+        ("type", Json.Str (kind_name e.cell)) ]
+    in
+    let body =
+      match e.cell with
+      | Counter c -> [ ("value", Json.Num (float_of_int c.c)) ]
+      | Gauge g -> [ ("value", Json.Num g.g) ]
+      | Histogram h ->
+        let cum = ref 0 in
+        let buckets =
+          Array.to_list
+            (Array.mapi
+               (fun i le ->
+                 cum := !cum + h.h_counts.(i);
+                 Json.Obj
+                   [ ("le", Json.Num le);
+                     ("count", Json.Num (float_of_int !cum)) ])
+               h.h_le)
+        in
+        [ ("buckets", Json.List buckets);
+          ("count", Json.Num (float_of_int h.h_n));
+          ("sum", Json.Num h.h_sum) ]
+    in
+    Json.Obj (base @ body)
+  in
+  Json.Obj [ ("metrics", Json.List (List.map entry (sorted t))) ]
+
+(* Prometheus text exposition format. *)
+
+let prom_escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape_label v))
+           labels)
+    ^ "}"
+
+let prom_num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus t =
+  let b = Buffer.create 4096 in
+  let headered = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem headered e.name) then begin
+        Hashtbl.add headered e.name ();
+        if e.help <> "" then
+          Buffer.add_string b
+            (Printf.sprintf "# HELP %s %s\n" e.name e.help);
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" e.name (kind_name e.cell))
+      end;
+      match e.cell with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" e.name (prom_labels e.labels) c.c)
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" e.name (prom_labels e.labels)
+             (prom_num g.g))
+      | Histogram h ->
+        let cum = ref 0 in
+        Array.iteri
+          (fun i le ->
+            cum := !cum + h.h_counts.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" e.name
+                 (prom_labels (e.labels @ [ ("le", prom_num le) ]))
+                 !cum))
+          h.h_le;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" e.name
+             (prom_labels (e.labels @ [ ("le", "+Inf") ]))
+             h.h_n);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" e.name (prom_labels e.labels)
+             (prom_num h.h_sum));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" e.name (prom_labels e.labels)
+             h.h_n))
+    (sorted t);
+  Buffer.contents b

@@ -1,0 +1,63 @@
+(** Metrics registry: named counters, gauges and histograms with
+    Prometheus-style labels.
+
+    The engine registers its global tuple/fault counters here (via
+    [Ctx]), and [Plan.build] registers per-node counters (tuples in/out,
+    hash-table probes and builds) labelled with the node's signature, so
+    the same logical operator accumulates across phases.  Registration is
+    idempotent: asking for an existing (name, labels) cell returns the
+    same cell, which is exactly what lets a re-built plan keep counting
+    into the counters of its predecessor phases.
+
+    Handles are plain mutable records — an increment is one load, one
+    add, one store — so the hot path pays nothing measurable.  Dumps are
+    deterministic (sorted by name, then labels) in two formats: a JSON
+    object tree, and the Prometheus text exposition format. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Registration} — idempotent per (name, labels).  Asking for an
+    existing name with a different metric kind raises [Invalid_argument]. *)
+
+val counter :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> counter
+
+val gauge :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> gauge
+
+(** [buckets] are upper bounds (le); a [+Inf] bucket is implicit. *)
+val histogram :
+  t ->
+  ?labels:(string * string) list ->
+  ?help:string ->
+  ?buckets:float list ->
+  string ->
+  histogram
+
+(** {2 Updates and reads} *)
+
+val incr : ?by:int -> counter -> unit
+val count : counter -> int
+
+(** Overwrite a counter (checkpoint restore only). *)
+val set_count : counter -> int -> unit
+
+val set : gauge -> float -> unit
+val value : gauge -> float
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** Sum of all counter cells with this name (any labels); 0 when none. *)
+val counter_total : t -> string -> int
+
+(** {2 Dumps} *)
+
+val to_json : t -> Json.t
+val to_prometheus : t -> string

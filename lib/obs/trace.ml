@@ -1,0 +1,404 @@
+type decision = Keep | Switch
+
+type event =
+  | Phase_opened of { id : int; plan : string }
+  | Phase_closed of { id : int; read : int; emitted : int }
+  | Reopt_poll of {
+      phase : int;
+      est_cost : float;
+      best_cost : float;
+      best_plan : string;
+      switch_cost : float;
+      remaining_fraction : float;
+      observed_sel : (string * float) list;
+      decision : decision;
+    }
+  | Plan_switch of { from_plan : string; to_plan : string; reason : string }
+  | Comp_join_route of { side : string; routed_to : string; routed : int }
+  | Agg_window_resize of {
+      node : string;
+      from_window : int;
+      to_window : int;
+      reduction : float;
+    }
+  | Retry of {
+      source : string;
+      attempt : int;
+      ok : bool;
+      next_attempt_s : float;
+    }
+  | Failover of { source : string; ok : bool }
+  | Checkpoint_written of { seq : int; path : string; bytes : int }
+  | Checkpoint_resumed of { seq : int; path : string; phases : int }
+  | Stitchup_begin of { phases : int; combos : int }
+  | Stitchup_end of { output : int; reused : int; recomputed : int }
+  | Page_out of { node : string }
+
+type stamped = float * event
+
+type format = Jsonl | Chrome
+
+type file_sink = {
+  path : string;
+  fmt : format;
+  mutable acc : stamped list;  (* reversed *)
+  mutable flushed : bool;
+}
+
+type t =
+  | Null
+  | Memory of stamped list ref
+  | File of file_sink
+
+let null = Null
+let memory () = Memory (ref [])
+let file ~format path = File { path; fmt = format; acc = []; flushed = false }
+let enabled = function Null -> false | Memory _ | File _ -> true
+
+let emit t ~at ev =
+  match t with
+  | Null -> ()
+  | Memory r -> r := (at, ev) :: !r
+  | File f -> f.acc <- (at, ev) :: f.acc
+
+let events = function
+  | Null -> []
+  | Memory r -> List.rev !r
+  | File f -> List.rev f.acc
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let event_name = function
+  | Phase_opened _ -> "phase_opened"
+  | Phase_closed _ -> "phase_closed"
+  | Reopt_poll _ -> "reopt_poll"
+  | Plan_switch _ -> "plan_switch"
+  | Comp_join_route _ -> "comp_join_route"
+  | Agg_window_resize _ -> "agg_window_resize"
+  | Retry _ -> "retry"
+  | Failover _ -> "failover"
+  | Checkpoint_written _ -> "checkpoint_written"
+  | Checkpoint_resumed _ -> "checkpoint_resumed"
+  | Stitchup_begin _ -> "stitchup_begin"
+  | Stitchup_end _ -> "stitchup_end"
+  | Page_out _ -> "page_out"
+
+let decision_str = function Keep -> "keep" | Switch -> "switch"
+
+let fields ev : (string * Json.t) list =
+  let num f = Json.Num f in
+  let int i = Json.Num (float_of_int i) in
+  let str s = Json.Str s in
+  match ev with
+  | Phase_opened { id; plan } -> [ ("id", int id); ("plan", str plan) ]
+  | Phase_closed { id; read; emitted } ->
+    [ ("id", int id); ("read", int read); ("emitted", int emitted) ]
+  | Reopt_poll
+      { phase; est_cost; best_cost; best_plan; switch_cost;
+        remaining_fraction; observed_sel; decision } ->
+    [ ("phase", int phase); ("est_cost", num est_cost);
+      ("best_cost", num best_cost); ("best_plan", str best_plan);
+      ("switch_cost", num switch_cost);
+      ("remaining_fraction", num remaining_fraction);
+      ( "observed_sel",
+        Json.Obj (List.map (fun (k, v) -> (k, num v)) observed_sel) );
+      ("decision", str (decision_str decision)) ]
+  | Plan_switch { from_plan; to_plan; reason } ->
+    [ ("from", str from_plan); ("to", str to_plan); ("reason", str reason) ]
+  | Comp_join_route { side; routed_to; routed } ->
+    [ ("side", str side); ("to", str routed_to); ("routed", int routed) ]
+  | Agg_window_resize { node; from_window; to_window; reduction } ->
+    [ ("node", str node); ("from", int from_window); ("to", int to_window);
+      ("reduction", num reduction) ]
+  | Retry { source; attempt; ok; next_attempt_s } ->
+    [ ("source", str source); ("attempt", int attempt); ("ok", Json.Bool ok);
+      ("next_attempt_s", num next_attempt_s) ]
+  | Failover { source; ok } -> [ ("source", str source); ("ok", Json.Bool ok) ]
+  | Checkpoint_written { seq; path; bytes } ->
+    [ ("seq", int seq); ("path", str path); ("bytes", int bytes) ]
+  | Checkpoint_resumed { seq; path; phases } ->
+    [ ("seq", int seq); ("path", str path); ("phases", int phases) ]
+  | Stitchup_begin { phases; combos } ->
+    [ ("phases", int phases); ("combos", int combos) ]
+  | Stitchup_end { output; reused; recomputed } ->
+    [ ("output", int output); ("reused", int reused);
+      ("recomputed", int recomputed) ]
+  | Page_out { node } -> [ ("node", str node) ]
+
+let to_json (at, ev) =
+  Json.Obj
+    (("ts", Json.Num at) :: ("ev", Json.Str (event_name ev)) :: fields ev)
+
+exception Bad of string
+
+let req j k f =
+  match Json.member k j with
+  | None -> raise (Bad (Printf.sprintf "missing field %S" k))
+  | Some v -> (
+    match f v with
+    | Some x -> x
+    | None -> raise (Bad (Printf.sprintf "bad field %S" k)))
+
+let of_json j =
+  try
+    let int k = req j k Json.get_int in
+    let num k = req j k Json.get_num in
+    let str k = req j k Json.get_str in
+    let bool k = req j k Json.get_bool in
+    let at = req j "ts" Json.get_num in
+    let ev =
+      match req j "ev" Json.get_str with
+      | "phase_opened" -> Phase_opened { id = int "id"; plan = str "plan" }
+      | "phase_closed" ->
+        Phase_closed
+          { id = int "id"; read = int "read"; emitted = int "emitted" }
+      | "reopt_poll" ->
+        let observed_sel =
+          match Json.member "observed_sel" j with
+          | Some (Json.Obj kvs) ->
+            List.map
+              (fun (k, v) ->
+                match Json.get_num v with
+                | Some f -> (k, f)
+                | None -> raise (Bad "bad selectivity entry"))
+              kvs
+          | _ -> raise (Bad "missing field \"observed_sel\"")
+        in
+        let decision =
+          match str "decision" with
+          | "keep" -> Keep
+          | "switch" -> Switch
+          | _ -> raise (Bad "bad field \"decision\"")
+        in
+        Reopt_poll
+          { phase = int "phase"; est_cost = num "est_cost";
+            best_cost = num "best_cost"; best_plan = str "best_plan";
+            switch_cost = num "switch_cost";
+            remaining_fraction = num "remaining_fraction"; observed_sel;
+            decision }
+      | "plan_switch" ->
+        Plan_switch
+          { from_plan = str "from"; to_plan = str "to"; reason = str "reason" }
+      | "comp_join_route" ->
+        Comp_join_route
+          { side = str "side"; routed_to = str "to"; routed = int "routed" }
+      | "agg_window_resize" ->
+        Agg_window_resize
+          { node = str "node"; from_window = int "from";
+            to_window = int "to"; reduction = num "reduction" }
+      | "retry" ->
+        Retry
+          { source = str "source"; attempt = int "attempt"; ok = bool "ok";
+            next_attempt_s = num "next_attempt_s" }
+      | "failover" -> Failover { source = str "source"; ok = bool "ok" }
+      | "checkpoint_written" ->
+        Checkpoint_written
+          { seq = int "seq"; path = str "path"; bytes = int "bytes" }
+      | "checkpoint_resumed" ->
+        Checkpoint_resumed
+          { seq = int "seq"; path = str "path"; phases = int "phases" }
+      | "stitchup_begin" ->
+        Stitchup_begin { phases = int "phases"; combos = int "combos" }
+      | "stitchup_end" ->
+        Stitchup_end
+          { output = int "output"; reused = int "reused";
+            recomputed = int "recomputed" }
+      | "page_out" -> Page_out { node = str "node" }
+      | other -> raise (Bad (Printf.sprintf "unknown event %S" other))
+    in
+    Ok (at, ev)
+  with Bad msg -> Error msg
+
+let to_jsonl evs =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Json.to_buffer b (to_json ev);
+      Buffer.add_char b '\n')
+    evs;
+  Buffer.contents b
+
+(* Chrome trace_event JSON (loadable in Perfetto / about://tracing).
+   Phases and the stitch-up become duration (B/E) slices; every other
+   event is an instant.  Timestamps are virtual µs, which trace_event's
+   [ts] field expects. *)
+let to_chrome evs =
+  let record (at, ev) =
+    let name, ph =
+      match ev with
+      | Phase_opened { id; _ } -> (Printf.sprintf "phase %d" id, "B")
+      | Phase_closed { id; _ } -> (Printf.sprintf "phase %d" id, "E")
+      | Stitchup_begin _ -> ("stitch-up", "B")
+      | Stitchup_end _ -> ("stitch-up", "E")
+      | ev -> (event_name ev, "i")
+    in
+    let base =
+      [ ("name", Json.Str name); ("ph", Json.Str ph); ("ts", Json.Num at);
+        ("pid", Json.Num 1.0); ("tid", Json.Num 1.0) ]
+    in
+    let scope = if ph = "i" then [ ("s", Json.Str "t") ] else [] in
+    Json.Obj (base @ scope @ [ ("args", Json.Obj (fields ev)) ])
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("traceEvents", Json.List (List.map record evs));
+         ("displayTimeUnit", Json.Str "ms") ])
+
+let close t =
+  match t with
+  | Null | Memory _ -> ()
+  | File f ->
+    if not f.flushed then begin
+      f.flushed <- true;
+      let evs = List.rev f.acc in
+      let body =
+        match f.fmt with Jsonl -> to_jsonl evs | Chrome -> to_chrome evs
+      in
+      Adp_storage.Snapshot.write_text ~path:f.path body
+    end
+
+let read_jsonl path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such file" path)
+  else begin
+    let ic = open_in_bin path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let lines = List.rev !lines in
+    let rec go lineno acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else begin
+          match Json.parse line with
+          | Error msg ->
+            Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+          | Ok j -> (
+            match of_json j with
+            | Error msg ->
+              Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+            | Ok ev -> go (lineno + 1) (ev :: acc) rest)
+        end
+    in
+    go 1 [] lines
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fnum = Json.float_str
+
+let pp_event ppf ev =
+  match ev with
+  | Phase_opened { id; plan } ->
+    Format.fprintf ppf "phase %d opened: %s" id plan
+  | Phase_closed { id; read; emitted } ->
+    Format.fprintf ppf "phase %d closed: read %d source tuples, emitted %d"
+      id read emitted
+  | Reopt_poll
+      { phase; est_cost; best_cost; best_plan; switch_cost;
+        remaining_fraction; decision; _ } ->
+    Format.fprintf ppf
+      "re-opt poll (phase %d): cost-to-go %s, best %s via %s, switch cost \
+       %s, %.0f%% of input remaining -> %s"
+      phase (fnum est_cost) (fnum best_cost) best_plan (fnum switch_cost)
+      (100.0 *. remaining_fraction)
+      (match decision with Keep -> "keep current plan" | Switch -> "SWITCH")
+  | Plan_switch { from_plan; to_plan; reason } ->
+    Format.fprintf ppf "plan switch: %s => %s (%s)" from_plan to_plan reason
+  | Comp_join_route { side; routed_to; routed } ->
+    Format.fprintf ppf
+      "comp-join router: side %s now feeds the %s join (%d tuples routed \
+       before the flip)"
+      side routed_to routed
+  | Agg_window_resize { node; from_window; to_window; reduction } ->
+    Format.fprintf ppf
+      "pre-agg window resize: %s, %d -> %d (observed reduction %.2f)" node
+      from_window to_window reduction
+  | Retry { source; attempt; ok; next_attempt_s } ->
+    if ok then
+      Format.fprintf ppf "retry: %s reconnected on attempt %d" source attempt
+    else
+      Format.fprintf ppf
+        "retry: %s attempt %d failed, next attempt at %s s" source attempt
+        (fnum next_attempt_s)
+  | Failover { source; ok } ->
+    if ok then Format.fprintf ppf "failover: mirror took over for %s" source
+    else
+      Format.fprintf ppf
+        "failover: %s lost with no mirror left, continuing partial" source
+  | Checkpoint_written { seq; path; bytes } ->
+    Format.fprintf ppf "checkpoint #%d written (%d bytes) -> %s" seq bytes
+      path
+  | Checkpoint_resumed { seq; path; phases } ->
+    Format.fprintf ppf
+      "resumed from checkpoint #%d (%d restored phase%s) <- %s" seq phases
+      (if phases = 1 then "" else "s")
+      path
+  | Stitchup_begin { phases; combos } ->
+    Format.fprintf ppf
+      "stitch-up begin: %d phases, %d cross-phase combinations" phases
+      combos
+  | Stitchup_end { output; reused; recomputed } ->
+    Format.fprintf ppf
+      "stitch-up end: %d rows (%d registry tuples reused, %d recomputed)"
+      output reused recomputed
+  | Page_out { node } ->
+    Format.fprintf ppf "page-out: %s" node
+
+let explain ppf evs =
+  match evs with
+  | [] -> Format.fprintf ppf "(empty trace)@."
+  | (first, _) :: _ ->
+    let last = List.fold_left (fun _ (at, _) -> at) first evs in
+    List.iter
+      (fun (at, ev) ->
+        Format.fprintf ppf "[%12.6f s] %a@." (at /. 1e6) pp_event ev;
+        match ev with
+        | Reopt_poll { observed_sel; _ } when observed_sel <> [] ->
+          let shown, rest =
+            let rec split n = function
+              | x :: tl when n > 0 ->
+                let a, b = split (n - 1) tl in
+                (x :: a, b)
+              | l -> ([], l)
+            in
+            split 8 observed_sel
+          in
+          List.iter
+            (fun (sg, v) ->
+              Format.fprintf ppf "%16s evidence: sel %s = %.4f@." "" sg v)
+            shown;
+          if rest <> [] then
+            Format.fprintf ppf "%16s evidence: (+%d more)@." ""
+              (List.length rest)
+        | _ -> ())
+      evs;
+    let count f = List.length (List.filter (fun (_, ev) -> f ev) evs) in
+    let phases = count (function Phase_opened _ -> true | _ -> false) in
+    let polls = count (function Reopt_poll _ -> true | _ -> false) in
+    let switches = count (function Plan_switch _ -> true | _ -> false) in
+    let routes = count (function Comp_join_route _ -> true | _ -> false) in
+    let resizes =
+      count (function Agg_window_resize _ -> true | _ -> false)
+    in
+    let retries = count (function Retry _ -> true | _ -> false) in
+    let failovers = count (function Failover _ -> true | _ -> false) in
+    let ckpts =
+      count (function Checkpoint_written _ -> true | _ -> false)
+    in
+    let pageouts = count (function Page_out _ -> true | _ -> false) in
+    Format.fprintf ppf
+      "-- %d events spanning %s virtual seconds@.-- phases %d; polls %d; \
+       switches %d; routing flips %d; window resizes %d; retries %d; \
+       failovers %d; checkpoints %d; page-outs %d@."
+      (List.length evs)
+      (fnum ((last -. first) /. 1e6))
+      phases polls switches routes resizes retries failovers ckpts pageouts

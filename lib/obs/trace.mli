@@ -1,0 +1,114 @@
+(** Structured execution traces: every adaptive decision the engine makes
+    — re-optimizer polls, plan switches, complementary-join routing flips,
+    pre-aggregation window resizes, retries, failovers, checkpoints,
+    page-outs and the stitch-up — as typed events stamped with the
+    virtual clock.
+
+    Emission is explicitly zero-cost when disabled: the engine guards
+    every hook with {!enabled}, so against the {!null} sink neither the
+    event payload nor its timestamp is ever constructed, and emitting
+    never touches the clock — a traced run and an untraced run are
+    virtual-time identical by construction.
+
+    File sinks buffer in memory and are flushed by {!close} through
+    {!Adp_storage.Snapshot.write_text} (atomic temp + rename), in one of
+    two formats: JSONL (one event object per line, replayable with
+    [tukwila explain]) or the Chrome [trace_event] JSON understood by
+    Perfetto and about://tracing. *)
+
+(** Did the re-optimizer keep the running plan or switch? *)
+type decision = Keep | Switch
+
+type event =
+  | Phase_opened of { id : int; plan : string }
+  | Phase_closed of { id : int; read : int; emitted : int }
+      (** [read]/[emitted]: source tuples consumed / result tuples
+          produced by the closing phase *)
+  | Reopt_poll of {
+      phase : int;
+      est_cost : float;  (** cost-to-go of the running plan *)
+      best_cost : float;  (** estimated cost of the re-optimized plan *)
+      best_plan : string;
+      switch_cost : float;  (** estimated stitch-up price of switching *)
+      remaining_fraction : float;
+      observed_sel : (string * float) list;
+          (** the monitor's selectivity evidence, by signature *)
+      decision : decision;
+    }
+  | Plan_switch of { from_plan : string; to_plan : string; reason : string }
+  | Comp_join_route of { side : string; routed_to : string; routed : int }
+      (** the router's target for side [side] ("L"/"R") changed to
+          [routed_to] ("merge"/"hash"); [routed] tuples had been routed
+          on that side before the flip *)
+  | Agg_window_resize of {
+      node : string;
+      from_window : int;
+      to_window : int;
+      reduction : float;  (** observed window reduction factor *)
+    }
+  | Retry of {
+      source : string;
+      attempt : int;
+      ok : bool;  (** did the reconnect succeed? *)
+      next_attempt_s : float;
+          (** virtual time of the next scheduled attempt (0 when none) *)
+    }
+  | Failover of { source : string; ok : bool }
+      (** [ok]: a mirror took over; otherwise the source is lost *)
+  | Checkpoint_written of { seq : int; path : string; bytes : int }
+  | Checkpoint_resumed of { seq : int; path : string; phases : int }
+      (** [phases]: phases restored from the checkpoint *)
+  | Stitchup_begin of { phases : int; combos : int }
+  | Stitchup_end of { output : int; reused : int; recomputed : int }
+  | Page_out of { node : string }
+
+(** Events are stamped with the virtual clock (µs). *)
+type stamped = float * event
+
+type format = Jsonl | Chrome
+
+type t
+
+(** The disabled sink: {!enabled} is [false], {!emit} is a no-op. *)
+val null : t
+
+(** In-memory sink (tests, [explain] of a live run). *)
+val memory : unit -> t
+
+(** File sink; nothing is written until {!close}. *)
+val file : format:format -> string -> t
+
+val enabled : t -> bool
+
+(** [emit t ~at ev] records [ev] at virtual time [at] (µs).  Call sites
+    must guard with {!enabled} so payload construction is skipped against
+    {!null}. *)
+val emit : t -> at:float -> event -> unit
+
+(** Events recorded so far, in emission order. *)
+val events : t -> stamped list
+
+(** Flush a file sink to disk (atomic temp + rename).  No-op for [null]
+    and memory sinks.  Idempotent. *)
+val close : t -> unit
+
+(** {2 Serialization} *)
+
+val event_name : event -> string
+val to_json : stamped -> Json.t
+val of_json : Json.t -> (stamped, string) result
+val to_jsonl : stamped list -> string
+val to_chrome : stamped list -> string
+
+(** Parse a JSONL trace file.  [Error] carries the first offending line
+    number and reason. *)
+val read_jsonl : string -> (stamped list, string) result
+
+(** {2 Replay} *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Render a recorded trace as a human-readable timeline: one line per
+    event at its virtual time, the re-optimizer's selectivity evidence
+    under each poll, and a closing summary of decision counts. *)
+val explain : Format.formatter -> stamped list -> unit

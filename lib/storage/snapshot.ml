@@ -215,6 +215,16 @@ let write_file ~path ~version segments =
       close_out oc);
   Sys.rename tmp path
 
+let write_text ~path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc contents;
+      close_out oc);
+  Sys.rename tmp path
+
 let read_file ~path =
   match
     let ic = open_in_bin path in

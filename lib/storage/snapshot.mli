@@ -83,6 +83,12 @@ val pp_file_error : Format.formatter -> file_error -> unit
 val write_file :
   path:string -> version:int -> (string * string) list -> unit
 
+(** [write_text ~path contents] writes a plain-text file through the same
+    temp-file + rename discipline as {!write_file}.  Observability exports
+    (trace files, metrics dumps) go through this, so a crash mid-export
+    can tear at most the temp file, never a previously written export. *)
+val write_text : path:string -> string -> unit
+
 (** Read a container back: the format version and the named segments in
     file order.  Every structural problem — wrong magic, unknown version,
     torn file, per-segment CRC mismatch — is an [Error], never an

@@ -91,7 +91,8 @@ let test_backoff_jitter_deterministic () =
     in
     let ctx, seen, outcome = drain ~retry:jittered [ s ] in
     ( Clock.retry_idle ctx.Ctx.clock, Clock.idle ctx.Ctx.clock,
-      Clock.capture ctx.Ctx.clock, ctx.Ctx.retries, List.length seen,
+      Clock.capture ctx.Ctx.clock, Adp_obs.Metrics.count ctx.Ctx.retries,
+      List.length seen,
       outcome )
   in
   let (ri_a, _, _, retries_a, _, _) as a = run () in
@@ -118,8 +119,8 @@ let test_stall_is_transient () =
   Alcotest.(check int) "all tuples delivered" 5 (List.length seen);
   (* Reconnect probes at deadlines 3e5, 5e5, 7e5, 9e5, 1.1e6; the tuple
      lands at 1.2e6 within the next window. *)
-  Alcotest.(check int) "probes during the stall" 5 ctx.Ctx.retries;
-  Alcotest.(check int) "no failover" 0 ctx.Ctx.failovers;
+  Alcotest.(check int) "probes during the stall" 5 (Adp_obs.Metrics.count ctx.Ctx.retries);
+  Alcotest.(check int) "no failover" 0 (Adp_obs.Metrics.count ctx.Ctx.failovers);
   Alcotest.(check (float 1e-6)) "completion time" 1.4e6 (Ctx.now ctx);
   Alcotest.(check bool) "timeout waits recorded as retry idle" true
     (Clock.retry_idle ctx.Ctx.clock > 0.0)
@@ -139,8 +140,8 @@ let test_disconnect_rejoin_backoff () =
   in
   let ctx, seen, _ = drain ~retry:(policy ()) [ s ] in
   Alcotest.(check int) "all tuples delivered" 5 (List.length seen);
-  Alcotest.(check int) "five attempts" 5 ctx.Ctx.retries;
-  Alcotest.(check int) "no failover needed" 0 ctx.Ctx.failovers;
+  Alcotest.(check int) "five attempts" 5 (Adp_obs.Metrics.count ctx.Ctx.retries);
+  Alcotest.(check int) "no failover needed" 0 (Adp_obs.Metrics.count ctx.Ctx.failovers);
   Alcotest.(check (float 1e-6)) "completion time" 2.1e6 (Ctx.now ctx);
   (* Retry idle: waits into the five attempt events,
      2e5 + 1e5 + 2e5 + 4e5 + 8e5. *)
@@ -170,8 +171,8 @@ let test_failover_to_lagging_mirror () =
   check_bag "no duplicates from the overlap"
     (Relation.to_list (mk_rel 5))
     seen;
-  Alcotest.(check int) "two failed attempts" 2 ctx.Ctx.retries;
-  Alcotest.(check int) "one failover" 1 ctx.Ctx.failovers;
+  Alcotest.(check int) "two failed attempts" 2 (Adp_obs.Metrics.count ctx.Ctx.retries);
+  Alcotest.(check int) "one failover" 1 (Adp_obs.Metrics.count ctx.Ctx.failovers);
   Alcotest.(check int) "overlap re-streamed" 1 (Source.redelivered s);
   Alcotest.(check (float 1e-6)) "completion time" 1e6 (Ctx.now ctx);
   Alcotest.(check bool) "source healthy on the mirror" true
@@ -194,8 +195,8 @@ let test_all_mirrors_die () =
   Alcotest.(check int) "partial delivery" (2 + 3) (List.length seen);
   Alcotest.(check bool) "source permanently failed" true
     (Source.status s = Source.Failed);
-  Alcotest.(check int) "one failover attempted" 1 ctx.Ctx.failovers;
-  Alcotest.(check int) "one source lost" 1 ctx.Ctx.sources_failed;
+  Alcotest.(check int) "one failover attempted" 1 (Adp_obs.Metrics.count ctx.Ctx.failovers);
+  Alcotest.(check int) "one source lost" 1 (Adp_obs.Metrics.count ctx.Ctx.sources_failed);
   Alcotest.(check bool) "other source unaffected" true
     (Source.exhausted other)
 

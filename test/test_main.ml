@@ -21,4 +21,5 @@ let () =
       "strategies", Test_strategies.suite;
       "sql", Test_sql.suite;
       "report", Test_report.suite;
+      "obs", Test_obs.suite;
       "recovery", Test_recovery.suite ]

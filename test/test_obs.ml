@@ -1,0 +1,555 @@
+(* Observability layer: JSON codec, trace event serialization roundtrips,
+   the Chrome trace_event exporter (golden file), the metrics registry and
+   its two dump formats, the explain replay, per-event-class coverage of
+   the engine's instrumentation hooks, and the headline invariant — a
+   traced run and an untraced run are virtual-time identical and produce
+   the same answer, including across a kill-and-resume. *)
+
+open Adp_relation
+open Adp_exec
+open Adp_datagen
+open Adp_optimizer
+open Adp_core
+open Adp_query
+open Helpers
+module Json = Adp_obs.Json
+module Trace = Adp_obs.Trace
+module Metrics = Adp_obs.Metrics
+module Checkpoint = Adp_recovery.Checkpoint
+module Crash = Adp_recovery.Crash
+
+(* Naive substring search (the test image has no [str] dependency). *)
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  n = 0
+  ||
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- JSON codec ---------------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [ ("a", Json.Num 1.0); ("b", Json.Str "x \"quoted\" \n tab\t");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Num (-2.5) ]);
+        ("d", Json.Obj [ ("nested", Json.Num 1e-3) ]);
+        ("unicode", Json.Str "σ ⋈ γ") ]
+  in
+  (match Json.parse (Json.to_string j) with
+   | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j')
+   | Error e -> Alcotest.fail e);
+  (* Floats round-trip exactly through the shortest representation. *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Num f)) with
+      | Ok (Json.Num f') ->
+        Alcotest.(check bool) (string_of_float f) true (f = f')
+      | _ -> Alcotest.fail "float did not parse back")
+    [ 0.1; 1.0 /. 3.0; 1e300; -0.0; 12345.625; Float.min_float ];
+  (match Json.parse "{broken" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "garbage accepted")
+
+(* One event of every class, with distinctive values. *)
+let one_of_each : Trace.stamped list =
+  [ 0.0, Trace.Phase_opened { id = 0; plan = "(a ⋈ b)" };
+    1.5, Trace.Reopt_poll
+           { phase = 0; est_cost = 100.25; best_cost = 90.5;
+             best_plan = "(b ⋈ a)"; switch_cost = 5.125;
+             remaining_fraction = 0.75;
+             observed_sel = [ "sig1", 0.5; "sig2", 1e-4 ];
+             decision = Trace.Switch };
+    2.0, Trace.Plan_switch
+           { from_plan = "(a ⋈ b)"; to_plan = "(b ⋈ a)"; reason = "cheaper" };
+    3.0, Trace.Comp_join_route { side = "L"; routed_to = "hash"; routed = 42 };
+    4.0, Trace.Agg_window_resize
+           { node = "γ[g]"; from_window = 64; to_window = 32; reduction = 0.9 };
+    5.0, Trace.Retry { source = "r"; attempt = 2; ok = false;
+                       next_attempt_s = 1.25 };
+    6.0, Trace.Failover { source = "r"; ok = true };
+    7.0, Trace.Checkpoint_written { seq = 3; path = "ckpt/3.adpck"; bytes = 512 };
+    8.0, Trace.Checkpoint_resumed { seq = 3; path = "ckpt/3.adpck"; phases = 2 };
+    9.0, Trace.Stitchup_begin { phases = 2; combos = 6 };
+    10.0, Trace.Stitchup_end { output = 7; reused = 3; recomputed = 4 };
+    11.0, Trace.Page_out { node = "⋈[a.k=b.k]" };
+    12.0, Trace.Phase_closed { id = 0; read = 1000; emitted = 250 } ]
+
+let test_event_jsonl_roundtrip () =
+  (* Through the in-memory codec... *)
+  List.iter
+    (fun ev ->
+      match Trace.of_json (Trace.to_json ev) with
+      | Ok ev' -> Alcotest.(check bool) "event roundtrip" true (ev = ev')
+      | Error e -> Alcotest.fail e)
+    one_of_each;
+  (* ...and through an actual file sink, the way `query --trace` writes. *)
+  let path = "obs-roundtrip.jsonl" in
+  let t = Trace.file ~format:Trace.Jsonl path in
+  Alcotest.(check bool) "file sink enabled" true (Trace.enabled t);
+  Alcotest.(check bool) "null sink disabled" false (Trace.enabled Trace.null);
+  List.iter (fun (at, ev) -> Trace.emit t ~at ev) one_of_each;
+  Trace.close t;
+  Trace.close t (* idempotent *);
+  (match Trace.read_jsonl path with
+   | Ok evs ->
+     Alcotest.(check bool) "file roundtrip preserves every event" true
+       (evs = one_of_each)
+   | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  match Trace.read_jsonl path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+let test_chrome_export_golden () =
+  let evs =
+    [ 0.0, Trace.Phase_opened { id = 0; plan = "scan" };
+      1.5, Trace.Page_out { node = "j" };
+      2.0, Trace.Phase_closed { id = 0; read = 10; emitted = 3 } ]
+  in
+  let want =
+    "{\"traceEvents\":["
+    ^ "{\"name\":\"phase 0\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1,"
+    ^ "\"args\":{\"id\":0,\"plan\":\"scan\"}},"
+    ^ "{\"name\":\"page_out\",\"ph\":\"i\",\"ts\":1.5,\"pid\":1,\"tid\":1,"
+    ^ "\"s\":\"t\",\"args\":{\"node\":\"j\"}},"
+    ^ "{\"name\":\"phase 0\",\"ph\":\"E\",\"ts\":2,\"pid\":1,\"tid\":1,"
+    ^ "\"args\":{\"id\":0,\"read\":10,\"emitted\":3}}],"
+    ^ "\"displayTimeUnit\":\"ms\"}"
+  in
+  Alcotest.(check string) "chrome trace_event golden" want (Trace.to_chrome evs)
+
+(* ---------------- metrics registry ---------------- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"tuples" "adp_test_total" in
+  let c_labelled =
+    Metrics.counter m ~labels:[ "node", "a \"⋈\" b\n" ] "adp_node_test_total"
+  in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "counter counts" 42 (Metrics.count c);
+  (* Registration is idempotent per (name, labels): the same cell. *)
+  Metrics.incr (Metrics.counter m "adp_test_total");
+  Alcotest.(check int) "same cell" 43 (Metrics.count c);
+  Metrics.incr ~by:7 c_labelled;
+  Alcotest.(check int) "labelled cell distinct" 7 (Metrics.count c_labelled);
+  Alcotest.(check int) "counter_total sums label sets" 7
+    (Metrics.counter_total m "adp_node_test_total");
+  (* Same name, different kind: rejected. *)
+  (match Metrics.gauge m "adp_test_total" with
+   | _ -> Alcotest.fail "kind mismatch accepted"
+   | exception Invalid_argument _ -> ());
+  let g = Metrics.gauge m ~help:"a gauge" "adp_test_gauge" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram m ~buckets:[ 1.0; 10.0 ] "adp_test_hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0 ];
+  Alcotest.(check int) "histogram count" 3 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "histogram sum" 55.5 (Metrics.histogram_sum h);
+  (* Prometheus text exposition. *)
+  let prom = Metrics.to_prometheus m in
+  let has s =
+    Alcotest.(check bool) ("prometheus has " ^ s) true
+      (contains ~needle:s prom)
+  in
+  has "# TYPE adp_test_total counter";
+  has "adp_test_total 43";
+  has "adp_test_gauge 2.5";
+  (* Label values are escaped. *)
+  has "adp_node_test_total{node=\"a \\\"⋈\\\" b\\n\"} 7";
+  (* Cumulative buckets with +Inf, _sum and _count. *)
+  has "adp_test_hist_bucket{le=\"1\"} 1";
+  has "adp_test_hist_bucket{le=\"10\"} 2";
+  has "adp_test_hist_bucket{le=\"+Inf\"} 3";
+  has "adp_test_hist_sum 55.5";
+  has "adp_test_hist_count 3";
+  (* The JSON dump parses and is sorted by name. *)
+  match Json.parse (Json.to_string (Metrics.to_json m)) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+    let names =
+      match Json.member "metrics" j with
+      | Some (Json.List entries) ->
+        List.filter_map
+          (fun e -> Option.bind (Json.member "name" e) Json.get_str)
+          entries
+      | _ -> Alcotest.fail "no metrics array"
+    in
+    Alcotest.(check bool) "json dump sorted" true
+      (names = List.sort compare names && List.length names = 4)
+
+(* ---------------- traced = untraced (the headline invariant) ------- *)
+
+let q3a_dataset =
+  Tpch.generate { Tpch.scale = 0.004; distribution = Tpch.Uniform; seed = 3 }
+
+(* A mis-costed CQP workload: pessimal initial plan over Q3A, windowed
+   pre-aggregation, a tight poll — guaranteed to switch (same setup as the
+   strategies suite). *)
+let run_q3a ?trace ?metrics () =
+  let q = Workload.query Workload.Q3A in
+  let catalog = Workload.catalog ~with_cardinalities:true q3a_dataset q in
+  let sources () = Workload.sources q3a_dataset q () in
+  let sels = Adp_stats.Selectivity.create () in
+  let bad = (Optimizer.pessimal q catalog sels).Optimizer.spec in
+  let cfg =
+    { Corrective.default_config with
+      poll_interval = 5e3; switch_threshold = 0.95; min_leaf_seen = 100 }
+  in
+  Strategy.run ~preagg:Optimizer.Auto ~label:"obs" ~initial_plan:bad
+    ?trace ?metrics (Strategy.Corrective cfg) q catalog ~sources
+
+let normalize r = { r with Report.wall_s = 0.0 }
+
+let check_same_report msg (a : Report.run) (b : Report.run) =
+  (* wall_s is real elapsed time; everything else must be bit-identical. *)
+  Alcotest.(check bool) msg true (normalize a = normalize b)
+
+let test_tracing_is_free () =
+  let plain = run_q3a () in
+  let trace = Trace.memory () in
+  let metrics = Metrics.create () in
+  let traced = run_q3a ~trace ~metrics () in
+  check_same_report "traced report = untraced report" plain.Strategy.report
+    traced.Strategy.report;
+  check_bag "traced result = untraced result"
+    (Relation.to_list plain.Strategy.result)
+    (Relation.to_list traced.Strategy.result);
+  (* The trace actually recorded the adaptation... *)
+  let evs = Trace.events trace in
+  Alcotest.(check bool) "trace non-empty" true (evs <> []);
+  Alcotest.(check bool) "records the plan switch" true
+    (List.exists
+       (function _, Trace.Plan_switch _ -> true | _ -> false)
+       evs);
+  (* ...with timestamps that never exceed the run's own virtual clock,
+     in non-decreasing order. *)
+  let times = List.map fst evs in
+  Alcotest.(check bool) "timestamps monotone" true
+    (List.for_all2 (fun a b -> a <= b)
+       (List.filteri (fun i _ -> i < List.length times - 1) times)
+       (List.tl times));
+  Alcotest.(check bool) "timestamps within the run" true
+    (List.for_all
+       (fun t -> t >= 0.0 && t <= plain.Strategy.report.Report.time_s *. 1e6)
+       times);
+  (* Metrics agree with the report where both count the same thing. *)
+  Alcotest.(check int) "result tuples counted" 0
+    (Metrics.count (Metrics.counter metrics "adp_retries_total"))
+
+(* Every adaptive decision class is exercised and emits its typed event. *)
+let count_events trace pred =
+  List.length (List.filter (fun (_, ev) -> pred ev) (Trace.events trace))
+
+let test_cqp_event_classes () =
+  let trace = Trace.memory () in
+  let o = run_q3a ~trace () in
+  let stats =
+    match o.Strategy.corrective_stats with
+    | Some s -> s
+    | None -> Alcotest.fail "expected corrective stats"
+  in
+  Alcotest.(check bool) "plan actually switched" true
+    (stats.Corrective.phases >= 2);
+  let count p = count_events trace p in
+  Alcotest.(check int) "one open per phase" stats.Corrective.phases
+    (count (function Trace.Phase_opened _ -> true | _ -> false));
+  Alcotest.(check int) "one close per phase" stats.Corrective.phases
+    (count (function Trace.Phase_closed _ -> true | _ -> false));
+  Alcotest.(check int) "one switch per extra phase"
+    (stats.Corrective.phases - 1)
+    (count (function Trace.Plan_switch _ -> true | _ -> false));
+  Alcotest.(check bool) "polls recorded" true
+    (count (function Trace.Reopt_poll _ -> true | _ -> false) > 0);
+  (* Each switch is backed by a poll that decided Switch, with evidence. *)
+  let switch_polls =
+    List.filter
+      (function
+        | _, Trace.Reopt_poll { decision = Trace.Switch; _ } -> true
+        | _ -> false)
+      (Trace.events trace)
+  in
+  Alcotest.(check int) "switch decisions = switches"
+    (stats.Corrective.phases - 1)
+    (List.length switch_polls);
+  List.iter
+    (function
+      | _, Trace.Reopt_poll { observed_sel; est_cost; best_cost; _ } ->
+        Alcotest.(check bool) "poll carries evidence" true (observed_sel <> []);
+        Alcotest.(check bool) "switch was justified" true
+          (best_cost < est_cost)
+      | _ -> ())
+    switch_polls;
+  (* Multi-phase run: the stitch-up brackets are present and paired. *)
+  Alcotest.(check int) "stitchup begin" 1
+    (count (function Trace.Stitchup_begin _ -> true | _ -> false));
+  Alcotest.(check int) "stitchup end" 1
+    (count (function Trace.Stitchup_end _ -> true | _ -> false));
+  (* Phase_closed totals account for every source tuple exactly once. *)
+  let closed_read =
+    List.fold_left
+      (fun acc -> function
+        | _, Trace.Phase_closed { read; _ } -> acc + read
+        | _ -> acc)
+      0 (Trace.events trace)
+  in
+  let log_read =
+    List.fold_left
+      (fun acc (p : Corrective.phase_info) -> acc + p.Corrective.read)
+      0 stats.Corrective.phase_log
+  in
+  Alcotest.(check int) "phase_closed read totals match the log" log_read
+    closed_read
+
+let mk_rel n = rel [ "t.k"; "t.p" ] (List.init n (fun i -> [ vi i; vi 0 ]))
+
+let retry_policy =
+  { Retry.default_policy with
+    Retry.timeout_s = 0.2; max_retries = 2; backoff_initial_s = 0.1;
+    backoff_multiplier = 2.0; jitter = 0.0 }
+
+let test_fault_events () =
+  (* Permanent disconnect with a lagging mirror: two failed reconnect
+     attempts, then a successful failover (test_faults' scenario). *)
+  let s =
+    Source.create ~name:"r"
+      ~faults:
+        [ Source.Disconnect { after_tuples = 2; rejoin_after_s = None } ]
+      ~mirrors:[ Source.mirror ~lag_tuples:1 () ]
+      (mk_rel 5) (Source.Bandwidth 10.0)
+  in
+  let trace = Trace.memory () in
+  let ctx =
+    Ctx.create ~costs:{ Cost_model.default with Cost_model.reconnect = 0.0 }
+      ~trace ()
+  in
+  let consume _ _ = () in
+  (match Driver.run ctx ~sources:[ s ] ~consume ~retry:retry_policy () with
+   | Driver.Exhausted -> ()
+   | Driver.Switched -> Alcotest.fail "unexpected switch");
+  let retries =
+    List.filter_map
+      (function
+        | _, Trace.Retry { source; attempt; ok; next_attempt_s } ->
+          Some (source, attempt, ok, next_attempt_s)
+        | _ -> None)
+      (Trace.events trace)
+  in
+  Alcotest.(check int) "both failed attempts traced" 2 (List.length retries);
+  List.iter
+    (fun (source, _, ok, next_attempt_s) ->
+      Alcotest.(check string) "retry names the source" "r" source;
+      Alcotest.(check bool) "reconnects failed" false ok;
+      Alcotest.(check bool) "next attempt scheduled" true
+        (next_attempt_s > 0.0))
+    retries;
+  Alcotest.(check int) "failover traced" 1
+    (count_events trace
+       (function Trace.Failover { ok = true; _ } -> true | _ -> false));
+  (* Attempt numbers are 1, 2. *)
+  Alcotest.(check (list int)) "attempts numbered" [ 1; 2 ]
+    (List.map (fun (_, attempt, _, _) -> attempt) retries)
+
+let test_page_out_events () =
+  (* Memory pressure under a pinned plan: Page_out events mirror the
+     report's paged_out counter. *)
+  let q = Workload.query Workload.Q3A in
+  let ds =
+    Tpch.generate { Tpch.scale = 0.002; distribution = Tpch.Uniform; seed = 42 }
+  in
+  let catalog = Workload.catalog ~with_cardinalities:true ds q in
+  let sources () = Workload.sources ds q () in
+  let trace = Trace.memory () in
+  let cfg =
+    { Corrective.default_config with
+      poll_interval = 2e3; switch_threshold = 0.0; memory_budget = Some 200 }
+  in
+  let o =
+    Strategy.run ~label:"mem" ~trace (Strategy.Corrective cfg) q catalog
+      ~sources
+  in
+  let pages =
+    count_events trace (function Trace.Page_out _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "memory pressure paged out" true (pages > 0);
+  Alcotest.(check int) "events mirror the report counter"
+    o.Strategy.report.Report.paged_out pages
+
+let test_window_resize_events () =
+  (* All-distinct groups shrink the pre-aggregation window (64 -> ... -> 1):
+     every resize is traced with the observed reduction. *)
+  let schema_of = function
+    | "d" -> Schema.make [ "d.g"; "d.v" ]
+    | name -> Alcotest.fail ("unknown relation " ^ name)
+  in
+  let trace = Trace.memory () in
+  let ctx = Ctx.create ~trace () in
+  let spec =
+    Plan.preagg
+      ~mode:(Plan.Windowed { initial = 64; max_window = 1024 })
+      ~group_cols:[ "d.g" ]
+      ~aggs:[ Aggregate.sum ~name:"s" (Expr.col "d.v") ]
+      (Plan.scan "d")
+  in
+  let plan = Plan.instantiate ctx spec ~schema_of in
+  let tuples = List.init 300 (fun i -> [| vi i; vi i |]) in
+  let _ =
+    List.concat_map (fun t -> Plan.push plan ~source:"d" t) tuples
+    @ Plan.flush plan
+  in
+  let resizes =
+    List.filter_map
+      (function
+        | _, Trace.Agg_window_resize { from_window; to_window; reduction; _ } ->
+          Some (from_window, to_window, reduction)
+        | _ -> None)
+      (Trace.events trace)
+  in
+  Alcotest.(check bool) "window resizes traced" true (resizes <> []);
+  List.iter
+    (fun (from_window, to_window, reduction) ->
+      Alcotest.(check bool) "shrinking" true (to_window < from_window);
+      Alcotest.(check bool) "useless preagg observed" true (reduction > 0.5))
+    resizes;
+  (* The final resize lands on the pass-through window of 1. *)
+  match List.rev resizes with
+  | (_, to_window, _) :: _ ->
+    Alcotest.(check int) "shrank to pass-through" 1 to_window
+  | [] -> ()
+
+let test_comp_join_route_events () =
+  (* A poisoned early high key flips the router from merge to hash. *)
+  let lsch = keyed_schema "l" and rsch = keyed_schema "r" in
+  let trace = Trace.memory () in
+  let ctx = Ctx.create ~trace () in
+  let cj =
+    Comp_join.create ctx ~variant:Comp_join.Naive ~left_schema:lsch
+      ~right_schema:rsch ~left_key:[ "l.k" ] ~right_key:[ "r.k" ]
+  in
+  let sorted n = List.init n (fun i -> [| vi i; vi 0 |]) in
+  List.iter
+    (fun t -> ignore (Comp_join.insert cj Comp_join.L t))
+    ([| vi 1000; vi 0 |] :: sorted 50);
+  List.iter (fun t -> ignore (Comp_join.insert cj Comp_join.R t)) (sorted 50);
+  ignore (Comp_join.finish cj);
+  let flips =
+    List.filter_map
+      (function
+        | _, Trace.Comp_join_route { side; routed_to; _ } ->
+          Some (side, routed_to)
+        | _ -> None)
+      (Trace.events trace)
+  in
+  (* L: poison tuple routes to merge, the rest to hash = 2 decisions;
+     R: everything merges = 1 decision.  Only changes are traced. *)
+  Alcotest.(check bool) "routing flips traced" true
+    (List.mem ("L", "hash") flips);
+  Alcotest.(check bool) "steady routing is silent" true (List.length flips <= 4)
+
+(* ---------------- checkpoints and resume ---------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let e2e_dataset =
+  Tpch.generate { Tpch.scale = 0.002; distribution = Tpch.Uniform; seed = 11 }
+
+let e2e_query =
+  Sql_parser.parse ~schema_of:Tpch.schema_of
+    "SELECT orders.o_orderkey, lineitem.l_quantity FROM orders, lineitem \
+     WHERE orders.o_orderkey = lineitem.l_orderkey AND orders.o_orderdate < \
+     DATE '1995-03-15'"
+
+let run_e2e ?trace ?metrics ?checkpoint ?resume_from ?(crash = []) () =
+  let catalog = Workload.catalog e2e_dataset e2e_query in
+  let sources () = Workload.sources e2e_dataset e2e_query () in
+  let cfg =
+    { Corrective.default_config with
+      poll_interval = 2e4; checkpoint; resume_from; crash }
+  in
+  Strategy.run ~label:"e2e" ?trace ?metrics (Strategy.Corrective cfg)
+    e2e_query catalog ~sources
+
+let test_resume_traced_equals_untraced () =
+  let dir = "obs-ckpt-test" in
+  rm_rf dir;
+  let policy = Checkpoint.policy ~every_tuples:500 ~dir () in
+  (* A traced run that crashes mid-phase still traces its checkpoints. *)
+  let crash_trace = Trace.memory () in
+  (match
+     run_e2e ~trace:crash_trace ~checkpoint:policy
+       ~crash:[ Crash.After_tuples 2000 ] ()
+   with
+   | _ -> Alcotest.fail "expected crash"
+   | exception Crash.Crashed _ -> ());
+  Alcotest.(check bool) "checkpoint writes traced" true
+    (count_events crash_trace
+       (function Trace.Checkpoint_written { bytes; _ } -> bytes > 0
+               | _ -> false)
+     > 0);
+  (* Resume untraced and traced: byte-identical reports and answers. *)
+  let plain = run_e2e ~resume_from:dir () in
+  let trace = Trace.memory () in
+  let metrics = Metrics.create () in
+  let traced = run_e2e ~trace ~metrics ~resume_from:dir () in
+  check_same_report "resumed traced report = untraced" plain.Strategy.report
+    traced.Strategy.report;
+  check_bag "resumed traced result = untraced"
+    (Relation.to_list plain.Strategy.result)
+    (Relation.to_list traced.Strategy.result);
+  Alcotest.(check int) "resume event traced" 1
+    (count_events trace
+       (function Trace.Checkpoint_resumed { phases; _ } -> phases > 0
+               | _ -> false));
+  (* And the resumed answer is the uninterrupted answer. *)
+  let want = run_e2e () in
+  check_bag "resumed = uninterrupted"
+    (Relation.to_list traced.Strategy.result)
+    (Relation.to_list want.Strategy.result);
+  rm_rf dir
+
+(* ---------------- explain replay ---------------- *)
+
+let test_explain_renders_run () =
+  let trace = Trace.memory () in
+  let _ = run_q3a ~trace () in
+  let out = Format.asprintf "%a" Trace.explain (Trace.events trace) in
+  let has s =
+    Alcotest.(check bool) ("explain mentions " ^ s) true
+      (contains ~needle:s out)
+  in
+  has "phase 0 opened";
+  has "re-opt poll";
+  has "evidence: sel";
+  has "plan switch";
+  has "stitch-up";
+  has "events spanning";
+  (* The summary counts agree with the events. *)
+  has
+    (Printf.sprintf "switches %d"
+       (count_events trace
+          (function Trace.Plan_switch _ -> true | _ -> false)))
+
+let suite =
+  [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "event jsonl roundtrip" `Quick
+      test_event_jsonl_roundtrip;
+    Alcotest.test_case "chrome export golden" `Quick test_chrome_export_golden;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "tracing is free" `Quick test_tracing_is_free;
+    Alcotest.test_case "cqp event classes" `Quick test_cqp_event_classes;
+    Alcotest.test_case "fault events" `Quick test_fault_events;
+    Alcotest.test_case "page-out events" `Quick test_page_out_events;
+    Alcotest.test_case "window resize events" `Quick
+      test_window_resize_events;
+    Alcotest.test_case "comp-join routing events" `Quick
+      test_comp_join_route_events;
+    Alcotest.test_case "kill+resume traced = untraced" `Quick
+      test_resume_traced_equals_untraced;
+    Alcotest.test_case "explain replay" `Quick test_explain_renders_run ]
