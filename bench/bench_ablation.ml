@@ -17,6 +17,10 @@ open Bench_common
 let q3a = Workload.Q3A
 let q10a = Workload.Q10A
 
+(* Unified BENCH_ablation.json cells, appended by each sweep. *)
+let json = ref []
+let jcell c = json := c :: !json
+
 let run_corrective ?(reuse = true) ~poll qid =
   (* Recovery scenario: start from the documented poor no-statistics plan. *)
   let ds = Lazy.force uniform in
@@ -41,6 +45,9 @@ let poll_sweep () =
           | Some s -> s.Corrective.phases
           | None -> 1
         in
+        let key = Printf.sprintf "poll/%.0fms" (poll /. 1e3) in
+        jcell (Bjson.time (key ^ "/time") o.Strategy.report.Report.time_s);
+        jcell (Bjson.count (key ^ "/phases") phases);
         [ Printf.sprintf "%.0f ms" (poll /. 1e3);
           seconds o.Strategy.report.Report.time_s; string_of_int phases ])
       [ 2e3; 5e3; 2e4; 1e5; 1e6 ]
@@ -67,6 +74,12 @@ let pq_sweep () =
             fst st.Comp_join.merge_routed + snd st.Comp_join.merge_routed
           | None -> 0
         in
+        let key =
+          Printf.sprintf "pq/%s"
+            (if qlen = 0 then "naive" else string_of_int qlen)
+        in
+        jcell (Bjson.time (key ^ "/time") o.Bench_figure5.time_s);
+        jcell (Bjson.count (key ^ "/routed-merge") merged);
         [ (if qlen = 0 then "naive" else string_of_int qlen);
           seconds o.Bench_figure5.time_s; Report.human_int merged ])
       [ 0; 16; 64; 256; 1024; 4096 ]
@@ -92,6 +105,10 @@ let window_sweep () =
             (Plan.Windowed { initial; max_window = 65536 })
         in
         let o = Strategy.run ~preagg ~label:"win" Strategy.Static q catalog ~sources in
+        jcell
+          (Bjson.time
+             (Printf.sprintf "window/%d/time" initial)
+             o.Strategy.report.Report.time_s);
         [ string_of_int initial; seconds o.Strategy.report.Report.time_s ])
       [ 1; 16; 64; 1024; 16384 ]
   in
@@ -106,6 +123,14 @@ let reuse_ablation () =
         let o = run_corrective ~reuse ~poll:poll_interval q10a in
         match o.Strategy.corrective_stats with
         | Some s ->
+          let key = Bjson.slug ("reuse/" ^ label) in
+          jcell
+            (Bjson.time (key ^ "/stitch-time")
+               (s.Corrective.stitch.Stitchup.time /. 1e6));
+          jcell (Bjson.count (key ^ "/reused") s.Corrective.stitch.Stitchup.reused);
+          jcell
+            (Bjson.count (key ^ "/recomputed")
+               s.Corrective.stitch.Stitchup.recomputed_uniform);
           [ label; seconds (s.Corrective.stitch.Stitchup.time /. 1e6);
             Report.human_int s.Corrective.stitch.Stitchup.reused;
             Report.human_int s.Corrective.stitch.Stitchup.recomputed_uniform ]
@@ -125,6 +150,10 @@ let competition_vs_corrective () =
     List.map
       (fun (label, strat) ->
         let o = Strategy.run ~label strat q catalog ~sources in
+        jcell
+          (Bjson.time
+             (Bjson.slug ("class/" ^ label) ^ "/time")
+             o.Strategy.report.Report.time_s);
         [ label; seconds o.Strategy.report.Report.time_s ])
       [ "corrective", Strategy.Corrective corrective_config;
         "competition (2 plans)",
@@ -160,6 +189,9 @@ let histogram_ablation () =
           | Some s -> s.Corrective.phases
           | None -> 1
         in
+        let key = Bjson.slug ("histograms/" ^ label) in
+        jcell (Bjson.time (key ^ "/time") o.Strategy.report.Report.time_s);
+        jcell (Bjson.count (key ^ "/phases") phases);
         [ label; seconds o.Strategy.report.Report.time_s;
           string_of_int phases ])
       [ "monitoring only (Tukwila default)", false;
@@ -197,6 +229,16 @@ let memory_ablation () =
         ignore (Driver.run ctx ~sources:[ l_src; o_src ] ~consume ());
         ignore (Comp_join.finish j);
         let st = Comp_join.stats j in
+        let key =
+          Printf.sprintf "memory/%s"
+            (match budget with
+             | None -> "unbounded"
+             | Some b -> string_of_int b)
+        in
+        jcell (Bjson.time (key ^ "/time") (Ctx.now ctx /. 1e6));
+        jcell (Bjson.count (key ^ "/spilled-regions") st.Comp_join.spilled_regions);
+        jcell (Bjson.count (key ^ "/spilled-tuples") st.Comp_join.spilled_tuples);
+        jcell (Bjson.count (key ^ "/overflow-out") st.Comp_join.overflow_out);
         [ (match budget with
            | None -> "unbounded"
            | Some b -> Report.human_int b);
@@ -216,10 +258,12 @@ let memory_ablation () =
     rows
 
 let run () =
+  json := [];
   poll_sweep ();
   histogram_ablation ();
   memory_ablation ();
   pq_sweep ();
   window_sweep ();
   reuse_ablation ();
-  competition_vs_corrective ()
+  competition_vs_corrective ();
+  Bjson.emit ~bench:"ablation" (List.rev !json)

@@ -26,6 +26,7 @@ let run () =
   print_endline "Static analyzer overhead (full check_workload per call)";
   print_endline "workload    phases  diagnostics  us/call";
   let ds = Lazy.force Bench_common.uniform in
+  let json = ref [] in
   List.iter
     (fun wq ->
       let q = Workload.query wq in
@@ -39,7 +40,19 @@ let run () =
         (fun phases ->
           let check () = Analyzer.check_workload ~phases ~lookup q [ plan ] in
           let diags = check () in
+          let us = time_us check in
+          let key =
+            Printf.sprintf "%s/phases-%d"
+              (Bench_common.Bjson.slug (Workload.name wq))
+              phases
+          in
+          json :=
+            Bench_common.Bjson.wall (key ^ "/us-per-call") us
+            :: Bench_common.Bjson.count (key ^ "/diagnostics")
+                 (List.length diags)
+            :: !json;
           Printf.printf "%-11s %6d %12d %8.1f\n%!" (Workload.name wq) phases
-            (List.length diags) (time_us check))
+            (List.length diags) us)
         [ 2; 4; 8 ])
-    Workload.evaluated
+    Workload.evaluated;
+  Bench_common.Bjson.emit ~bench:"check" (List.rev !json)

@@ -100,14 +100,80 @@ let run_cqp ?(model = Source.Local) ~variant ~query:qid ~dataset:(ds_name, ds)
 
 let seconds = Report.seconds
 
-(* Machine-readable companion output: experiments that feed CI trend
-   tracking write a JSON file next to their printed tables. *)
-let emit_json ~file body =
-  let oc = open_out file in
-  output_string oc body;
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "[wrote %s]\n%!" file
+(* Machine-readable companion output: every experiment writes a
+   BENCH_<id>.json file next to its printed tables, all through the same
+   schema, so [tukwila bench-diff] can compare any run against a
+   committed baseline with per-metric-kind thresholds. *)
+module Bjson = struct
+  (* Schema (version 1):
+       { "schema": 1, "bench": "<id>", "scale": <SF>,
+         "cells": [ { "id": "...", "kind": "...", "value": <num> }, ... ] }
+
+     Cell kinds and their diff semantics:
+       time   deterministic virtual seconds — compared with a relative
+              tolerance (plans may legitimately drift a little across
+              estimator tweaks);
+       count  deterministic integer/exact value — must match exactly;
+       bool   invariant flag (1/0) — must match exactly;
+       wall   wall-clock measurement — informational only, never gates. *)
+  type kind = Time | Count | Bool | Wall
+
+  type cell = { id : string; kind : kind; value : float }
+
+  let time id v = { id; kind = Time; value = v }
+  let count id n = { id; kind = Count; value = float_of_int n }
+  let num id v = { id; kind = Count; value = v }
+  let flag id b = { id; kind = Bool; value = (if b then 1.0 else 0.0) }
+  let wall id v = { id; kind = Wall; value = v }
+
+  let kind_name = function
+    | Time -> "time"
+    | Count -> "count"
+    | Bool -> "bool"
+    | Wall -> "wall"
+
+  (* Cell ids are path-like slugs: lowercase, [a-z0-9./%+-] kept,
+     everything else collapsed to '-'. *)
+  let slug s =
+    let b = Buffer.create (String.length s) in
+    let last_dash = ref false in
+    String.iter
+      (fun c ->
+        let c = Char.lowercase_ascii c in
+        match c with
+        | 'a' .. 'z' | '0' .. '9' | '.' | '/' | '%' | '+' ->
+          Buffer.add_char b c;
+          last_dash := false
+        | _ ->
+          if not !last_dash then Buffer.add_char b '-';
+          last_dash := true)
+      (String.trim s);
+    let s = Buffer.contents b in
+    (* strip trailing dashes *)
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = '-' do decr n done;
+    String.sub s 0 !n
+
+  let emit ~bench cells =
+    let file = "BENCH_" ^ bench ^ ".json" in
+    let cell_line c =
+      Printf.sprintf "    { \"id\": %S, \"kind\": %S, \"value\": %s }" c.id
+        (kind_name c.kind)
+        (Adp_obs.Json.float_str c.value)
+    in
+    let body =
+      Printf.sprintf
+        "{\n  \"schema\": 1,\n  \"bench\": %S,\n  \"scale\": %s,\n  \
+         \"cells\": [\n%s\n  ]\n}\n"
+        bench
+        (Adp_obs.Json.float_str scale)
+        (String.concat ",\n" (List.map cell_line cells))
+    in
+    let oc = open_out file in
+    output_string oc body;
+    close_out oc;
+    Printf.printf "[wrote %s]\n%!" file
+end
 
 let time_cell (o : Strategy.outcome) = seconds o.Strategy.report.Report.time_s
 

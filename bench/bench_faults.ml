@@ -64,13 +64,17 @@ let json_cells = ref []
 
 let record ~mirrored ~frac ~budget (o : Strategy.outcome) =
   let r = o.Strategy.report in
+  let key =
+    Printf.sprintf "%s/drop%.0f%%/budget%d"
+      (if mirrored then "mirrored" else "bare")
+      (100.0 *. frac) budget
+  in
   json_cells :=
-    Printf.sprintf
-      "    { \"mirrored\": %b, \"drop_fraction\": %.2f, \"budget\": %d, \
-       \"time_s\": %.6f, \"coverage\": %.4f, \"retries\": %d, \
-       \"failovers\": %d, \"result_card\": %d }"
-      mirrored frac budget r.Report.time_s r.Report.coverage
-      r.Report.retries r.Report.failovers r.Report.result_card
+    Bjson.count (key ^ "/result-card") r.Report.result_card
+    :: Bjson.count (key ^ "/failovers") r.Report.failovers
+    :: Bjson.count (key ^ "/retries") r.Report.retries
+    :: Bjson.num (key ^ "/coverage") r.Report.coverage
+    :: Bjson.time (key ^ "/time") r.Report.time_s
     :: !json_cells;
   o
 
@@ -109,9 +113,4 @@ let run () =
     ~title:
       "Fault sweep with no mirror: exhausted budgets degrade to partial \
        results";
-  emit_json ~file:"BENCH_faults.json"
-    (Printf.sprintf
-       "{\n  \"query\": %S,\n  \"scale\": %g,\n  \"rejoin_s\": %g,\n  \
-        \"cells\": [\n%s\n  ]\n}"
-       (Workload.name qid) scale rejoin_s
-       (String.concat ",\n" (List.rev !json_cells)))
+  Bjson.emit ~bench:"faults" (List.rev !json_cells)

@@ -12,6 +12,7 @@ let run () =
     "query-dataset"
     :: List.map (fun v -> v.label) figure2_variants
   in
+  let json = ref [] in
   let rows =
     List.concat_map
       (fun qid ->
@@ -20,8 +21,15 @@ let run () =
             let cells =
               List.map
                 (fun variant ->
-                  time_cell
-                    (run_cqp ~variant ~query:qid ~dataset:(ds_name, ds) ()))
+                  let o = run_cqp ~variant ~query:qid ~dataset:(ds_name, ds) () in
+                  json :=
+                    Bjson.time
+                      (Bjson.slug
+                         (Printf.sprintf "%s/%s/%s" (Workload.name qid)
+                            ds_name variant.label))
+                      o.Strategy.report.Report.time_s
+                    :: !json;
+                  time_cell o)
                 figure2_variants
             in
             Printf.sprintf "%s (%s)" (Workload.name qid) ds_name :: cells)
@@ -33,4 +41,5 @@ let run () =
       (Printf.sprintf
          "Figure 2: strategies over TPC data (virtual completion time, SF %g)"
          scale)
-    ~header rows
+    ~header rows;
+  Bjson.emit ~bench:"figure2" (List.rev !json)

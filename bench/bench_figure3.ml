@@ -13,6 +13,7 @@ let variants =
 
 let run () =
   let header = "query-dataset" :: List.map (fun v -> v.label) variants in
+  let json = ref [] in
   let rows =
     List.concat_map
       (fun qid ->
@@ -21,9 +22,18 @@ let run () =
             let cells =
               List.map
                 (fun variant ->
-                  time_cell
-                    (run_cqp ~model:wireless ~variant ~query:qid
-                       ~dataset:(ds_name, ds) ()))
+                  let o =
+                    run_cqp ~model:wireless ~variant ~query:qid
+                      ~dataset:(ds_name, ds) ()
+                  in
+                  json :=
+                    Bjson.time
+                      (Bjson.slug
+                         (Printf.sprintf "%s/%s/%s" (Workload.name qid)
+                            ds_name variant.label))
+                      o.Adp_core.Strategy.report.Adp_core.Report.time_s
+                    :: !json;
+                  time_cell o)
                 variants
             in
             Printf.sprintf "%s (%s)" (Workload.name qid) ds_name :: cells)
@@ -34,4 +44,5 @@ let run () =
     ~title:
       "Figure 3: corrective query processing over a bursty wireless network \
        (virtual completion time)"
-    ~header rows
+    ~header rows;
+  Bjson.emit ~bench:"figure3" (List.rev !json)

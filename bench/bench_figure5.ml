@@ -109,10 +109,26 @@ let run () =
       | counts ->
         Printf.printf "WARNING: %s output mismatch: %s\n" label
           (String.concat "," (List.map string_of_int counts)))
-    results
+    results;
+  Bjson.emit ~bench:"figure5"
+    (List.concat_map
+       (fun (label, per_strategy) ->
+         let outputs = List.map (fun (_, o) -> o.output) per_strategy in
+         let agree =
+           match outputs with
+           | first :: rest -> List.for_all (( = ) first) rest
+           | [] -> true
+         in
+         Bjson.flag (Bjson.slug (label ^ "/outputs-agree")) agree
+         :: List.map
+              (fun (s, o) ->
+                Bjson.time (Bjson.slug (label ^ "/" ^ s)) o.time_s)
+              per_strategy)
+       results)
 
 let table3 () =
   let results = Lazy.force all_results in
+  let json = ref [] in
   let rows =
     List.concat_map
       (fun (label, per_strategy) ->
@@ -125,6 +141,22 @@ let table3 () =
                 if sname = "Complementary joins" then "Naive"
                 else "Priority queue"
               in
+              let cell metric v =
+                Bjson.count
+                  (Bjson.slug
+                     (Printf.sprintf "%s/%s/%s" label short metric))
+                  v
+              in
+              json :=
+                cell "routed-hash"
+                  (fst st.Comp_join.hash_routed + snd st.Comp_join.hash_routed)
+                :: cell "routed-merge"
+                     (fst st.Comp_join.merge_routed
+                     + snd st.Comp_join.merge_routed)
+                :: cell "stitch-out" st.Comp_join.stitch_out
+                :: cell "merge-out" st.Comp_join.merge_out
+                :: cell "hash-out" st.Comp_join.hash_out
+                :: !json;
               Some
                 [ label; short;
                   Report.human_int st.Comp_join.hash_out;
@@ -144,4 +176,5 @@ let table3 () =
     ~header:
       [ "dataset"; "variant"; "hash out"; "merge out"; "stitch out";
         "routed→merge"; "routed→hash" ]
-    rows
+    rows;
+  Bjson.emit ~bench:"table3" (List.rev !json)

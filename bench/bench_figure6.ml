@@ -34,6 +34,7 @@ let run_one preagg qid ds =
 
 let run () =
   let names = List.map fst (strategies Workload.Q3A) in
+  let json = ref [] in
   let rows =
     List.concat_map
       (fun qid ->
@@ -41,10 +42,19 @@ let run () =
           (fun (ds_name, ds) ->
             let cells =
               List.map
-                (fun (_, preagg) ->
+                (fun (sname, preagg) ->
                   match preagg with
                   | None -> "-"
-                  | Some preagg -> seconds (run_one preagg qid ds))
+                  | Some preagg ->
+                    let t = run_one preagg qid ds in
+                    json :=
+                      Bjson.time
+                        (Bjson.slug
+                           (Printf.sprintf "%s/%s/%s" (Workload.name qid)
+                              ds_name sname))
+                        t
+                      :: !json;
+                    seconds t)
                 (strategies qid)
             in
             Printf.sprintf "%s (%s)" (Workload.name qid) ds_name :: cells)
@@ -55,4 +65,5 @@ let run () =
     ~title:
       "Figure 6: pre-aggregation strategies on streamed TPC queries \
        (virtual completion time)"
-    ~header:("query-dataset" :: names) rows
+    ~header:("query-dataset" :: names) rows;
+  Bjson.emit ~bench:"figure6" (List.rev !json)

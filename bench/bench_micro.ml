@@ -141,7 +141,7 @@ let run () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
-  let rows =
+  let measured =
     List.map
       (fun test ->
         let results = Benchmark.all cfg instances test in
@@ -150,15 +150,31 @@ let run () =
           (fun name ols_result acc ->
             let ns =
               match Analyze.OLS.estimates ols_result with
-              | Some [ est ] -> Printf.sprintf "%.1f ns" est
-              | Some _ | None -> "n/a"
+              | Some [ est ] -> Some est
+              | Some _ | None -> None
             in
-            [ name; ns ] :: acc)
+            (name, ns) :: acc)
           analyzed [])
       tests
     |> List.concat
     |> List.sort compare
   in
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        [ name;
+          (match ns with
+           | Some est -> Printf.sprintf "%.1f ns" est
+           | None -> "n/a") ])
+      measured
+  in
   Adp_core.Report.table
     ~title:"Micro-benchmarks (Bechamel, wall-clock per operation)"
-    ~header:[ "kernel"; "time/op" ] rows
+    ~header:[ "kernel"; "time/op" ] rows;
+  Bench_common.Bjson.emit ~bench:"micro"
+    (List.map
+       (fun (name, ns) ->
+         Bench_common.Bjson.wall
+           (Bench_common.Bjson.slug name ^ "/ns-per-op")
+           (Option.value ~default:(-1.0) ns))
+       measured)

@@ -146,26 +146,21 @@ let run () =
            Printf.sprintf "%+.1f%%" (100.0 *. (t -. btime) /. btime);
            string_of_int resumed; string_of_bool ok ])
        recoveries);
-  emit_json ~file:"BENCH_recovery.json"
-    (Printf.sprintf
-       "{\n  \"query\": %S,\n  \"scale\": %g,\n  \"total_input\": %d,\n  \
-        \"baseline_time_s\": %.6f,\n  \"overhead\": [\n%s\n  ],\n  \
-        \"recovery\": [\n%s\n  ]\n}"
-       (Workload.name qid) scale n btime
-       (String.concat ",\n"
-          (List.map
-             (fun (every, t, wall, ckpts) ->
-               Printf.sprintf
-                 "    { \"every_tuples\": %d, \"time_s\": %.6f, \
-                  \"wall_s\": %.6f, \"checkpoints\": %d }"
-                 every t wall ckpts)
-             overhead))
-       (String.concat ",\n"
-          (List.map
-             (fun (pt, crashed, o, resumed, ok) ->
-               Printf.sprintf
-                 "    { \"crash\": %S, \"crashed\": %b, \"resume_time_s\": \
-                  %.6f, \"resumed_phases\": %d, \"matches_baseline\": %b }"
-                 (crash_label pt) crashed o.Strategy.report.Report.time_s
-                 resumed ok)
-             recoveries)))
+  Bjson.emit ~bench:"recovery"
+    (Bjson.count "total-input" n
+     :: Bjson.time "baseline/time" btime
+     :: List.concat_map
+          (fun (every, t, wall, ckpts) ->
+            let key = Printf.sprintf "overhead/every-%d" every in
+            [ Bjson.time (key ^ "/time") t; Bjson.wall (key ^ "/wall") wall;
+              Bjson.count (key ^ "/checkpoints") ckpts ])
+          overhead
+     @ List.concat_map
+         (fun (pt, crashed, o, resumed, ok) ->
+           let key = Bjson.slug ("crash/" ^ crash_label pt) in
+           [ Bjson.flag (key ^ "/crashed") crashed;
+             Bjson.time (key ^ "/resume-time")
+               o.Strategy.report.Report.time_s;
+             Bjson.count (key ^ "/resumed-phases") resumed;
+             Bjson.flag (key ^ "/matches-baseline") ok ])
+         recoveries)

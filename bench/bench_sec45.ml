@@ -78,6 +78,7 @@ let run () =
   let n_z = Relation.cardinality ztable in
   let n_l = Relation.cardinality lineitem in
   let prev = ref (0, 0, 0) in
+  let json = ref [] in
   let rows =
     List.map
       (fun pct ->
@@ -103,6 +104,11 @@ let run () =
           Printf.sprintf "%+.0f%%"
             (100.0 *. (est -. float_of_int exact) /. float_of_int exact)
         in
+        json :=
+          Bjson.num (Printf.sprintf "predict/%d%%/est-3way" pct) (Float.round est3)
+          :: Bjson.num (Printf.sprintf "predict/%d%%/est-2way" pct)
+               (Float.round est2)
+          :: !json;
         [ string_of_int pct ^ "%";
           Printf.sprintf "%.0f" est2; string_of_int exact2; err est2 exact2;
           Printf.sprintf "%.0f" est3; string_of_int exact3; err est3 exact3 ])
@@ -161,4 +167,9 @@ let run () =
     ~header:[ "configuration"; "virtual time"; "overhead" ]
     [ [ "no histograms"; seconds base; "-" ];
       [ "50-bucket histograms on all 3 sources"; seconds with_h;
-        Printf.sprintf "+%.0f%%" (100.0 *. ((with_h /. base) -. 1.0)) ] ]
+        Printf.sprintf "+%.0f%%" (100.0 *. ((with_h /. base) -. 1.0)) ] ];
+  Bjson.emit ~bench:"sec45"
+    (List.rev !json
+    @ [ Bjson.count "exact/2way" exact2; Bjson.count "exact/3way" exact3;
+        Bjson.time "join/no-histograms" base;
+        Bjson.time "join/with-histograms" with_h ])

@@ -2,7 +2,7 @@
    Figure 3. *)
 
 let run () =
-  Bench_table1.breakdown ~model:Bench_common.wireless
+  Bench_table1.breakdown ~model:Bench_common.wireless ~bench:"table2"
     ~title:
       "Table 2: corrective query processing breakdown over the bursty \
        wireless network"

@@ -79,12 +79,9 @@ let run () =
     (100.0 *. overhead)
     (if time_identical then "identical" else "DIVERGED")
     (2 * repeats);
-  emit_json ~file:"BENCH_trace.json"
-    (Printf.sprintf
-       "{\n  \"query\": %S,\n  \"scale\": %g,\n  \"repeats\": %d,\n  \
-        \"events\": %d,\n  \"time_s\": %.6f,\n  \"time_identical\": %b,\n  \
-        \"wall_plain_s\": %.6f,\n  \"wall_traced_s\": %.6f,\n  \
-        \"overhead_frac\": %.6f,\n  \"overhead_ok\": %b\n}"
-       (Workload.name qid) scale repeats !events time_s time_identical
-       wall_plain wall_traced overhead
-       (overhead < 0.05))
+  Bjson.emit ~bench:"trace"
+    [ Bjson.count "events" !events; Bjson.time "time" time_s;
+      Bjson.flag "time-identical" time_identical;
+      Bjson.wall "wall-plain" wall_plain; Bjson.wall "wall-traced" wall_traced;
+      Bjson.wall "overhead-frac" overhead;
+      Bjson.flag "overhead-ok" (overhead < 0.05) ]

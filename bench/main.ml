@@ -17,6 +17,7 @@ let experiments =
     "recovery", ("checkpoint overhead and crash recovery", Bench_recovery.run);
     "check", ("static-analyzer overhead per plan boundary", Bench_check.run);
     "trace", ("observability overhead and clock-perturbation check", Bench_trace.run);
+    "profile", ("profiler overhead, zero-perturbation and blame check", Bench_profile.run);
     "micro", ("bechamel micro-benchmarks", Bench_micro.run) ]
 
 let usage () =

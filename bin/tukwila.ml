@@ -7,7 +7,11 @@
                 (--trace/--metrics attach observability sinks)
      explain    parse a SQL query and print its logical structure, or
                 replay a recorded JSONL trace as a decision timeline
-     check      statically analyze a query/plan without executing it *)
+     check      statically analyze a query/plan without executing it
+     profile    EXPLAIN-ANALYZE-style run: per-node virtual time and
+                tuple counts, estimate-vs-actual calibration, blame
+     bench-diff compare two BENCH_<id>.json files with per-kind
+                thresholds (regression gate for CI) *)
 
 open Cmdliner
 open Adp_relation
@@ -715,6 +719,231 @@ let check_cmd =
     Term.(const run $ check_sql_arg $ scale_arg $ skew_arg $ seed_arg
           $ phases_arg $ workloads_arg $ break_arg $ audit_arg)
 
+(* ---------------- profile ---------------- *)
+
+module Profile = Adp_obs.Profile
+module Calibrate = Adp_obs.Calibrate
+
+let profile_cmd =
+  let workload_of_string s =
+    let lc = String.lowercase_ascii s in
+    List.find_opt
+      (fun wq -> String.lowercase_ascii (Workload.name wq) = lc)
+      Workload.evaluated
+  in
+  let run arg scale skew seed cards model trace_file =
+    let ds = dataset scale skew seed in
+    let q =
+      match workload_of_string arg with
+      | Some wq -> Workload.query wq
+      | None -> parse_query arg
+    in
+    let catalog = Workload.catalog ~with_cardinalities:cards ds q in
+    (* The default reproduces the paper's mis-costed situation: the
+       optimizer plans without statistics AND starts from the costliest
+       candidate ordering (the plan an unlucky mis-estimate selects), so
+       the calibration ledger has something to catch.  With --cards the
+       run starts from the optimizer's own choice under true
+       cardinalities. *)
+    let initial_plan =
+      if cards then None
+      else begin
+        let true_catalog = Workload.catalog ~with_cardinalities:true ds q in
+        let sels = Adp_stats.Selectivity.create () in
+        Some (Optimizer.pessimal q true_catalog sels).Optimizer.spec
+      end
+    in
+    let profile = Profile.create () in
+    let calibrate = Calibrate.create () in
+    let trace =
+      match trace_file with
+      | None -> None
+      | Some path ->
+        let fmt =
+          if Filename.check_suffix path ".json" then Adp_obs.Trace.Chrome
+          else Adp_obs.Trace.Jsonl
+        in
+        Some (Adp_obs.Trace.file ~format:fmt path)
+    in
+    let config =
+      { Corrective.default_config with
+        poll_interval = 2e4; min_leaf_seen = 200; switch_threshold = 0.8 }
+    in
+    let o =
+      Strategy.run ~label:"profile" ?initial_plan ?trace ~profile ~calibrate
+        (Strategy.Corrective config) q catalog
+        ~sources:(Workload.sources ~model ds q)
+    in
+    Option.iter Adp_obs.Trace.close trace;
+    Format.printf "%a@.@." Report.pp_run o.Strategy.report;
+    let latest = Calibrate.latest_by_node calibrate in
+    let blame = Option.map fst (Calibrate.worst calibrate) in
+    let annot ~node =
+      match List.assoc_opt node latest with
+      | None -> None
+      | Some ob ->
+        Some
+          (Printf.sprintf "est %.0f / actual %.0f (q %.2f)%s"
+             ob.Calibrate.o_est ob.Calibrate.o_actual ob.Calibrate.o_q
+             (if blame = Some node then "  <- blame" else ""))
+    in
+    Format.printf "%a@." (Profile.render ~annot) profile;
+    Format.printf "%a@." Calibrate.render calibrate
+  in
+  let doc =
+    "Execute a query under the corrective strategy with the per-node \
+     profiler and the calibration ledger attached, then print an \
+     EXPLAIN-ANALYZE-style annotated plan tree (self/cumulative virtual \
+     time, tuples in/out, hash probes/builds, memory high-water, \
+     estimated vs. observed cardinality, the blame node of each switch \
+     decision) followed by the full calibration ledger.  Profiling never \
+     perturbs the run: virtual clocks and results are identical with and \
+     without it.  By default the run reproduces the paper's mis-costed \
+     case (no statistics, costliest initial ordering); pass \
+     $(b,--cards) for a well-informed run."
+  in
+  let arg =
+    let doc =
+      "A bundled workload id (Q3, Q3A, Q10, Q10A, Q5; case-insensitive) \
+       or a SQL query."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(const run $ arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
+          $ model_arg $ trace_arg)
+
+(* ---------------- bench-diff ---------------- *)
+
+let bench_diff_cmd =
+  let module J = Adp_obs.Json in
+  let read path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match J.parse s with
+    | Ok j -> j
+    | Error m ->
+      Printf.eprintf "%s: %s\n" path m;
+      exit 2
+  in
+  let meta path j name get =
+    match Option.bind (J.member name j) get with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "%s: missing or malformed %S field\n" path name;
+      exit 2
+  in
+  let cells path j =
+    List.map
+      (fun c ->
+        match
+          ( Option.bind (J.member "id" c) J.get_str,
+            Option.bind (J.member "kind" c) J.get_str,
+            Option.bind (J.member "value" c) J.get_num )
+        with
+        | Some id, Some kind, Some v -> (id, (kind, v))
+        | _ ->
+          Printf.eprintf "%s: malformed cell %s\n" path (J.to_string c);
+          exit 2)
+      (meta path j "cells" J.get_list)
+  in
+  let run base_path new_path time_tol =
+    let base = read base_path and fresh = read new_path in
+    List.iter
+      (fun (path, j) ->
+        if meta path j "schema" J.get_int <> 1 then begin
+          Printf.eprintf "%s: unsupported schema version\n" path;
+          exit 2
+        end)
+      [ base_path, base; new_path, fresh ];
+    let bench p j = meta p j "bench" J.get_str in
+    if bench base_path base <> bench new_path fresh then begin
+      Printf.eprintf "bench id mismatch: %S vs %S\n" (bench base_path base)
+        (bench new_path fresh);
+      exit 2
+    end;
+    let scale p j = meta p j "scale" J.get_num in
+    if scale base_path base <> scale new_path fresh then begin
+      Printf.eprintf
+        "scale factor mismatch (%g vs %g): results are not comparable\n"
+        (scale base_path base) (scale new_path fresh);
+      exit 2
+    end;
+    let bcells = cells base_path base and ncells = cells new_path fresh in
+    let breaches = ref 0 and compared = ref 0 and wall = ref 0 in
+    let breach fmt =
+      incr breaches;
+      Printf.printf fmt
+    in
+    List.iter
+      (fun (id, (kind, bv)) ->
+        match List.assoc_opt id ncells with
+        | None -> breach "BREACH %-10s %s: missing from %s\n" kind id new_path
+        | Some (nkind, _) when nkind <> kind ->
+          breach "BREACH %-10s %s: kind changed to %s\n" kind id nkind
+        | Some (_, nv) -> (
+          match kind with
+          | "wall" -> incr wall
+          | "time" ->
+            incr compared;
+            let rel =
+              Float.abs (nv -. bv) /. Float.max (Float.abs bv) 1e-12
+            in
+            if rel > time_tol then
+              breach "BREACH %-10s %s: %s -> %s (%+.1f%%, tolerance %.0f%%)\n"
+                kind id (J.float_str bv) (J.float_str nv) (100.0 *. rel)
+                (100.0 *. time_tol)
+          | _ ->
+            (* count and bool are deterministic under the virtual clock:
+               any drift is a behavior change, not noise. *)
+            incr compared;
+            if nv <> bv then
+              breach "BREACH %-10s %s: %s -> %s (must match exactly)\n" kind
+                id (J.float_str bv) (J.float_str nv)))
+      bcells;
+    List.iter
+      (fun (id, (kind, _)) ->
+        if List.assoc_opt id bcells = None then
+          Printf.printf "note: new %s cell %s (not in baseline)\n" kind id)
+      ncells;
+    if !breaches > 0 then begin
+      Printf.printf "FAIL %s: %d breach(es) over %d gated cells\n"
+        (bench base_path base) !breaches !compared;
+      exit 1
+    end
+    else
+      Printf.printf
+        "OK %s: %d gated cells within thresholds (%d wall-clock cells \
+         informational)\n"
+        (bench base_path base) !compared !wall
+  in
+  let doc =
+    "Compare a freshly produced $(b,BENCH_<id>.json) against a committed \
+     baseline with per-metric-kind thresholds: $(b,time) cells (virtual \
+     seconds) must stay within $(b,--time-tol) relative, $(b,count) and \
+     $(b,bool) cells must match exactly, $(b,wall) cells are \
+     informational.  Exits 1 on any breach, 2 on malformed or \
+     incomparable inputs (schema, bench id, or scale mismatch)."
+  in
+  let base_arg =
+    let doc = "The committed baseline BENCH_<id>.json." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc)
+  in
+  let new_arg =
+    let doc = "The freshly produced BENCH_<id>.json to gate." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc)
+  in
+  let tol_arg =
+    let doc = "Relative tolerance for time-kind cells." in
+    Arg.(value & opt float 0.10 & info [ "time-tol" ] ~docv:"FRAC" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff" ~doc)
+    Term.(const run $ base_arg $ new_arg $ tol_arg)
+
 let () =
   let doc =
     "Tukwila-style adaptive query processing over generated data-integration \
@@ -724,4 +953,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; explain_cmd; plan_cmd; query_cmd; check_cmd ]))
+          [ generate_cmd; explain_cmd; plan_cmd; query_cmd; check_cmd;
+            profile_cmd; bench_diff_cmd ]))

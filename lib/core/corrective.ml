@@ -7,6 +7,8 @@ module Checkpoint = Adp_recovery.Checkpoint
 module Crash = Adp_recovery.Crash
 module Trace = Adp_obs.Trace
 module Metrics = Adp_obs.Metrics
+module Profile = Adp_obs.Profile
+module Calibrate = Adp_obs.Calibrate
 
 type config = {
   poll_interval : float;
@@ -26,6 +28,8 @@ type config = {
   crash : Crash.point list;
   trace : Trace.t;
   metrics : Metrics.t option;
+  profile : Profile.t option;
+  calibrate : Calibrate.t option;
 }
 
 let default_config =
@@ -35,7 +39,8 @@ let default_config =
     initial_plan = None; memory_budget = None;
     min_remaining_fraction = 0.25; use_histograms = false;
     retry = Retry.default_policy; checkpoint = None; resume_from = None;
-    crash = []; trace = Trace.null; metrics = None }
+    crash = []; trace = Trace.null; metrics = None; profile = None;
+    calibrate = None }
 
 type phase_info = {
   id : int;
@@ -396,7 +401,8 @@ let run ?(config = default_config) query catalog sources =
   let cfg = config in
   let sels = Adp_stats.Selectivity.create () in
   let ctx =
-    Ctx.create ~costs:cfg.costs ~trace:cfg.trace ?metrics:cfg.metrics ()
+    Ctx.create ~costs:cfg.costs ~trace:cfg.trace ?metrics:cfg.metrics
+      ?profile:cfg.profile ?calibrate:cfg.calibrate ()
   in
   let order_detectors = attach_order_detectors query sources in
   let hist_attrs =
@@ -404,6 +410,55 @@ let run ?(config = default_config) query catalog sources =
   in
   let registry = Registry.create () in
   let schema_of = Catalog.schema_of catalog in
+  let phase_label id = Printf.sprintf "phase %d" id in
+  (* Calibration: freeze the optimizer's per-node cardinality belief when
+     the phase that introduces the node opens, and at every recording
+     point compare it against the refreshed §4.2 estimate.  All of it
+     goes through the estimator, which never charges the virtual clock,
+     so calibration is invisible to virtual time. *)
+  let priors : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let rec calib_nodes spec =
+    match spec with
+    | Plan.Scan _ -> [ (plan_desc spec, Plan.relations spec) ]
+    | Plan.Preagg { child; _ } -> calib_nodes child
+    | Plan.Join { left; right; _ } ->
+      (plan_desc spec, Plan.relations spec)
+      :: (calib_nodes left @ calib_nodes right)
+  in
+  let node_estimate est = function
+    | [ r ] -> Cardinality.leaf_cardinality est r
+    | rels -> Cardinality.set_cardinality est rels
+  in
+  let freeze_priors spec =
+    if cfg.calibrate <> None then begin
+      let est = Cardinality.create query catalog sels in
+      List.iter
+        (fun (node, rels) ->
+          if not (Hashtbl.mem priors node) then
+            Hashtbl.replace priors node (node_estimate est rels))
+        (calib_nodes spec)
+    end
+  in
+  let record_observations ?est cal ~phase ~point spec =
+    let est =
+      match est with
+      | Some e -> e
+      | None -> Cardinality.create query catalog sels
+    in
+    List.iter
+      (fun (node, rels) ->
+        let actual = node_estimate est rels in
+        let prior =
+          match Hashtbl.find_opt priors node with
+          | Some p -> p
+          | None ->
+            Hashtbl.replace priors node actual;
+            actual
+        in
+        Calibrate.observe cal ~phase ~at:(Ctx.now ctx /. 1e6) ~point ~node
+          ~est:prior ~actual)
+      (calib_nodes spec)
+  in
   (* Static analysis before any tuple flows: a bad knob, query, or plan
      fails here with every problem listed at once, instead of surfacing as
      an Invalid_argument somewhere mid-run. *)
@@ -494,6 +549,8 @@ let run ?(config = default_config) query catalog sources =
        (Analyzer.check_conformance
           (List.map (fun pr -> pr.Checkpoint.pr_spec) restored
           @ [ initial_spec ])));
+  Ctx.set_profile_phase ctx (phase_label (List.length restored));
+  freeze_priors initial_spec;
   let current =
     ref
       (Phase.create ~record_outputs ~id:(List.length restored) ctx
@@ -511,6 +568,8 @@ let run ?(config = default_config) query catalog sources =
      exactly-once. *)
   List.iter
     (fun (pr : Checkpoint.phase_record) ->
+      Ctx.set_profile_phase ctx (phase_label pr.Checkpoint.pr_id);
+      freeze_priors pr.Checkpoint.pr_spec;
       let ph =
         Phase.create ~record_outputs:true ~id:pr.Checkpoint.pr_id ctx
           pr.Checkpoint.pr_spec ~schema_of
@@ -530,6 +589,8 @@ let run ?(config = default_config) query catalog sources =
           cl_ends = pr.Checkpoint.pr_ends }
         :: !completed)
     restored;
+  if restored <> [] then
+    Ctx.set_profile_phase ctx (phase_label !current.Phase.id);
   (* Rebuilding state charged the (fresh) virtual clock; the run proper
      continues from the checkpointed instant and counters. *)
   (match resume with
@@ -666,11 +727,39 @@ let run ?(config = default_config) query catalog sources =
       in
       if expected <= 0.0 then 0.0 else 1.0 -. (read /. expected)
     in
-    if
-      phase_count () >= cfg.max_phases
-      || remaining_fraction < cfg.min_remaining_fraction
-    then `Continue
-    else begin
+    let guard =
+      if phase_count () >= cfg.max_phases then Some "max-phases"
+      else if remaining_fraction < cfg.min_remaining_fraction then
+        Some "min-remaining"
+      else None
+    in
+    match guard with
+    | Some reason ->
+      (match cfg.calibrate with
+       | None -> ()
+       | Some cal ->
+         (* The guard fires before costing; when calibrating we still
+            compute the would-be costs — estimator and optimizer never
+            charge the clock — so a declined switch (the Q3A guarded-rule
+            case) carries the same evidence as a taken one. *)
+         let est = Cardinality.create query catalog sels in
+         let current_cost = Cost.query_cost cfg.costs est ph.Phase.spec in
+         let best =
+           Optimizer.optimize ~preagg:cfg.preagg ~costs:cfg.costs query
+             catalog sels
+         in
+         let switch_cost =
+           best.est_cost *. (1.0 +. (1.0 -. remaining_fraction))
+         in
+         record_observations ~est cal ~phase:(phase_label ph.Phase.id)
+           ~point:Calibrate.Poll ph.Phase.spec;
+         Calibrate.decide cal ~phase:(phase_label ph.Phase.id)
+           ~at:(Ctx.now ctx /. 1e6)
+           ~verdict:(Calibrate.Kept_guard reason)
+           ~current_cost ~best_cost:best.est_cost ~switch_cost
+           ~threshold:cfg.switch_threshold);
+      `Continue
+    | None -> begin
       (* Background re-optimization: cost-to-go of the running plan vs the
          best plan under the refreshed estimates. *)
       let est = Cardinality.create query catalog sels in
@@ -700,6 +789,22 @@ let run ?(config = default_config) query catalog sources =
                remaining_fraction;
                observed_sel = Adp_stats.Selectivity.entries sels;
                decision = (if switching then Trace.Switch else Trace.Keep) });
+      (match cfg.calibrate with
+       | None -> ()
+       | Some cal ->
+         (* Observations first, so the decision's blame reflects this
+            poll's freshly refreshed estimates. *)
+         record_observations ~est cal ~phase:(phase_label ph.Phase.id)
+           ~point:Calibrate.Poll ph.Phase.spec;
+         let verdict =
+           if switching then Calibrate.Switched
+           else if best.spec = ph.Phase.spec then Calibrate.Kept_same_plan
+           else Calibrate.Kept_cost
+         in
+         Calibrate.decide cal ~phase:(phase_label ph.Phase.id)
+           ~at:(Ctx.now ctx /. 1e6) ~verdict ~current_cost
+           ~best_cost:best.est_cost ~switch_cost
+           ~threshold:cfg.switch_threshold);
       if switching then begin
         (* The re-optimized plan joins a running ADP execution: its regions
            will be stitched against those of every earlier phase, so it
@@ -734,6 +839,11 @@ let run ?(config = default_config) query catalog sources =
       Sink.feed sink ~from:(Plan.schema ph.Phase.plan) outs
     end;
     update_observations cfg query catalog sels sources order_detectors ph.Phase.plan;
+    (match cfg.calibrate with
+     | None -> ()
+     | Some cal ->
+       record_observations cal ~phase:(phase_label ph.Phase.id)
+         ~point:Calibrate.Phase_close ph.Phase.spec);
     Phase.register ph registry;
     let read = tuples_read () - !reads_before in
     reads_before := tuples_read ();
@@ -762,6 +872,8 @@ let run ?(config = default_config) query catalog sources =
         | None -> invalid_arg "Corrective: switch without a plan"
       in
       next_spec := None;
+      Ctx.set_profile_phase ctx (phase_label (List.length !completed));
+      freeze_priors spec;
       current :=
         Phase.create ~record_outputs ~id:(List.length !completed) ctx spec
           ~schema_of;
@@ -848,8 +960,16 @@ let run ?(config = default_config) query catalog sources =
       Diagnostic.raise_if_errors ~where:"corrective.stitchup"
         (Analyzer.check_stitch_tree ~phases:(List.length phases) query
            join_tree);
-      Stitchup.run ctx query ~join_tree ~phases ~registry:stitch_registry
-        ~sink
+      let st =
+        Stitchup.run ctx query ~join_tree ~phases ~registry:stitch_registry
+          ~sink
+      in
+      (match cfg.calibrate with
+       | None -> ()
+       | Some cal ->
+         record_observations cal ~phase:"stitch-up"
+           ~point:Calibrate.Stitchup join_tree);
+      st
     end
   in
   let result = Sink.result sink in
@@ -870,6 +990,39 @@ let run ?(config = default_config) query catalog sources =
     if total = 0 then 1.0 else float_of_int delivered /. float_of_int total
   in
   Ctx.sync_metrics ctx;
+  (* Fold the profiler and the calibration ledger into the trace so
+     [tukwila explain] can replay them.  Bounded: one event per span,
+     one per node's latest observation — the full ledger stays in the
+     in-memory [Calibrate.t] the caller passed in. *)
+  if Ctx.traced ctx then begin
+    (match cfg.profile with
+     | None -> ()
+     | Some p ->
+       List.iter
+         (fun (i : Profile.info) ->
+           Ctx.emit ctx
+             (Trace.Node_profile
+                { phase = i.Profile.phase; node = i.Profile.node;
+                  depth = i.Profile.depth; self_us = i.Profile.self_us;
+                  tuples_in = i.Profile.tuples_in;
+                  tuples_out = i.Profile.tuples_out;
+                  probes = i.Profile.probes; builds = i.Profile.builds;
+                  mem_hw = i.Profile.mem_hw }))
+         (Profile.spans p));
+    match cfg.calibrate with
+    | None -> ()
+    | Some cal ->
+      let blame = Option.map fst (Calibrate.worst cal) in
+      List.iter
+        (fun (node, (o : Calibrate.observation)) ->
+          Ctx.emit ctx
+            (Trace.Calibration
+               { phase = o.Calibrate.o_phase;
+                 point = Calibrate.point_name o.Calibrate.o_point; node;
+                 est = o.Calibrate.o_est; actual = o.Calibrate.o_actual;
+                 q_error = o.Calibrate.o_q; blame = Some node = blame }))
+        (Calibrate.latest_by_node cal)
+  end;
   (* The fault/checkpoint/page-out numbers come straight out of the
      metrics registry — the same cells the engine incremented — instead
      of hand-threaded shadow counters. *)

@@ -72,6 +72,15 @@ type config = {
   metrics : Adp_obs.Metrics.t option;
       (** record counters into this registry instead of a fresh private
           one (so a caller can dump them after the run) *)
+  profile : Adp_obs.Profile.t option;
+      (** per-node span profiler: virtual time, tuple and hash counts,
+          memory high-water, attributed at the exact clock-charge sites —
+          a profiled run is bit-identical to an unprofiled one *)
+  calibrate : Adp_obs.Calibrate.t option;
+      (** calibration ledger: per-node estimated vs. observed
+          cardinality at every re-optimizer poll, phase close and
+          stitch-up, plus every switch decision (taken or declined) with
+          its blame node *)
 }
 
 val default_config : config

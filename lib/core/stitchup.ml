@@ -27,7 +27,7 @@ type env = {
   mutable recomputed : int;
 }
 
-let charge env c = Ctx.charge env.ctx c
+let charge_sp env sp c = Ctx.charge_span env.ctx sp c
 
 let leaf_result env source =
   let parts =
@@ -47,27 +47,35 @@ let leaf_result env source =
       mixed = [] }
 
 (* Build one hash table per lineage over the right input. *)
-let build_side env schema ~key_cols (r : node_result) =
+let build_side env sp schema ~key_cols (r : node_result) =
   let c = env.ctx.Ctx.costs in
   let mk tuples =
     let tbl = Hash_table.create schema ~key_cols in
     List.iter
       (fun t ->
-        charge env c.hash_build;
+        charge_sp env sp c.hash_build;
+        (match sp with
+         | Some sp -> Adp_obs.Profile.add_builds sp 1
+         | None -> ());
         Hash_table.insert tbl t)
       tuples;
     tbl
   in
   List.map (fun (pid, tuples) -> pid, mk tuples) r.uniform, mk r.mixed
 
-let probe_into env ~out tbl lkey tuples orient =
+let probe_into env sp ~out tbl lkey tuples orient =
   let c = env.ctx.Ctx.costs in
   List.iter
     (fun t ->
       let k = Tuple.key t lkey in
       let matches = Hash_table.probe tbl k in
-      charge env
+      charge_sp env sp
         (c.hash_probe +. (c.per_match *. float_of_int (List.length matches)));
+      (match sp with
+       | Some sp ->
+         Adp_obs.Profile.add_probes sp 1;
+         Adp_obs.Profile.add_out sp (List.length matches)
+       | None -> ());
       List.iter
         (fun m ->
           let combined =
@@ -79,15 +87,20 @@ let probe_into env ~out tbl lkey tuples orient =
         matches)
     tuples
 
-let rec eval env ~is_root spec =
+let rec eval env ~is_root ~depth spec =
   match spec with
   | Plan.Scan { source; _ } -> leaf_result env source
   | Plan.Preagg { child = Plan.Scan { source; _ }; _ } -> leaf_result env source
   | Plan.Preagg _ ->
     invalid_arg "Stitchup: pre-aggregation only supported directly over scans"
   | Plan.Join { left; right; left_key; right_key } ->
-    let l = eval env ~is_root:false left in
-    let r = eval env ~is_root:false right in
+    let sp =
+      if Ctx.profiled env.ctx then
+        Ctx.span env.ctx ~depth (Format.asprintf "%a" Plan.pp_spec spec)
+      else None
+    in
+    let l = eval env ~is_root:false ~depth:(depth + 1) left in
+    let r = eval env ~is_root:false ~depth:(depth + 1) right in
     let schema = Schema.concat l.schema r.schema in
     let lkey = Array.of_list (List.map (Schema.index l.schema) left_key) in
     let signature = Plan.signature_of spec in
@@ -96,7 +109,7 @@ let rec eval env ~is_root spec =
         (String.concat ","
            (List.map string_of_int
               (Registry.phases_with env.registry ~signature)));
-    let rtabs, rmixed = build_side env r.schema ~key_cols:right_key r in
+    let rtabs, rmixed = build_side env sp r.schema ~key_cols:right_key r in
     (* Uniform combinations: reuse registered intermediates when possible;
        skip entirely at the root (exclusion list). *)
     let uniform =
@@ -117,7 +130,7 @@ let rec eval env ~is_root spec =
                | None -> Some (pid, [])
                | Some tbl ->
                  let out = ref [] in
-                 probe_into env ~out tbl lkey ltuples `Left_probe;
+                 probe_into env sp ~out tbl lkey ltuples `Left_probe;
                  env.recomputed <- env.recomputed + List.length !out;
                  Some (pid, List.rev !out)))
           l.uniform
@@ -129,14 +142,16 @@ let rec eval env ~is_root spec =
       (fun (pl, ltuples) ->
         List.iter
           (fun (pr, tbl) ->
-            if pl <> pr then probe_into env ~out:mixed tbl lkey ltuples `Left_probe)
+            if pl <> pr then
+              probe_into env sp ~out:mixed tbl lkey ltuples `Left_probe)
           rtabs;
-        probe_into env ~out:mixed rmixed lkey ltuples `Left_probe)
+        probe_into env sp ~out:mixed rmixed lkey ltuples `Left_probe)
       l.uniform;
     List.iter
-      (fun (_, tbl) -> probe_into env ~out:mixed tbl lkey l.mixed `Left_probe)
+      (fun (_, tbl) ->
+        probe_into env sp ~out:mixed tbl lkey l.mixed `Left_probe)
       rtabs;
-    probe_into env ~out:mixed rmixed lkey l.mixed `Left_probe;
+    probe_into env sp ~out:mixed rmixed lkey l.mixed `Left_probe;
     { schema; uniform; mixed = List.rev !mixed }
 
 let run ctx query ~join_tree ~phases ~registry ~sink =
@@ -154,8 +169,9 @@ let run ctx query ~join_tree ~phases ~registry ~sink =
     if Ctx.traced ctx then
       Ctx.emit ctx
         (Adp_obs.Trace.Stitchup_begin { phases = n; combos = combos_possible });
+    Ctx.set_profile_phase ctx "stitch-up";
     let env = { ctx; query; phases; registry; reused = 0; recomputed = 0 } in
-    let result = eval env ~is_root:true join_tree in
+    let result = eval env ~is_root:true ~depth:0 join_tree in
     Sink.feed sink ~from:result.schema result.mixed;
     if Ctx.traced ctx then
       Ctx.emit ctx

@@ -20,8 +20,8 @@ type outcome = {
 let us_to_s v = v /. 1e6
 
 let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
-    ?(label = "run") ?initial_plan ?retry ?trace ?metrics strategy query
-    catalog ~sources =
+    ?(label = "run") ?initial_plan ?retry ?trace ?metrics ?profile ?calibrate
+    strategy query catalog ~sources =
   let wall0 = Sys.time () (* determinism-ok: real elapsed time for reports *) in
   (* Static analysis of the query before any strategy runs: catches what
      used to die as [Eddy: unknown relation] or an unqualified column deep
@@ -41,7 +41,13 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
             retry = Option.value ~default:c.retry retry;
             trace = Option.value ~default:c.Corrective.trace trace;
             metrics =
-              (match metrics with Some _ -> metrics | None -> c.metrics) }
+              (match metrics with Some _ -> metrics | None -> c.metrics);
+            profile =
+              (match profile with Some _ -> profile | None -> c.profile);
+            calibrate =
+              (match calibrate with
+               | Some _ -> calibrate
+               | None -> c.calibrate) }
         | Static | Plan_partitioned _ | Competitive _ | Eddying ->
           (* Static = corrective that never polls and never switches. *)
           { Corrective.default_config with
@@ -50,7 +56,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
             retry =
               Option.value ~default:Corrective.default_config.retry retry;
             trace = Option.value ~default:Adp_obs.Trace.null trace;
-            metrics }
+            metrics; profile; calibrate }
       in
       let result, stats = Corrective.run ~config query catalog (sources ()) in
       let report =

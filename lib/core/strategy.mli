@@ -45,7 +45,13 @@ type outcome = {
     {!Corrective} and {!Eddying} runs (they override any sink already in
     a corrective config; the remaining baselines ignore them).  Tracing
     never perturbs the virtual clock: a traced run and an untraced run
-    report identical virtual times and result multisets. *)
+    report identical virtual times and result multisets.
+
+    [profile] and [calibrate] attach the per-node span profiler and the
+    estimate-vs-actual calibration ledger to {!Static} and {!Corrective}
+    runs (same override rule as [trace]/[metrics]); like tracing, both
+    are zero-perturbation — a profiled run is bit-identical to an
+    unprofiled one. *)
 val run :
   ?preagg:Optimizer.preagg_strategy ->
   ?costs:Cost_model.t ->
@@ -54,6 +60,8 @@ val run :
   ?retry:Retry.policy ->
   ?trace:Adp_obs.Trace.t ->
   ?metrics:Adp_obs.Metrics.t ->
+  ?profile:Adp_obs.Profile.t ->
+  ?calibrate:Adp_obs.Calibrate.t ->
   t ->
   Logical.query ->
   Catalog.t ->

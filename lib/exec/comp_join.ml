@@ -45,6 +45,14 @@ type t = {
   (* Last routing target per side, to trace only the flips. *)
   mutable last_route_l : op_tag option;
   mutable last_route_r : op_tag option;
+  (* Profiler spans per component; merge/hash attribution brackets the
+     inner Sym_join call with clock reads (reads never perturb time). *)
+  sp_router : Adp_obs.Profile.span option;
+  sp_merge : Adp_obs.Profile.span option;
+  sp_hash : Adp_obs.Profile.span option;
+  sp_pq : Adp_obs.Profile.span option;
+  sp_overflow : Adp_obs.Profile.span option;
+  sp_stitch : Adp_obs.Profile.span option;
 }
 
 let create ?memory_budget ?(regions = 8) ctx ~variant ~left_schema
@@ -53,7 +61,16 @@ let create ?memory_budget ?(regions = 8) ctx ~variant ~left_schema
     Sym_join.create ctx ~mode ~left_schema ~right_schema ~left_key ~right_key
   in
   let cmp (k1, _) (k2, _) = Tuple.compare_key k1 k2 in
+  let sub name =
+    if Ctx.profiled ctx then begin
+      ignore (Ctx.span ctx ~depth:0 "comp-join");
+      Ctx.span ctx ~depth:1 ("comp-join/" ^ name)
+    end
+    else None
+  in
   { ctx; variant; merge = mk `Merge; hash = mk `Hash;
+    sp_router = sub "router"; sp_merge = sub "merge"; sp_hash = sub "hash";
+    sp_pq = sub "pq"; sp_overflow = sub "overflow"; sp_stitch = sub "stitch";
     schema = Schema.concat left_schema right_schema;
     pq_l = Heap.create cmp; pq_r = Heap.create cmp;
     lkey = Array.of_list (List.map (Schema.index left_schema) left_key);
@@ -83,7 +100,7 @@ let to_disk t side entry =
   let r = region_of t side entry.d_tuple in
   arr.(r) <- entry :: arr.(r);
   t.spilled_tuples <- t.spilled_tuples + 1;
-  Ctx.charge t.ctx t.ctx.Ctx.costs.spill_write
+  Ctx.charge_span t.ctx t.sp_overflow t.ctx.Ctx.costs.spill_write
 
 (* Spill one more region: extract its tuples from all four hash tables
    (same boundaries everywhere), write them to the overflow partitions,
@@ -103,7 +120,7 @@ let spill_next_region t =
             to_disk t side { d_epoch = 0; d_op = op; d_tuple = tuple }
           end
           else begin
-            Ctx.charge t.ctx t.ctx.Ctx.costs.hash_build;
+            Ctx.charge_span t.ctx t.sp_overflow t.ctx.Ctx.costs.hash_build;
             Hash_table.insert tbl tuple
           end)
         all
@@ -128,7 +145,7 @@ let maybe_spill t =
 
 (* Route a tuple that has passed (or bypassed) the priority queue. *)
 let route t side tuple =
-  Ctx.charge t.ctx t.ctx.Ctx.costs.route;
+  Ctx.charge_span t.ctx t.sp_router t.ctx.Ctx.costs.route;
   if t.spilled.(region_of t side tuple) then begin
     (* Its region lives on disk: defer entirely (epoch 1). *)
     to_disk t side { d_epoch = 1; d_op = Hash_op; d_tuple = tuple };
@@ -156,18 +173,37 @@ let route t side tuple =
     (match side with
      | L -> t.last_route_l <- Some target
      | R -> t.last_route_r <- Some target);
+    (* Attribute the inner symmetric-join work by bracketing it with
+       clock reads: the delta is exactly what the call charged, and
+       reading the clock cannot perturb it. *)
+    let timed sp op f =
+      match sp with
+      | None -> f ()
+      | Some sp ->
+        let before = Ctx.now t.ctx in
+        let outs = f () in
+        Adp_obs.Profile.add_time sp (Ctx.now t.ctx -. before);
+        Adp_obs.Profile.add_in sp 1;
+        Adp_obs.Profile.add_out sp (List.length outs);
+        Adp_obs.Profile.note_mem sp
+          (Hash_table.length (Sym_join.left_table op)
+          + Hash_table.length (Sym_join.right_table op));
+        outs
+    in
     let outs =
       match target with
       | Merge_op ->
         (match side with
          | L -> t.merge_l <- t.merge_l + 1
          | R -> t.merge_r <- t.merge_r + 1);
-        Sym_join.insert t.merge (sym_side side) tuple
+        timed t.sp_merge t.merge (fun () ->
+            Sym_join.insert t.merge (sym_side side) tuple)
       | Hash_op ->
         (match side with
          | L -> t.hash_l <- t.hash_l + 1
          | R -> t.hash_r <- t.hash_r + 1);
-        Sym_join.insert t.hash (sym_side side) tuple
+        timed t.sp_hash t.hash (fun () ->
+            Sym_join.insert t.hash (sym_side side) tuple)
     in
     maybe_spill t;
     outs
@@ -179,11 +215,11 @@ let insert t side tuple =
   | Naive -> route t side tuple
   | Priority_queue cap ->
     let pq = match side with L -> t.pq_l | R -> t.pq_r in
-    Ctx.charge t.ctx t.ctx.Ctx.costs.pq_op;
+    Ctx.charge_span t.ctx t.sp_pq t.ctx.Ctx.costs.pq_op;
     Heap.push pq (key_of t side tuple, tuple);
     if Heap.length pq <= cap then []
     else begin
-      Ctx.charge t.ctx t.ctx.Ctx.costs.pq_op;
+      Ctx.charge_span t.ctx t.sp_pq t.ctx.Ctx.costs.pq_op;
       let _, oldest = Heap.pop pq in
       route t side oldest
     end
@@ -193,7 +229,7 @@ let insert t side tuple =
 let drain t =
   let outs = ref [] in
   let pop side pq =
-    Ctx.charge t.ctx t.ctx.Ctx.costs.pq_op;
+    Ctx.charge_span t.ctx t.sp_pq t.ctx.Ctx.costs.pq_op;
     let _, tuple = Heap.pop pq in
     outs := List.rev_append (route t side tuple) !outs
   in
@@ -227,12 +263,12 @@ let resolve_region t region =
   let ls = t.disk_l.(region) and rs = t.disk_r.(region) in
   if ls = [] || rs = [] then []
   else begin
-    Ctx.charge t.ctx
+    Ctx.charge_span t.ctx t.sp_overflow
       (c.spill_read *. float_of_int (List.length ls + List.length rs));
     let table = Ktbl.create 64 in
     List.iter
       (fun e ->
-        Ctx.charge t.ctx c.hash_build;
+        Ctx.charge_span t.ctx t.sp_overflow c.hash_build;
         let k = key_of t R e.d_tuple in
         let prev = Option.value ~default:[] (Ktbl.find_opt table k) in
         Ktbl.replace table k (e :: prev))
@@ -242,7 +278,7 @@ let resolve_region t region =
       (fun le ->
         let k = key_of t L le.d_tuple in
         let matches = Option.value ~default:[] (Ktbl.find_opt table k) in
-        Ctx.charge t.ctx
+        Ctx.charge_span t.ctx t.sp_overflow
           (c.hash_probe +. (c.per_match *. float_of_int (List.length matches)));
         List.iter
           (fun re ->
@@ -276,7 +312,7 @@ let finish t =
         (fun s ->
           let k = Hash_table.key_of scan s in
           let matches = Hash_table.probe probe_tbl k in
-          Ctx.charge t.ctx
+          Ctx.charge_span t.ctx t.sp_stitch
             (c.hash_probe
             +. (c.per_match *. float_of_int (List.length matches)));
           List.iter

@@ -1,11 +1,14 @@
 module Trace = Adp_obs.Trace
 module Metrics = Adp_obs.Metrics
+module Profile = Adp_obs.Profile
 
 type t = {
   clock : Clock.t;
   costs : Cost_model.t;
   trace : Trace.t;
   metrics : Metrics.t;
+  profile : Profile.t option;
+  calibrate : Adp_obs.Calibrate.t option;
   tuples_read : Metrics.counter;
   tuples_output : Metrics.counter;
   retries : Metrics.counter;
@@ -16,12 +19,13 @@ type t = {
   paged_out : Metrics.counter;
 }
 
-let create ?(costs = Cost_model.default) ?(trace = Trace.null) ?metrics () =
+let create ?(costs = Cost_model.default) ?(trace = Trace.null) ?metrics
+    ?profile ?calibrate () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
   let c name help = Metrics.counter metrics ~help name in
-  { clock = Clock.create (); costs; trace; metrics;
+  { clock = Clock.create (); costs; trace; metrics; profile; calibrate;
     tuples_read = c "adp_tuples_read_total" "source tuples consumed";
     tuples_output = c "adp_tuples_output_total" "result tuples emitted";
     retries = c "adp_retries_total" "source reconnect attempts issued";
@@ -40,6 +44,26 @@ let charge t c = Clock.charge t.clock c
 let now t = Clock.now t.clock
 let traced t = Trace.enabled t.trace
 let emit t ev = Trace.emit t.trace ~at:(Clock.now t.clock) ev
+
+let profiled t = Option.is_some t.profile
+
+(* [charge_span t sp c] is [charge t c] that also attributes the same
+   amount to span [sp] — the attribution adds the float it was handed,
+   it never reads the clock, so a profiled run's virtual time is
+   bit-identical to an unprofiled one's. *)
+let charge_span t sp c =
+  Clock.charge t.clock c;
+  match sp with None -> () | Some sp -> Profile.add_time sp c
+
+let span t ?depth node =
+  match t.profile with
+  | None -> None
+  | Some p -> Some (Profile.span p ?depth node)
+
+let set_profile_phase t phase =
+  match t.profile with
+  | None -> ()
+  | Some p -> Profile.set_phase p phase
 
 let sync_metrics t =
   let g name help = Metrics.gauge t.metrics ~help name in

@@ -12,6 +12,10 @@ type t = {
   costs : Cost_model.t;
   trace : Adp_obs.Trace.t;
   metrics : Adp_obs.Metrics.t;
+  profile : Adp_obs.Profile.t option;
+      (** per-node span profiler; [None] = profiling disabled *)
+  calibrate : Adp_obs.Calibrate.t option;
+      (** estimate-vs-actual calibration ledger; [None] = disabled *)
   tuples_read : Adp_obs.Metrics.counter;  (** source tuples consumed *)
   tuples_output : Adp_obs.Metrics.counter;  (** result tuples emitted *)
   retries : Adp_obs.Metrics.counter;
@@ -33,11 +37,29 @@ val create :
   ?costs:Cost_model.t ->
   ?trace:Adp_obs.Trace.t ->
   ?metrics:Adp_obs.Metrics.t ->
+  ?profile:Adp_obs.Profile.t ->
+  ?calibrate:Adp_obs.Calibrate.t ->
   unit ->
   t
 
 (** Charge CPU cost. *)
 val charge : t -> float -> unit
+
+(** Is profiling enabled? *)
+val profiled : t -> bool
+
+(** [charge_span t sp c]: {!charge}, plus attribute the same [c] virtual
+    microseconds to span [sp] (when profiling).  The attribution re-uses
+    the float being charged — it never reads the clock — so a profiled
+    run stays bit-identical to an unprofiled one. *)
+val charge_span : t -> Adp_obs.Profile.span option -> float -> unit
+
+(** The current-phase span for [node], or [None] when not profiling. *)
+val span : t -> ?depth:int -> string -> Adp_obs.Profile.span option
+
+(** Name the profiler's current phase ("phase 1", "stitch-up", ...).
+    No-op when not profiling. *)
+val set_profile_phase : t -> string -> unit
 
 val now : t -> float
 

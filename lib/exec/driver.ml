@@ -64,7 +64,9 @@ let run ctx ~sources ~consume ?poll ?(retry = Retry.default_policy) () =
          consume srcs.(i) tuple);
       (match poll with
        | Some (iv, cb) when Ctx.now ctx >= !next_poll ->
-         Ctx.charge ctx ctx.Ctx.costs.reopt;
+         Ctx.charge_span ctx
+           (Ctx.span ctx "(re-optimizer)")
+           ctx.Ctx.costs.reopt;
          next_poll := Ctx.now ctx +. iv;
          (match cb () with `Continue -> loop () | `Switch -> Switched)
        | Some _ | None -> loop ())
@@ -73,7 +75,7 @@ let run ctx ~sources ~consume ?poll ?(retry = Retry.default_policy) () =
       (* Timeout detection and backoff are idle waits on an unresponsive
          source; the attempt itself costs CPU. *)
       Clock.wait_retry ctx.Ctx.clock at;
-      Ctx.charge ctx ctx.Ctx.costs.reconnect;
+      Ctx.charge_span ctx (Ctx.span ctx "(retry)") ctx.Ctx.costs.reconnect;
       let now = Ctx.now ctx in
       if Retry.exhausted ctrls.(i) then begin
         (* Retry budget spent: the connection is declared permanently
@@ -93,7 +95,9 @@ let run ctx ~sources ~consume ?poll ?(retry = Retry.default_policy) () =
            the next scheduled poll. *)
         match poll with
         | Some (iv, cb) ->
-          Ctx.charge ctx ctx.Ctx.costs.reopt;
+          Ctx.charge_span ctx
+            (Ctx.span ctx "(re-optimizer)")
+            ctx.Ctx.costs.reopt;
           next_poll := Ctx.now ctx +. iv;
           (match cb () with `Continue -> loop () | `Switch -> Switched)
         | None -> loop ()

@@ -2,6 +2,7 @@ open Adp_relation
 open Adp_storage
 module Trace = Adp_obs.Trace
 module Metrics = Adp_obs.Metrics
+module Profile = Adp_obs.Profile
 
 type preagg_mode =
   | Windowed of { initial : int; max_window : int }
@@ -129,6 +130,7 @@ type preagg_rt = {
   p_comp : Aggregate.compiled;
   p_mode : preagg_mode;
   p_sig : string;  (* node description for trace events *)
+  p_span : Profile.span option;
   mutable p_window : int;
   mutable p_in_window : int;
   p_buffer : Value.t array Ktbl.t;  (* group key -> accumulator *)
@@ -148,6 +150,7 @@ type node = {
   mutable n_out_count : int;
   n_in_metric : Metrics.counter;
   n_out_metric : Metrics.counter;
+  n_span : Profile.span option;  (* this phase's profiler span *)
   impl : impl;
 }
 
@@ -168,6 +171,7 @@ and join_rt = {
   preds : string list;  (* this join's own predicates *)
   j_probes : Metrics.counter;
   j_builds : Metrics.counter;
+  j_span : Profile.span option;
 }
 
 and preagg_node_rt = { child : node; pa : preagg_rt }
@@ -188,7 +192,7 @@ let node_counter ctx name help spec =
     ~labels:[ ("node", Format.asprintf "%a" pp_spec spec) ]
     ~help name
 
-let rec build ctx spec ~schema_of =
+let rec build ?(depth = 0) ctx spec ~schema_of =
   let n_in_metric =
     node_counter ctx "adp_node_tuples_in_total"
       "tuples entering the operator" spec
@@ -196,20 +200,27 @@ let rec build ctx spec ~schema_of =
     node_counter ctx "adp_node_tuples_out_total"
       "tuples produced by the operator" spec
   in
+  (* Register the profiler span before recursing into children so the
+     registry order is the plan tree's pre-order. *)
+  let n_span =
+    if Ctx.profiled ctx then
+      Ctx.span ctx ~depth (Format.asprintf "%a" pp_spec spec)
+    else None
+  in
   match spec with
   | Scan s ->
     let schema = schema_of s.source in
     { n_spec = spec; n_schema = schema;
       n_signature = signature_of spec; n_relations = [ s.source ];
       n_sources = [ s.source ]; n_predicates = []; n_outputs = [];
-      n_out_count = 0; n_in_metric; n_out_metric;
+      n_out_count = 0; n_in_metric; n_out_metric; n_span;
       impl =
         RLeaf
           { source = s.source; filter = Predicate.compile s.filter schema;
             filter_atoms = Predicate.size s.filter; seen = 0 } }
   | Join j ->
-    let left = build ctx j.left ~schema_of in
-    let right = build ctx j.right ~schema_of in
+    let left = build ~depth:(depth + 1) ctx j.left ~schema_of in
+    let right = build ~depth:(depth + 1) ctx j.right ~schema_of in
     let overlap =
       List.filter (fun s -> List.mem s right.n_sources) left.n_sources
     in
@@ -227,7 +238,7 @@ let rec build ctx spec ~schema_of =
       n_relations = relations spec;
       n_sources = left.n_sources @ right.n_sources;
       n_predicates = predicates spec; n_outputs = []; n_out_count = 0;
-      n_in_metric; n_out_metric;
+      n_in_metric; n_out_metric; n_span;
       impl =
         RJoin
           { left; right; lkey; rkey;
@@ -239,9 +250,10 @@ let rec build ctx spec ~schema_of =
                 "hash-table probes issued by the join" spec;
             j_builds =
               node_counter ctx "adp_node_hash_builds_total"
-                "tuples inserted into the join's hash tables" spec } }
+                "tuples inserted into the join's hash tables" spec;
+            j_span = n_span } }
   | Preagg p ->
-    let child = build ctx p.child ~schema_of in
+    let child = build ~depth:(depth + 1) ctx p.child ~schema_of in
     let schema = Aggregate.partial_schema ~group_cols:p.group_cols p.aggs in
     let p_group_idx =
       Array.of_list (List.map (Schema.index child.n_schema) p.group_cols)
@@ -255,7 +267,7 @@ let rec build ctx spec ~schema_of =
     { n_spec = spec; n_schema = schema; n_signature = signature_of spec;
       n_relations = child.n_relations; n_sources = child.n_sources;
       n_predicates = child.n_predicates; n_outputs = []; n_out_count = 0;
-      n_in_metric; n_out_metric;
+      n_in_metric; n_out_metric; n_span;
       impl =
         RPreagg
           { child;
@@ -264,6 +276,7 @@ let rec build ctx spec ~schema_of =
                 p_comp = Aggregate.compile p.aggs child.n_schema;
                 p_mode = p.mode;
                 p_sig = Format.asprintf "%a" pp_spec spec;
+                p_span = n_span;
                 p_window = initial; p_in_window = 0;
                 p_buffer = Ktbl.create 256; p_order = [];
                 p_in_total = 0; p_out_total = 0 } } }
@@ -280,39 +293,62 @@ let record ~keep node outs =
     if keep then node.n_outputs <- List.rev_append outs node.n_outputs;
     let n = List.length outs in
     node.n_out_count <- node.n_out_count + n;
-    Metrics.incr ~by:n node.n_out_metric
+    Metrics.incr ~by:n node.n_out_metric;
+    match node.n_span with
+    | Some sp -> Profile.add_out sp n
+    | None -> ()
   end;
   outs
 
 let record_in node outs =
-  if outs <> [] then Metrics.incr ~by:(List.length outs) node.n_in_metric;
+  if outs <> [] then begin
+    let n = List.length outs in
+    Metrics.incr ~by:n node.n_in_metric;
+    match node.n_span with
+    | Some sp -> Profile.add_in sp n
+    | None -> ()
+  end;
   outs
 
-let probe_cost ctx tbl matches =
+let probe_cost ctx sp tbl matches =
   let c = ctx.Ctx.costs in
   let io = if Hash_table.swapped tbl then c.swap_penalty else 0.0 in
-  Ctx.charge ctx (c.hash_probe +. io +. (c.per_match *. float_of_int matches))
+  Ctx.charge_span ctx sp
+    (c.hash_probe +. io +. (c.per_match *. float_of_int matches))
 
 let join_side ctx j ~from_left tuple =
   let c = ctx.Ctx.costs in
   Metrics.incr j.j_builds;
   Metrics.incr j.j_probes;
-  if from_left then begin
-    Ctx.charge ctx c.hash_build;
-    Hash_table.insert j.ltbl tuple;
-    let k = Tuple.key tuple j.lkey in
-    let matches = Hash_table.probe j.rtbl k in
-    probe_cost ctx j.rtbl (List.length matches);
-    List.rev_map (fun m -> Tuple.concat tuple m) matches
-  end
-  else begin
-    Ctx.charge ctx c.hash_build;
-    Hash_table.insert j.rtbl tuple;
-    let k = Tuple.key tuple j.rkey in
-    let matches = Hash_table.probe j.ltbl k in
-    probe_cost ctx j.ltbl (List.length matches);
-    List.rev_map (fun m -> Tuple.concat m tuple) matches
-  end
+  (match j.j_span with
+   | Some sp ->
+     Profile.add_builds sp 1;
+     Profile.add_probes sp 1
+   | None -> ());
+  let outs =
+    if from_left then begin
+      Ctx.charge_span ctx j.j_span c.hash_build;
+      Hash_table.insert j.ltbl tuple;
+      let k = Tuple.key tuple j.lkey in
+      let matches = Hash_table.probe j.rtbl k in
+      probe_cost ctx j.j_span j.rtbl (List.length matches);
+      List.rev_map (fun m -> Tuple.concat tuple m) matches
+    end
+    else begin
+      Ctx.charge_span ctx j.j_span c.hash_build;
+      Hash_table.insert j.rtbl tuple;
+      let k = Tuple.key tuple j.rkey in
+      let matches = Hash_table.probe j.ltbl k in
+      probe_cost ctx j.j_span j.ltbl (List.length matches);
+      List.rev_map (fun m -> Tuple.concat m tuple) matches
+    end
+  in
+  (match j.j_span with
+   | Some sp ->
+     Profile.note_mem sp
+       (Hash_table.length j.ltbl + Hash_table.length j.rtbl)
+   | None -> ());
+  outs
 
 let preagg_flush_window ctx pa =
   let outs =
@@ -348,7 +384,7 @@ let preagg_insert ctx pa tuple =
     if pa.p_window <= 1 then ctx.Ctx.costs.pseudo_update
     else ctx.Ctx.costs.preagg_update
   in
-  Ctx.charge ctx cost;
+  Ctx.charge_span ctx pa.p_span cost;
   pa.p_in_total <- pa.p_in_total + 1;
   let k = Tuple.key tuple pa.p_group_idx in
   (* Punctuated iterator: a group-key change on group-sorted input closes
@@ -370,6 +406,9 @@ let preagg_insert ctx pa tuple =
      Aggregate.update pa.p_comp acc tuple;
      Ktbl.replace pa.p_buffer k acc;
      pa.p_order <- k :: pa.p_order);
+  (match pa.p_span with
+   | Some sp -> Profile.note_mem sp (Ktbl.length pa.p_buffer)
+   | None -> ());
   let window_flush =
     if pa.p_in_window >= pa.p_window then preagg_flush_window ctx pa else []
   in
@@ -384,7 +423,10 @@ let rec do_push ctx ~keep node ~source tuple =
     | RLeaf l ->
       l.seen <- l.seen + 1;
       Metrics.incr node.n_in_metric;
-      Ctx.charge ctx
+      (match node.n_span with
+       | Some sp -> Profile.add_in sp 1
+       | None -> ());
+      Ctx.charge_span ctx node.n_span
         (ctx.Ctx.costs.filter_atom *. float_of_int (max 1 l.filter_atoms));
       if l.filter tuple then Some (record ~keep node [ tuple ]) else Some []
     | RJoin j ->

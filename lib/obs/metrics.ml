@@ -7,6 +7,7 @@ type histogram = {
   mutable h_inf : int;  (* observations above the last bound *)
   mutable h_sum : float;
   mutable h_n : int;
+  mutable h_max : float;  (* exact largest observation *)
 }
 
 type cell =
@@ -73,7 +74,7 @@ let histogram t ?(labels = []) ?(help = "") ?(buckets = default_buckets) name
       let le = Array.of_list (List.sort_uniq compare buckets) in
       let h =
         { h_le = le; h_counts = Array.make (Array.length le) 0; h_inf = 0;
-          h_sum = 0.0; h_n = 0 }
+          h_sum = 0.0; h_n = 0; h_max = 0.0 }
       in
       (h, Histogram h))
     (function Histogram h -> Some h | _ -> None)
@@ -87,6 +88,7 @@ let value g = g.g
 let observe h v =
   h.h_sum <- h.h_sum +. v;
   h.h_n <- h.h_n + 1;
+  if h.h_n = 1 || v > h.h_max then h.h_max <- v;
   let rec slot i =
     if i >= Array.length h.h_le then h.h_inf <- h.h_inf + 1
     else if v <= h.h_le.(i) then h.h_counts.(i) <- h.h_counts.(i) + 1
@@ -96,6 +98,33 @@ let observe h v =
 
 let histogram_count h = h.h_n
 let histogram_sum h = h.h_sum
+let histogram_max h = if h.h_n = 0 then 0.0 else h.h_max
+
+(* Prometheus-style bucket interpolation: find the bucket holding the
+   q-rank, interpolate linearly inside it.  The +Inf bucket has no upper
+   bound, so the exact tracked maximum stands in for it (which also caps
+   the estimate at something actually observed). *)
+let histogram_quantile h q =
+  if h.h_n = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int h.h_n in
+    let rec go i cum lower =
+      if i >= Array.length h.h_le then h.h_max
+      else begin
+        let cum' = cum + h.h_counts.(i) in
+        if float_of_int cum' >= rank then begin
+          let upper = Float.min h.h_le.(i) h.h_max in
+          if h.h_counts.(i) = 0 then upper
+          else
+            lower
+            +. (upper -. lower)
+               *. ((rank -. float_of_int cum) /. float_of_int h.h_counts.(i))
+        end
+        else go (i + 1) cum' h.h_le.(i)
+      end
+    in
+    go 0 0 0.0
+  end
 
 let counter_total t name =
   List.fold_left
@@ -216,6 +245,16 @@ let to_prometheus t =
              (prom_num h.h_sum));
         Buffer.add_string b
           (Printf.sprintf "%s_count%s %d\n" e.name (prom_labels e.labels)
-             h.h_n))
+             h.h_n);
+        (* Scrape-usable quantile estimates as separate (untyped) sample
+           names: a {quantile=...} label would clash with the histogram
+           TYPE declaration, so p50/p95/max ride as siblings. *)
+        List.iter
+          (fun (suffix, v) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s_%s%s %s\n" e.name suffix
+                 (prom_labels e.labels) (prom_num v)))
+          [ ("p50", histogram_quantile h 0.5);
+            ("p95", histogram_quantile h 0.95); ("max", histogram_max h) ])
     (sorted t);
   Buffer.contents b

@@ -54,6 +54,13 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+(** Exact largest observation (0 when empty). *)
+val histogram_max : histogram -> float
+
+(** Prometheus-style linear interpolation inside the bucket holding the
+    rank; the +Inf bucket is capped by {!histogram_max}. *)
+val histogram_quantile : histogram -> float -> float
+
 (** Sum of all counter cells with this name (any labels); 0 when none. *)
 val counter_total : t -> string -> int
 

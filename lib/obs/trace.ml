@@ -33,6 +33,26 @@ type event =
   | Stitchup_begin of { phases : int; combos : int }
   | Stitchup_end of { output : int; reused : int; recomputed : int }
   | Page_out of { node : string }
+  | Node_profile of {
+      phase : string;
+      node : string;
+      depth : int;
+      self_us : float;
+      tuples_in : int;
+      tuples_out : int;
+      probes : int;
+      builds : int;
+      mem_hw : int;
+    }
+  | Calibration of {
+      phase : string;
+      point : string;
+      node : string;
+      est : float;
+      actual : float;
+      q_error : float;
+      blame : bool;
+    }
 
 type stamped = float * event
 
@@ -84,6 +104,8 @@ let event_name = function
   | Stitchup_begin _ -> "stitchup_begin"
   | Stitchup_end _ -> "stitchup_end"
   | Page_out _ -> "page_out"
+  | Node_profile _ -> "node_profile"
+  | Calibration _ -> "calibration"
 
 let decision_str = function Keep -> "keep" | Switch -> "switch"
 
@@ -126,6 +148,17 @@ let fields ev : (string * Json.t) list =
     [ ("output", int output); ("reused", int reused);
       ("recomputed", int recomputed) ]
   | Page_out { node } -> [ ("node", str node) ]
+  | Node_profile
+      { phase; node; depth; self_us; tuples_in; tuples_out; probes; builds;
+        mem_hw } ->
+    [ ("phase", str phase); ("node", str node); ("depth", int depth);
+      ("self_us", num self_us); ("in", int tuples_in);
+      ("out", int tuples_out); ("probes", int probes);
+      ("builds", int builds); ("mem_hw", int mem_hw) ]
+  | Calibration { phase; point; node; est; actual; q_error; blame } ->
+    [ ("phase", str phase); ("point", str point); ("node", str node);
+      ("est", num est); ("actual", num actual); ("q_error", num q_error);
+      ("blame", Json.Bool blame) ]
 
 let to_json (at, ev) =
   Json.Obj
@@ -206,6 +239,17 @@ let of_json j =
           { output = int "output"; reused = int "reused";
             recomputed = int "recomputed" }
       | "page_out" -> Page_out { node = str "node" }
+      | "node_profile" ->
+        Node_profile
+          { phase = str "phase"; node = str "node"; depth = int "depth";
+            self_us = num "self_us"; tuples_in = int "in";
+            tuples_out = int "out"; probes = int "probes";
+            builds = int "builds"; mem_hw = int "mem_hw" }
+      | "calibration" ->
+        Calibration
+          { phase = str "phase"; point = str "point"; node = str "node";
+            est = num "est"; actual = num "actual"; q_error = num "q_error";
+            blame = bool "blame" }
       | other -> raise (Bad (Printf.sprintf "unknown event %S" other))
     in
     Ok (at, ev)
@@ -352,15 +396,57 @@ let pp_event ppf ev =
       output reused recomputed
   | Page_out { node } ->
     Format.fprintf ppf "page-out: %s" node
+  | Node_profile { phase; node; self_us; tuples_in; tuples_out; _ } ->
+    Format.fprintf ppf
+      "node profile [%s] %s: self %s s, in %d, out %d" phase node
+      (fnum (self_us /. 1e6))
+      tuples_in tuples_out
+  | Calibration { phase; point; node; est; actual; q_error; blame } ->
+    Format.fprintf ppf
+      "calibration [%s, %s] %s: est %s, actual %s, q-error %s%s" phase point
+      node (fnum est) (fnum actual) (fnum q_error)
+      (if blame then " <- blame" else "")
+
+(* Rebuild a [Profile.t] from the Node_profile events a profiled run
+   appends to its trace; emission preserved registration order, so the
+   rendered tree is the run's own pre-order. *)
+let profile_of_events evs =
+  let p = Profile.create () in
+  let any = ref false in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Node_profile
+          { phase; node; depth; self_us; tuples_in; tuples_out; probes;
+            builds; mem_hw } ->
+        any := true;
+        Profile.set_phase p phase;
+        let sp = Profile.span p ~depth node in
+        Profile.add_time sp self_us;
+        Profile.add_in sp tuples_in;
+        Profile.add_out sp tuples_out;
+        Profile.add_probes sp probes;
+        Profile.add_builds sp builds;
+        Profile.note_mem sp mem_hw
+      | _ -> ())
+    evs;
+  if !any then Some p else None
 
 let explain ppf evs =
   match evs with
   | [] -> Format.fprintf ppf "(empty trace)@."
   | (first, _) :: _ ->
     let last = List.fold_left (fun _ (at, _) -> at) first evs in
+    (* Profile/calibration events are end-of-run summaries; render them
+       as sections below rather than as timeline lines. *)
+    let summary_ev = function
+      | Node_profile _ | Calibration _ -> true
+      | _ -> false
+    in
     List.iter
       (fun (at, ev) ->
-        Format.fprintf ppf "[%12.6f s] %a@." (at /. 1e6) pp_event ev;
+        if summary_ev ev then ()
+        else Format.fprintf ppf "[%12.6f s] %a@." (at /. 1e6) pp_event ev;
         match ev with
         | Reopt_poll { observed_sel; _ } when observed_sel <> [] ->
           let shown, rest =
@@ -395,6 +481,34 @@ let explain ppf evs =
       count (function Checkpoint_written _ -> true | _ -> false)
     in
     let pageouts = count (function Page_out _ -> true | _ -> false) in
+    (match profile_of_events evs with
+     | None -> ()
+     | Some p ->
+       let blames =
+         List.filter_map
+           (function
+             | _, Calibration { node; blame = true; _ } -> Some node
+             | _ -> None)
+           evs
+       in
+       let annot ~node =
+         if List.mem node blames then Some "<- blame" else None
+       in
+       Format.fprintf ppf "-- per-node profile:@.";
+       Profile.render ~annot ppf p);
+    let has_calibration =
+      List.exists (function _, Calibration _ -> true | _ -> false) evs
+    in
+    if has_calibration then begin
+      Format.fprintf ppf "-- calibration (latest per node):@.";
+      List.iter
+        (fun (_, ev) ->
+          match ev with
+          | Calibration _ ->
+            Format.fprintf ppf "   %a@." pp_event ev
+          | _ -> ())
+        evs
+    end;
     Format.fprintf ppf
       "-- %d events spanning %s virtual seconds@.-- phases %d; polls %d; \
        switches %d; routing flips %d; window resizes %d; retries %d; \

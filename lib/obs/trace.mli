@@ -61,6 +61,31 @@ type event =
   | Stitchup_begin of { phases : int; combos : int }
   | Stitchup_end of { output : int; reused : int; recomputed : int }
   | Page_out of { node : string }
+  | Node_profile of {
+      phase : string;
+      node : string;
+      depth : int;  (** pre-order depth in the phase's plan tree *)
+      self_us : float;  (** virtual microseconds attributed to the node *)
+      tuples_in : int;
+      tuples_out : int;
+      probes : int;
+      builds : int;
+      mem_hw : int;  (** high-water resident tuple count *)
+    }
+      (** End-of-run profiler summary, one per span (see
+          {!Adp_obs.Profile}); emitted only when a run is both traced and
+          profiled. *)
+  | Calibration of {
+      phase : string;
+      point : string;  (** "poll" | "phase-close" | "stitch-up" *)
+      node : string;
+      est : float;  (** cardinality frozen when the phase opened *)
+      actual : float;  (** refreshed estimate under observed stats *)
+      q_error : float;
+      blame : bool;  (** the worst-misestimated node of the run *)
+    }
+      (** End-of-run calibration summary: the latest est-vs-actual record
+          per node (see {!Adp_obs.Calibrate}). *)
 
 (** Events are stamped with the virtual clock (µs). *)
 type stamped = float * event

@@ -15,6 +15,8 @@ open Helpers
 module Json = Adp_obs.Json
 module Trace = Adp_obs.Trace
 module Metrics = Adp_obs.Metrics
+module Profile = Adp_obs.Profile
+module Calibrate = Adp_obs.Calibrate
 module Checkpoint = Adp_recovery.Checkpoint
 module Crash = Adp_recovery.Crash
 
@@ -51,6 +53,54 @@ let test_json_roundtrip () =
    | Error _ -> ()
    | Ok _ -> Alcotest.fail "garbage accepted")
 
+let test_json_edge_cases () =
+  let roundtrip j =
+    match Json.parse (Json.to_string j) with
+    | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j')
+    | Error e -> Alcotest.fail e
+  in
+  (* Control characters escape as \u00XX and come back byte-identical;
+     quotes, backslashes and multi-byte UTF-8 survive untouched. *)
+  roundtrip (Json.Str "\x00\x01\x1f \b \012 \\ \" / σ⋈γ €");
+  Alcotest.(check string) "control chars escaped"
+    "\"\\u0000\\u0001\\u001f\""
+    (Json.to_string (Json.Str "\x00\x01\x1f"));
+  (* Foreign \u escapes decode to UTF-8 across the one/two/three-byte
+     ranges. *)
+  (match Json.parse "\"\\u0041 \\u00e9 \\u20ac\"" with
+   | Ok (Json.Str s) ->
+     Alcotest.(check string) "\\u decodes to UTF-8" "A \xc3\xa9 \xe2\x82\xac" s
+   | Ok _ | Error _ -> Alcotest.fail "\\u escape did not parse");
+  (match Json.parse "\"\\u00zz\"" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad \\u escape accepted");
+  (* Deep nesting: a 200-level list-in-object tower round-trips. *)
+  let deep =
+    let rec tower n acc =
+      if n = 0 then acc
+      else tower (n - 1) (Json.Obj [ ("v", Json.List [ acc ]) ])
+    in
+    tower 200 (Json.Num 1.0)
+  in
+  roundtrip deep;
+  (* Exotic floats round-trip through the shortest-form printer. *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Num f)) with
+      | Ok (Json.Num f') ->
+        Alcotest.(check bool) (string_of_float f) true
+          (f = f' || (Float.is_integer f && Float.abs f' = Float.abs f))
+      | _ -> Alcotest.fail "float did not parse back")
+    [ Float.max_float; Float.min_float; 4.9e-324 (* smallest denormal *);
+      -0.0; 0.1 +. 0.2; 1.0 /. 3.0; Float.pi; 1e15 -. 1.0; -1e300;
+      123456789.123456789 ];
+  (* JSON has no non-finite numbers: they print as null by design. *)
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "non-finite prints null" "null"
+        (Json.to_string (Json.Num f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
 (* One event of every class, with distinctive values. *)
 let one_of_each : Trace.stamped list =
   [ 0.0, Trace.Phase_opened { id = 0; plan = "(a ⋈ b)" };
@@ -73,7 +123,14 @@ let one_of_each : Trace.stamped list =
     9.0, Trace.Stitchup_begin { phases = 2; combos = 6 };
     10.0, Trace.Stitchup_end { output = 7; reused = 3; recomputed = 4 };
     11.0, Trace.Page_out { node = "⋈[a.k=b.k]" };
-    12.0, Trace.Phase_closed { id = 0; read = 1000; emitted = 250 } ]
+    12.0, Trace.Phase_closed { id = 0; read = 1000; emitted = 250 };
+    13.0, Trace.Node_profile
+            { phase = "phase 0"; node = "(a ⋈ b)"; depth = 1;
+              self_us = 123.5; tuples_in = 10; tuples_out = 4; probes = 10;
+              builds = 9; mem_hw = 7 };
+    14.0, Trace.Calibration
+            { phase = "stitch-up"; point = "stitch-up"; node = "σ[x](a)";
+              est = 20000.0; actual = 25.0; q_error = 800.0; blame = true } ]
 
 let test_event_jsonl_roundtrip () =
   (* Through the in-memory codec... *)
@@ -164,6 +221,17 @@ let test_metrics_registry () =
   has "adp_test_hist_bucket{le=\"+Inf\"} 3";
   has "adp_test_hist_sum 55.5";
   has "adp_test_hist_count 3";
+  (* Quantile estimates ride as sibling sample names.  With buckets
+     [1; 10] over {0.5, 5, 50}: the p50 rank falls mid-bucket (1, 10] and
+     interpolates to 5.5; p95 lands in +Inf, capped by the exact max. *)
+  Alcotest.(check (float 1e-9)) "p50 interpolated" 5.5
+    (Metrics.histogram_quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p95 capped by max" 50.0
+    (Metrics.histogram_quantile h 0.95);
+  Alcotest.(check (float 1e-9)) "exact max" 50.0 (Metrics.histogram_max h);
+  has "adp_test_hist_p50 5.5";
+  has "adp_test_hist_p95 50";
+  has "adp_test_hist_max 50";
   (* The JSON dump parses and is sorted by name. *)
   match Json.parse (Json.to_string (Metrics.to_json m)) with
   | Error e -> Alcotest.fail e
@@ -187,7 +255,7 @@ let q3a_dataset =
 (* A mis-costed CQP workload: pessimal initial plan over Q3A, windowed
    pre-aggregation, a tight poll — guaranteed to switch (same setup as the
    strategies suite). *)
-let run_q3a ?trace ?metrics () =
+let run_q3a ?trace ?metrics ?profile ?calibrate () =
   let q = Workload.query Workload.Q3A in
   let catalog = Workload.catalog ~with_cardinalities:true q3a_dataset q in
   let sources () = Workload.sources q3a_dataset q () in
@@ -198,7 +266,8 @@ let run_q3a ?trace ?metrics () =
       poll_interval = 5e3; switch_threshold = 0.95; min_leaf_seen = 100 }
   in
   Strategy.run ~preagg:Optimizer.Auto ~label:"obs" ~initial_plan:bad
-    ?trace ?metrics (Strategy.Corrective cfg) q catalog ~sources
+    ?trace ?metrics ?profile ?calibrate (Strategy.Corrective cfg) q catalog
+    ~sources
 
 let normalize r = { r with Report.wall_s = 0.0 }
 
@@ -447,6 +516,171 @@ let test_comp_join_route_events () =
     (List.mem ("L", "hash") flips);
   Alcotest.(check bool) "steady routing is silent" true (List.length flips <= 4)
 
+(* ---------------- profiler and calibration ---------------- *)
+
+let test_profile_spans () =
+  let p = Profile.create () in
+  let root = Profile.span p ~depth:0 "root" in
+  let child = Profile.span p ~depth:1 "child" in
+  Profile.add_time root 10.0;
+  Profile.add_time child 5.0;
+  Profile.add_in child 3;
+  Profile.add_out child 2;
+  Profile.add_probes child 3;
+  Profile.add_builds child 1;
+  Profile.note_mem child 7;
+  Profile.note_mem child 4 (* high-water only rises *);
+  (* Idempotent per (phase, node): same span, accumulates. *)
+  Profile.add_time (Profile.span p "root") 2.0;
+  (* A new phase opens fresh spans for the same node names. *)
+  Profile.set_phase p "phase 1";
+  Alcotest.(check string) "phase renamed" "phase 1" (Profile.phase p);
+  Profile.add_time (Profile.span p ~depth:0 "root") 1.0;
+  let infos = Profile.spans p in
+  Alcotest.(check int) "three spans" 3 (List.length infos);
+  let find ph node =
+    List.find
+      (fun (i : Profile.info) -> i.Profile.phase = ph && i.Profile.node = node)
+      infos
+  in
+  Alcotest.(check (float 1e-9)) "root self accumulates" 12.0
+    (find "phase 0" "root").Profile.self_us;
+  let c = find "phase 0" "child" in
+  Alcotest.(check int) "tuples in" 3 c.Profile.tuples_in;
+  Alcotest.(check int) "mem high-water kept" 7 c.Profile.mem_hw;
+  Alcotest.(check (float 1e-9)) "new phase span distinct" 1.0
+    (find "phase 1" "root").Profile.self_us;
+  (* Cumulative time of a pre-order listing: parent + deeper run. *)
+  let phase0 =
+    List.filter (fun (i : Profile.info) -> i.Profile.phase = "phase 0") infos
+  in
+  Alcotest.(check (float 1e-9)) "cumulative = self + subtree" 17.0
+    (Profile.cumulative_us phase0 0);
+  Alcotest.(check (float 1e-9)) "leaf cumulative = self" 5.0
+    (Profile.cumulative_us phase0 1);
+  (* Totals aggregate the same node across phases. *)
+  let totals = Profile.totals p in
+  let root_total =
+    List.find (fun (i : Profile.info) -> i.Profile.node = "root") totals
+  in
+  Alcotest.(check (float 1e-9)) "totals sum phases" 13.0
+    root_total.Profile.self_us;
+  Alcotest.(check string) "totals phase is *" "*" root_total.Profile.phase;
+  (* The rendering and JSON dump include every span. *)
+  let out = Format.asprintf "%a" (Profile.render ?annot:None) p in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("render has " ^ s) true (contains ~needle:s out))
+    [ "phase 0:"; "phase 1:"; "root"; "child" ];
+  match Json.parse (Json.to_string (Profile.to_json p)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_calibrate_ledger () =
+  Alcotest.(check (float 1e-9)) "q-error symmetric over" 100.0
+    (Calibrate.q_error ~est:10.0 ~actual:1000.0);
+  Alcotest.(check (float 1e-9)) "q-error symmetric under" 100.0
+    (Calibrate.q_error ~est:1000.0 ~actual:10.0);
+  Alcotest.(check (float 1e-9)) "q-error floors empty nodes" 1.0
+    (Calibrate.q_error ~est:0.0 ~actual:0.5);
+  let c = Calibrate.create () in
+  Calibrate.observe c ~phase:"phase 0" ~at:0.1 ~point:Calibrate.Poll
+    ~node:"a" ~est:10.0 ~actual:1000.0;
+  Calibrate.observe c ~phase:"phase 0" ~at:0.2 ~point:Calibrate.Phase_close
+    ~node:"a" ~est:10.0 ~actual:20.0;
+  Calibrate.observe c ~phase:"phase 0" ~at:0.2 ~point:Calibrate.Poll
+    ~node:"b" ~est:5.0 ~actual:30.0;
+  Alcotest.(check int) "all observations kept" 3
+    (List.length (Calibrate.observations c));
+  (* latest_by_node supersedes: node a's q-error fell from 100 to 2, so
+     the worst standing misestimate is now b. *)
+  Alcotest.(check int) "latest per node" 2
+    (List.length (Calibrate.latest_by_node c));
+  (match Calibrate.worst c with
+   | Some (node, q) ->
+     Alcotest.(check string) "worst node" "b" node;
+     Alcotest.(check (float 1e-9)) "worst q" 6.0 q
+   | None -> Alcotest.fail "no worst node");
+  Calibrate.decide c ~phase:"phase 0" ~at:0.3
+    ~verdict:(Calibrate.Kept_guard "max-phases") ~current_cost:100.0
+    ~best_cost:90.0 ~switch_cost:120.0 ~threshold:0.8;
+  (match Calibrate.decisions c with
+   | [ d ] ->
+     Alcotest.(check (float 1e-9)) "margin = switch - bar" 40.0
+       d.Calibrate.d_margin;
+     (match d.Calibrate.d_blame with
+      | Some (node, _) -> Alcotest.(check string) "decision blames b" "b" node
+      | None -> Alcotest.fail "decision carries no blame")
+   | ds -> Alcotest.failf "expected 1 decision, got %d" (List.length ds));
+  let out = Format.asprintf "%a" Calibrate.render c in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("render has " ^ s) true (contains ~needle:s out))
+    [ "blame: b (q-error 6.00)"; "keep (guard: max-phases)"; "q-error" ];
+  match Json.parse (Json.to_string (Calibrate.to_json c)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* The tentpole invariant: attaching the profiler and the calibration
+   ledger changes nothing — bit-identical report, same answer — while the
+   ledger still catches the mis-costed plan and names the blame node. *)
+let test_profiling_is_free () =
+  let plain = run_q3a () in
+  let profile = Profile.create () in
+  let calibrate = Calibrate.create () in
+  let trace = Trace.memory () in
+  let profiled = run_q3a ~trace ~profile ~calibrate () in
+  check_same_report "profiled report = unprofiled report"
+    plain.Strategy.report profiled.Strategy.report;
+  check_bag "profiled result = unprofiled result"
+    (Relation.to_list plain.Strategy.result)
+    (Relation.to_list profiled.Strategy.result);
+  (* The profile attributes real work, per phase and in stitch-up... *)
+  let infos = Profile.spans profile in
+  Alcotest.(check bool) "spans recorded" true (infos <> []);
+  Alcotest.(check bool) "stitch-up profiled" true
+    (List.exists
+       (fun (i : Profile.info) -> i.Profile.phase = "stitch-up")
+       infos);
+  Alcotest.(check bool) "multiple phases profiled" true
+    (List.exists
+       (fun (i : Profile.info) -> i.Profile.phase = "phase 1")
+       infos);
+  (* ...and never invents time: everything attributed was also charged. *)
+  let attributed =
+    List.fold_left
+      (fun acc (i : Profile.info) -> acc +. i.Profile.self_us)
+      0.0 infos
+  in
+  Alcotest.(check bool) "attribution within the charged clock" true
+    (attributed > 0.0
+     && attributed
+        <= plain.Strategy.report.Report.time_s *. 1e6 *. (1.0 +. 1e-9));
+  (* The ledger saw the switch and blames a node for it. *)
+  Alcotest.(check bool) "a switch was recorded" true
+    (List.exists
+       (fun d -> d.Calibrate.d_verdict = Calibrate.Switched)
+       (Calibrate.decisions calibrate));
+  Alcotest.(check bool) "blame assigned" true (Calibrate.worst calibrate <> None);
+  (* Traced + profiled: the end-of-run summaries land in the trace, one
+     Node_profile per span, one Calibration per node, exactly one blamed. *)
+  Alcotest.(check int) "one Node_profile per span" (List.length infos)
+    (count_events trace
+       (function Trace.Node_profile _ -> true | _ -> false));
+  Alcotest.(check int) "one Calibration per node"
+    (List.length (Calibrate.latest_by_node calibrate))
+    (count_events trace
+       (function Trace.Calibration _ -> true | _ -> false));
+  Alcotest.(check int) "exactly one blame marker" 1
+    (count_events trace
+       (function Trace.Calibration { blame = true; _ } -> true | _ -> false));
+  (* The explain replay folds both summaries in. *)
+  let out = Format.asprintf "%a" Trace.explain (Trace.events trace) in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("explain has " ^ s) true (contains ~needle:s out))
+    [ "per-node profile"; "calibration (latest per node)" ]
+
 (* ---------------- checkpoints and resume ---------------- *)
 
 let rec rm_rf path =
@@ -466,15 +700,16 @@ let e2e_query =
      WHERE orders.o_orderkey = lineitem.l_orderkey AND orders.o_orderdate < \
      DATE '1995-03-15'"
 
-let run_e2e ?trace ?metrics ?checkpoint ?resume_from ?(crash = []) () =
+let run_e2e ?trace ?metrics ?profile ?calibrate ?checkpoint ?resume_from
+    ?(crash = []) () =
   let catalog = Workload.catalog e2e_dataset e2e_query in
   let sources () = Workload.sources e2e_dataset e2e_query () in
   let cfg =
     { Corrective.default_config with
       poll_interval = 2e4; checkpoint; resume_from; crash }
   in
-  Strategy.run ~label:"e2e" ?trace ?metrics (Strategy.Corrective cfg)
-    e2e_query catalog ~sources
+  Strategy.run ~label:"e2e" ?trace ?metrics ?profile ?calibrate
+    (Strategy.Corrective cfg) e2e_query catalog ~sources
 
 let test_resume_traced_equals_untraced () =
   let dir = "obs-ckpt-test" in
@@ -514,6 +749,43 @@ let test_resume_traced_equals_untraced () =
     (Relation.to_list want.Strategy.result);
   rm_rf dir
 
+let test_resume_profiled_equals_unprofiled () =
+  let dir = "obs-prof-ckpt-test" in
+  rm_rf dir;
+  let policy = Checkpoint.policy ~every_tuples:500 ~dir () in
+  (* A profiled run that crashes mid-phase keeps its pre-crash spans. *)
+  let crash_profile = Profile.create () in
+  (match
+     run_e2e ~profile:crash_profile ~calibrate:(Calibrate.create ())
+       ~checkpoint:policy ~crash:[ Crash.After_tuples 2000 ] ()
+   with
+   | _ -> Alcotest.fail "expected crash"
+   | exception Crash.Crashed _ -> ());
+  Alcotest.(check bool) "pre-crash work attributed" true
+    (Profile.spans crash_profile <> []);
+  (* Resume unprofiled and profiled: byte-identical reports and answers. *)
+  let plain = run_e2e ~resume_from:dir () in
+  let profile = Profile.create () in
+  let profiled =
+    run_e2e ~profile ~calibrate:(Calibrate.create ()) ~resume_from:dir ()
+  in
+  check_same_report "resumed profiled report = unprofiled"
+    plain.Strategy.report profiled.Strategy.report;
+  check_bag "resumed profiled result = unprofiled"
+    (Relation.to_list plain.Strategy.result)
+    (Relation.to_list profiled.Strategy.result);
+  (* The forced phase switch shows up as distinct profile phases: the
+     residual phase plus the stitch-up at least. *)
+  let phases =
+    List.sort_uniq compare
+      (List.map
+         (fun (i : Profile.info) -> i.Profile.phase)
+         (Profile.spans profile))
+  in
+  Alcotest.(check bool) "residual phase and stitch-up profiled" true
+    (List.length phases >= 2 && List.mem "stitch-up" phases);
+  rm_rf dir
+
 (* ---------------- explain replay ---------------- *)
 
 let test_explain_renders_run () =
@@ -538,6 +810,7 @@ let test_explain_renders_run () =
 
 let suite =
   [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json edge cases" `Quick test_json_edge_cases;
     Alcotest.test_case "event jsonl roundtrip" `Quick
       test_event_jsonl_roundtrip;
     Alcotest.test_case "chrome export golden" `Quick test_chrome_export_golden;
@@ -550,6 +823,11 @@ let suite =
       test_window_resize_events;
     Alcotest.test_case "comp-join routing events" `Quick
       test_comp_join_route_events;
+    Alcotest.test_case "profile spans" `Quick test_profile_spans;
+    Alcotest.test_case "calibration ledger" `Quick test_calibrate_ledger;
+    Alcotest.test_case "profiling is free" `Quick test_profiling_is_free;
     Alcotest.test_case "kill+resume traced = untraced" `Quick
       test_resume_traced_equals_untraced;
+    Alcotest.test_case "kill+resume profiled = unprofiled" `Quick
+      test_resume_profiled_equals_unprofiled;
     Alcotest.test_case "explain replay" `Quick test_explain_renders_run ]
