@@ -18,6 +18,7 @@ let experiments =
     "check", ("static-analyzer overhead per plan boundary", Bench_check.run);
     "trace", ("observability overhead and clock-perturbation check", Bench_trace.run);
     "profile", ("profiler overhead, zero-perturbation and blame check", Bench_profile.run);
+    "server", ("multi-query server: supervision, adaptive polling, warm starts", Bench_server.run);
     "micro", ("bechamel micro-benchmarks", Bench_micro.run) ]
 
 let usage () =

@@ -814,6 +814,238 @@ let profile_cmd =
     Term.(const run $ arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
           $ model_arg $ trace_arg)
 
+(* ---------------- serve / server-report ---------------- *)
+
+module Server = Adp_server.Server
+module Server_script = Adp_server.Script
+module Poll_controller = Adp_server.Poll_controller
+
+let serve_cmd =
+  let script_arg =
+    let doc =
+      "The workload script: timestamped $(b,submit)/$(b,kill)/$(b,cancel)/\
+       $(b,drain) directives over server virtual time (see the README for \
+       the grammar)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker pool size." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_cap_arg =
+    let doc = "Admission bound: submissions beyond this many waiting queries \
+               are rejected (load shedding)." in
+    Arg.(value & opt int 16 & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let poll_min_arg =
+    let doc = "Smallest dispatcher poll interval, virtual seconds." in
+    Arg.(value & opt float 0.01 & info [ "poll-min" ] ~docv:"S" ~doc)
+  in
+  let poll_max_arg =
+    let doc = "Largest dispatcher poll interval, virtual seconds." in
+    Arg.(value & opt float 1.0 & info [ "poll-max" ] ~docv:"S" ~doc)
+  in
+  let poll_backoff_arg =
+    let doc = "Interval multiplier after an empty poll (>= 1)." in
+    Arg.(value & opt float 1.5 & info [ "poll-backoff" ] ~docv:"F" ~doc)
+  in
+  let poll_speedup_arg =
+    let doc = "Interval multiplier after a busy poll (in (0, 1]), damped \
+               by the busy fraction of the sliding window." in
+    Arg.(value & opt float 0.7 & info [ "poll-speedup" ] ~docv:"F" ~doc)
+  in
+  let poll_window_arg =
+    let doc = "Sliding window of recent polls damping the speedup." in
+    Arg.(value & opt int 8 & info [ "poll-window" ] ~docv:"N" ~doc)
+  in
+  let hb_interval_arg =
+    let doc = "Worker heartbeat period, virtual seconds." in
+    Arg.(value & opt float 0.05 & info [ "hb-interval" ] ~docv:"S" ~doc)
+  in
+  let hb_timeout_arg =
+    let doc = "Heartbeat silence after which the supervisor declares a \
+               worker dead, virtual seconds." in
+    Arg.(value & opt float 0.2 & info [ "hb-timeout" ] ~docv:"S" ~doc)
+  in
+  let max_retries_arg =
+    let doc = "Worker-death reclaims tolerated per query before failing it." in
+    Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let retry_backoff_arg =
+    let doc = "Requeue delay after a reclaim, virtual seconds (doubles per \
+               subsequent reclaim of the same query)." in
+    Arg.(value & opt float 0.1 & info [ "retry-backoff" ] ~docv:"S" ~doc)
+  in
+  let serve_ckpt_dir_arg =
+    let doc = "Checkpoint root; each query checkpoints in its own subdirectory \
+               (this is what worker recovery resumes from)." in
+    Arg.(required & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+  in
+  let serve_ckpt_every_arg =
+    let doc = "Also checkpoint worker runs every $(i,N) consumed source \
+               tuples (0 = phase boundaries only)." in
+    Arg.(value & opt int 500 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let report_arg =
+    let doc = "Write the JSON server report to $(i,FILE) (render it later \
+               with $(b,tukwila server-report))." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let results_arg =
+    let doc =
+      "Write each completed query's full result rows to \
+       $(i,DIR)/<qid>.rows — the same row syntax $(b,tukwila query) \
+       prints, for multiset comparison against single-query runs."
+    in
+    Arg.(value & opt (some string) None & info [ "results" ] ~docv:"DIR" ~doc)
+  in
+  let run script_path scale skew seed cards workers queue_cap poll_min
+      poll_max poll_backoff poll_speedup poll_window hb_interval hb_timeout
+      max_retries retry_backoff ckpt_dir ckpt_every trace_file metrics_file
+      report_file results_dir =
+    let script =
+      match Server_script.parse_file script_path with
+      | Ok s -> s
+      | Error ds ->
+        Printf.eprintf "%s: %d problem(s)\n%s\n" script_path (List.length ds)
+          (Diagnostic.to_string ds);
+        exit 2
+    in
+    let ds = dataset scale skew seed in
+    let trace =
+      match trace_file with
+      | None -> Adp_obs.Trace.null
+      | Some path ->
+        let fmt =
+          if Filename.check_suffix path ".json" then Adp_obs.Trace.Chrome
+          else Adp_obs.Trace.Jsonl
+        in
+        Adp_obs.Trace.file ~format:fmt path
+    in
+    let metrics =
+      match metrics_file with
+      | Some _ -> Some (Adp_obs.Metrics.create ())
+      | None -> None
+    in
+    let config =
+      { (Server.default_config ~checkpoint_dir:ckpt_dir) with
+        Server.workers; queue_capacity = queue_cap;
+        poll =
+          { Poll_controller.min_interval = poll_min *. 1e6;
+            max_interval = poll_max *. 1e6; backoff = poll_backoff;
+            speedup = poll_speedup; window = poll_window };
+        heartbeat_interval = hb_interval *. 1e6;
+        heartbeat_timeout = hb_timeout *. 1e6; max_retries;
+        retry_backoff = retry_backoff *. 1e6; checkpoint_every = ckpt_every;
+        trace; metrics }
+    in
+    let finish () =
+      Adp_obs.Trace.close trace;
+      match metrics_file, metrics with
+      | Some path, Some m ->
+        let contents =
+          if Filename.check_suffix path ".prom" then
+            Adp_obs.Metrics.to_prometheus m
+          else Adp_obs.Json.to_string (Adp_obs.Metrics.to_json m) ^ "\n"
+        in
+        Adp_storage.Snapshot.write_text ~path contents
+      | _ -> ()
+    in
+    let report =
+      match
+        Server.run config
+          (Server.tpch_resolver ~with_cardinalities:cards ds)
+          script
+      with
+      | r ->
+        finish ();
+        r
+      | exception Diagnostic.Failed (where, ds) ->
+        finish ();
+        Printf.eprintf "%s: %d problem(s)\n%s\n%!" where (List.length ds)
+          (Diagnostic.to_string ds);
+        exit 1
+    in
+    let v = Server.view report in
+    Format.printf "%a" Server.pp_view v;
+    Option.iter
+      (fun path ->
+        Adp_storage.Snapshot.write_text ~path
+          (Adp_obs.Json.to_string (Server.view_to_json v) ^ "\n"))
+      report_file;
+    Option.iter
+      (fun dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (q : Server.query_report) ->
+            match q.Server.qr_outcome with
+            | Server.Done { result; _ } ->
+              Adp_storage.Snapshot.write_text
+                ~path:(Filename.concat dir (q.Server.qr_id ^ ".rows"))
+                (Format.asprintf "%a"
+                   (Relation.pp ~limit:(Relation.cardinality result))
+                   result)
+            | _ -> ())
+          report.Server.r_queries)
+      results_dir;
+    if report.Server.r_failed > 0 then exit 1
+  in
+  let doc =
+    "Run a script-driven multi-query workload through the supervised \
+     worker-pool server: a durable queue with admission control, an \
+     adaptive-interval dispatcher, deterministic worker kills recovered \
+     from checkpoints (the query resumes as a forced phase switch and its \
+     result multiset equals an uninterrupted run's), and a shared \
+     selectivity store letting later queries plan with earlier queries' \
+     observed statistics.  The whole serve runs on a virtual clock: \
+     tracing and metrics never change any reported time or result.  \
+     Exits 1 if any query ends in the failed outcome."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ script_arg $ scale_arg $ skew_arg $ seed_arg
+          $ cards_arg $ workers_arg $ queue_cap_arg $ poll_min_arg
+          $ poll_max_arg $ poll_backoff_arg $ poll_speedup_arg
+          $ poll_window_arg $ hb_interval_arg $ hb_timeout_arg
+          $ max_retries_arg $ retry_backoff_arg $ serve_ckpt_dir_arg
+          $ serve_ckpt_every_arg $ trace_arg $ metrics_arg $ report_arg
+          $ results_arg)
+
+let server_report_cmd =
+  let run path =
+    let text =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    match Adp_obs.Json.parse text with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+    | Ok j -> (
+      match Server.view_of_json j with
+      | Ok v -> Format.printf "%a" Server.pp_view v
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2)
+  in
+  let doc =
+    "Render a JSON server report written by $(b,tukwila serve --report) \
+     back into the human-readable summary."
+  in
+  let arg =
+    let doc = "The JSON report file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"REPORT" ~doc)
+  in
+  Cmd.v (Cmd.info "server-report" ~doc) Term.(const run $ arg)
+
 (* ---------------- bench-diff ---------------- *)
 
 let bench_diff_cmd =
@@ -954,4 +1186,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; explain_cmd; plan_cmd; query_cmd; check_cmd;
-            profile_cmd; bench_diff_cmd ]))
+            profile_cmd; serve_cmd; server_report_cmd; bench_diff_cmd ]))

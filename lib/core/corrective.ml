@@ -30,6 +30,7 @@ type config = {
   metrics : Metrics.t option;
   profile : Profile.t option;
   calibrate : Calibrate.t option;
+  stats_seed : Adp_stats.Selectivity.dump option;
 }
 
 let default_config =
@@ -40,7 +41,7 @@ let default_config =
     min_remaining_fraction = 0.25; use_histograms = false;
     retry = Retry.default_policy; checkpoint = None; resume_from = None;
     crash = []; trace = Trace.null; metrics = None; profile = None;
-    calibrate = None }
+    calibrate = None; stats_seed = None }
 
 type phase_info = {
   id : int;
@@ -66,6 +67,7 @@ type stats = {
   checkpoints : int;
   paged_out : int;
   resumed_phases : int;
+  learned : Adp_stats.Selectivity.dump;
 }
 
 (* A closed phase, what it read, and where its region ends per source —
@@ -400,6 +402,13 @@ let feed_histogram_predictions cfg (query : Logical.query) catalog sels attrs
 let run ?(config = default_config) query catalog sources =
   let cfg = config in
   let sels = Adp_stats.Selectivity.create () in
+  (* Cross-query warm start: seed the monitor with statistics learned by
+     earlier executions (a server's shared store).  Seeding happens before
+     any checkpoint is absorbed, so on resume the interrupted run's own
+     observations win over inherited ones. *)
+  (match cfg.stats_seed with
+   | Some d -> Adp_stats.Selectivity.absorb sels d
+   | None -> ());
   let ctx =
     Ctx.create ~costs:cfg.costs ~trace:cfg.trace ?metrics:cfg.metrics
       ?profile:cfg.profile ?calibrate:cfg.calibrate ()
@@ -1041,4 +1050,5 @@ let run ?(config = default_config) query catalog sources =
       sources_failed = Metrics.count ctx.Ctx.sources_failed;
       checkpoints = Metrics.count ctx.Ctx.checkpoints;
       paged_out = Metrics.count ctx.Ctx.paged_out;
-      resumed_phases = List.length restored } )
+      resumed_phases = List.length restored;
+      learned = Adp_stats.Selectivity.dump sels } )

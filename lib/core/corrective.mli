@@ -81,6 +81,13 @@ type config = {
           cardinality at every re-optimizer poll, phase close and
           stitch-up, plus every switch decision (taken or declined) with
           its blame node *)
+  stats_seed : Adp_stats.Selectivity.dump option;
+      (** cross-query warm start: seed the selectivity monitor with
+          statistics learned by earlier executions (a server's shared
+          store), so the initial plan is optimized with their evidence.
+          Signatures carry the per-source filters and join predicates, so
+          only logically equivalent subexpressions match.  A checkpoint's
+          statistics (on resume) override seeded entries. *)
 }
 
 val default_config : config
@@ -115,6 +122,9 @@ type stats = {
       (** state structures paged out by memory pressure over the run *)
   resumed_phases : int;
       (** phases restored from a checkpoint (0 for a fresh run) *)
+  learned : Adp_stats.Selectivity.dump;
+      (** everything the monitor observed over the run (seed included),
+          ready to be absorbed into a server's shared store *)
 }
 
 (** Execute the query under corrective query processing.  Sources are

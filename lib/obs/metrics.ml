@@ -22,21 +22,36 @@ type entry = {
   cell : cell;
 }
 
-type t = { mutable entries : entry list }  (* reversed registration order *)
+(* The shared store behind every view of a registry.  [entries] keeps
+   reversed registration order for the dumps; [index] makes registration
+   O(1) — before it, every [Plan.build] of a multi-query server rescanned
+   a list that grows with (queries × nodes). *)
+type store = {
+  mutable entries : entry list;  (* reversed registration order *)
+  index : (string * (string * string) list, entry) Hashtbl.t;
+}
 
-let create () = { entries = [] }
+(* A registry handle is a view: the shared store plus a label scope that
+   is prepended to every registration.  Two concurrent queries asking for
+   the same per-node counter through differently-scoped views get two
+   distinct cells instead of silently sharing (and clobbering) one. *)
+type t = { store : store; scope : (string * string) list }
+
+let create () =
+  { store = { entries = []; index = Hashtbl.create 64 }; scope = [] }
+
+let with_labels t extra = { t with scope = t.scope @ extra }
+let scope t = t.scope
 
 let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
 
-let find t name labels =
-  List.find_opt
-    (fun e -> e.name = name && e.labels = labels)
-    t.entries
+let find t name labels = Hashtbl.find_opt t.store.index (name, labels)
 
 let register t ~labels ~help name make same =
+  let labels = t.scope @ labels in
   match find t name labels with
   | Some e -> (
     match same e.cell with
@@ -47,8 +62,24 @@ let register t ~labels ~help name make same =
            name (kind_name e.cell)))
   | None ->
     let h, cell = make () in
-    t.entries <- { name; labels; help; cell } :: t.entries;
+    let e = { name; labels; help; cell } in
+    t.store.entries <- e :: t.store.entries;
+    Hashtbl.replace t.store.index (name, labels) e;
     h
+
+(* Retire every cell whose labels carry all of the view's scope pairs —
+   how a server drops a finished (or re-run) query's cells so the store
+   stays bounded however many queries pass through.  On an unscoped view
+   this clears the whole registry. *)
+let prune t =
+  let carries e =
+    List.for_all (fun kv -> List.mem kv e.labels) t.scope
+  in
+  let keep, drop = List.partition (fun e -> not (carries e)) t.store.entries in
+  List.iter (fun e -> Hashtbl.remove t.store.index (e.name, e.labels)) drop;
+  t.store.entries <- keep
+
+let cells t = List.length t.store.entries
 
 let counter t ?(labels = []) ?(help = "") name =
   register t ~labels ~help name
@@ -132,7 +163,7 @@ let counter_total t name =
       match e.cell with
       | Counter c when e.name = name -> acc + c.c
       | _ -> acc)
-    0 t.entries
+    0 t.store.entries
 
 (* Deterministic dump order: by name, then by labels. *)
 let sorted t =
@@ -141,7 +172,7 @@ let sorted t =
       match String.compare a.name b.name with
       | 0 -> compare a.labels b.labels
       | c -> c)
-    t.entries
+    t.store.entries
 
 let to_json t =
   let labels_json labels =

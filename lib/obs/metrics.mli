@@ -22,8 +22,36 @@ type histogram
 
 val create : unit -> t
 
-(** {2 Registration} — idempotent per (name, labels).  Asking for an
-    existing name with a different metric kind raises [Invalid_argument]. *)
+(** {2 Label scopes}
+
+    A registry handle is a {e view} onto a shared store: {!with_labels}
+    derives a view whose label pairs are prepended to every registration
+    made through it.  This is what keeps a multi-query server sound: two
+    concurrent queries registering the same per-node counter (same node
+    signature) through views scoped [("query", qid)] get two distinct
+    cells, where a shared unscoped registry would silently hand both the
+    same cell — and a checkpoint restore in one query would clobber the
+    other's counts.  Dumps and {!counter_total} always cover the whole
+    store, whichever view they are called on. *)
+
+val with_labels : t -> (string * string) list -> t
+
+(** The view's label scope ([[]] for {!create}'s root view). *)
+val scope : t -> (string * string) list
+
+(** Retire every cell whose labels carry all of this view's scope pairs,
+    so retiring a query bounds the store however many queries pass
+    through one server registry.  On the root view this clears the whole
+    registry.  Handles to pruned cells stay usable but orphaned: they no
+    longer appear in dumps, and a re-registration makes a fresh cell. *)
+val prune : t -> unit
+
+(** Number of live cells in the whole store (boundedness tests). *)
+val cells : t -> int
+
+(** {2 Registration} — idempotent per (name, scope @ labels).  Asking for
+    an existing name with a different metric kind raises
+    [Invalid_argument]. *)
 
 val counter :
   t -> ?labels:(string * string) list -> ?help:string -> string -> counter

@@ -53,6 +53,25 @@ type event =
       q_error : float;
       blame : bool;
     }
+  | Worker_spawned of { worker : int }
+  | Worker_died of {
+      worker : int;
+      query : string;
+      last_heartbeat_s : float;
+    }
+  | Worker_reclaimed of {
+      worker : int;
+      query : string;
+      attempt : int;
+      resume_from : string;
+    }
+  | Poll_interval_changed of { from_s : float; to_s : float; found : int }
+  | Admission of {
+      query : string;
+      accepted : bool;
+      queue_depth : int;
+      reason : string;
+    }
 
 type stamped = float * event
 
@@ -106,6 +125,11 @@ let event_name = function
   | Page_out _ -> "page_out"
   | Node_profile _ -> "node_profile"
   | Calibration _ -> "calibration"
+  | Worker_spawned _ -> "worker_spawned"
+  | Worker_died _ -> "worker_died"
+  | Worker_reclaimed _ -> "worker_reclaimed"
+  | Poll_interval_changed _ -> "poll_interval_changed"
+  | Admission _ -> "admission"
 
 let decision_str = function Keep -> "keep" | Switch -> "switch"
 
@@ -159,6 +183,18 @@ let fields ev : (string * Json.t) list =
     [ ("phase", str phase); ("point", str point); ("node", str node);
       ("est", num est); ("actual", num actual); ("q_error", num q_error);
       ("blame", Json.Bool blame) ]
+  | Worker_spawned { worker } -> [ ("worker", int worker) ]
+  | Worker_died { worker; query; last_heartbeat_s } ->
+    [ ("worker", int worker); ("query", str query);
+      ("last_heartbeat_s", num last_heartbeat_s) ]
+  | Worker_reclaimed { worker; query; attempt; resume_from } ->
+    [ ("worker", int worker); ("query", str query); ("attempt", int attempt);
+      ("resume_from", str resume_from) ]
+  | Poll_interval_changed { from_s; to_s; found } ->
+    [ ("from_s", num from_s); ("to_s", num to_s); ("found", int found) ]
+  | Admission { query; accepted; queue_depth; reason } ->
+    [ ("query", str query); ("accepted", Json.Bool accepted);
+      ("queue_depth", int queue_depth); ("reason", str reason) ]
 
 let to_json (at, ev) =
   Json.Obj
@@ -250,6 +286,22 @@ let of_json j =
           { phase = str "phase"; point = str "point"; node = str "node";
             est = num "est"; actual = num "actual"; q_error = num "q_error";
             blame = bool "blame" }
+      | "worker_spawned" -> Worker_spawned { worker = int "worker" }
+      | "worker_died" ->
+        Worker_died
+          { worker = int "worker"; query = str "query";
+            last_heartbeat_s = num "last_heartbeat_s" }
+      | "worker_reclaimed" ->
+        Worker_reclaimed
+          { worker = int "worker"; query = str "query";
+            attempt = int "attempt"; resume_from = str "resume_from" }
+      | "poll_interval_changed" ->
+        Poll_interval_changed
+          { from_s = num "from_s"; to_s = num "to_s"; found = int "found" }
+      | "admission" ->
+        Admission
+          { query = str "query"; accepted = bool "accepted";
+            queue_depth = int "queue_depth"; reason = str "reason" }
       | other -> raise (Bad (Printf.sprintf "unknown event %S" other))
     in
     Ok (at, ev)
@@ -406,6 +458,33 @@ let pp_event ppf ev =
       "calibration [%s, %s] %s: est %s, actual %s, q-error %s%s" phase point
       node (fnum est) (fnum actual) (fnum q_error)
       (if blame then " <- blame" else "")
+  | Worker_spawned { worker } ->
+    Format.fprintf ppf "worker %d spawned" worker
+  | Worker_died { worker; query; last_heartbeat_s } ->
+    Format.fprintf ppf
+      "worker %d died running %s (last heartbeat at %s s)" worker query
+      (fnum last_heartbeat_s)
+  | Worker_reclaimed { worker; query; attempt; resume_from } ->
+    if resume_from = "" then
+      Format.fprintf ppf
+        "query %s reclaimed from worker %d (attempt %d, no checkpoint: \
+         restarting fresh)"
+        query worker attempt
+    else
+      Format.fprintf ppf
+        "query %s reclaimed from worker %d (attempt %d, resuming <- %s)"
+        query worker attempt resume_from
+  | Poll_interval_changed { from_s; to_s; found } ->
+    Format.fprintf ppf
+      "dispatcher poll interval %s s -> %s s (%d ready)" (fnum from_s)
+      (fnum to_s) found
+  | Admission { query; accepted; queue_depth; reason } ->
+    if accepted then
+      Format.fprintf ppf "admission: %s accepted (queue depth %d)" query
+        queue_depth
+    else
+      Format.fprintf ppf "admission: %s REJECTED (%s, queue depth %d)" query
+        reason queue_depth
 
 (* Rebuild a [Profile.t] from the Node_profile events a profiled run
    appends to its trace; emission preserved registration order, so the
@@ -515,4 +594,23 @@ let explain ppf evs =
        failovers %d; checkpoints %d; page-outs %d@."
       (List.length evs)
       (fnum ((last -. first) /. 1e6))
-      phases polls switches routes resizes retries failovers ckpts pageouts
+      phases polls switches routes resizes retries failovers ckpts pageouts;
+    (* Server-level events only appear in [tukwila serve] traces; keep
+       single-query replays byte-identical by printing the extra summary
+       line only when they are present. *)
+    let spawns = count (function Worker_spawned _ -> true | _ -> false) in
+    let deaths = count (function Worker_died _ -> true | _ -> false) in
+    let reclaims =
+      count (function Worker_reclaimed _ -> true | _ -> false)
+    in
+    let interval_moves =
+      count (function Poll_interval_changed _ -> true | _ -> false)
+    in
+    let sheds =
+      count (function Admission { accepted = false; _ } -> true | _ -> false)
+    in
+    if spawns + deaths + reclaims + interval_moves + sheds > 0 then
+      Format.fprintf ppf
+        "-- server: workers spawned %d; deaths %d; reclaims %d; \
+         poll-interval moves %d; load-shed %d@."
+        spawns deaths reclaims interval_moves sheds

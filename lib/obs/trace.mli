@@ -86,6 +86,33 @@ type event =
     }
       (** End-of-run calibration summary: the latest est-vs-actual record
           per node (see {!Adp_obs.Calibrate}). *)
+  | Worker_spawned of { worker : int }
+      (** server: a pool worker came up (initial spawn or a replacement
+          after a death) *)
+  | Worker_died of {
+      worker : int;
+      query : string;
+      last_heartbeat_s : float;  (** server virtual time of the last beat *)
+    }
+      (** server: the supervisor declared a worker dead after missed
+          heartbeats; [query] is what it was running *)
+  | Worker_reclaimed of {
+      worker : int;
+      query : string;
+      attempt : int;  (** 1-based attempt number being abandoned *)
+      resume_from : string;
+          (** checkpoint dir the retry resumes from ("" when the worker
+              died before writing any checkpoint: the retry restarts) *)
+    }
+  | Poll_interval_changed of { from_s : float; to_s : float; found : int }
+      (** server: the adaptive dispatcher moved its poll interval;
+          [found] is the ready-job count the triggering poll observed *)
+  | Admission of {
+      query : string;
+      accepted : bool;
+      queue_depth : int;  (** waiting jobs after the decision *)
+      reason : string;  (** "" when accepted; why when shed *)
+    }
 
 (** Events are stamped with the virtual clock (µs). *)
 type stamped = float * event

@@ -1,0 +1,69 @@
+module Diagnostic = Adp_analysis.Diagnostic
+
+type config = {
+  min_interval : float;
+  max_interval : float;
+  backoff : float;
+  speedup : float;
+  window : int;
+}
+
+let default =
+  { min_interval = 1e4; max_interval = 1e6; backoff = 1.5; speedup = 0.7;
+    window = 8 }
+
+let validate cfg =
+  let bad fmt = Diagnostic.errorf ~path:"poll" fmt in
+  List.concat
+    [ (if cfg.min_interval > 0.0 && Float.is_finite cfg.min_interval then []
+       else
+         [ bad ~code:"poll-bad-min" "min_interval must be finite and > 0 (got %g)"
+             cfg.min_interval ]);
+      (if cfg.max_interval >= cfg.min_interval
+          && Float.is_finite cfg.max_interval
+       then []
+       else
+         [ bad ~code:"poll-bad-max"
+             "max_interval must be finite and >= min_interval (got %g)"
+             cfg.max_interval ]);
+      (if cfg.backoff >= 1.0 && Float.is_finite cfg.backoff then []
+       else
+         [ bad ~code:"poll-bad-backoff" "backoff must be >= 1 (got %g)"
+             cfg.backoff ]);
+      (if cfg.speedup > 0.0 && cfg.speedup <= 1.0 then []
+       else
+         [ bad ~code:"poll-bad-speedup"
+             "speedup must be in (0, 1] (got %g)" cfg.speedup ]);
+      (if cfg.window >= 1 then []
+       else [ bad ~code:"poll-bad-window" "window must be >= 1 (got %d)"
+                cfg.window ]) ]
+
+type t = {
+  cfg : config;
+  mutable current : float;
+  mutable recent : bool list;  (* newest first, at most [window] entries *)
+}
+
+let create cfg =
+  Diagnostic.raise_if_errors ~where:"poll-controller" (validate cfg);
+  { cfg; current = cfg.max_interval; recent = [] }
+
+let interval t = t.current
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+let record t ~found =
+  let busy = found > 0 in
+  t.recent <- take t.cfg.window (busy :: t.recent);
+  let next =
+    if busy then begin
+      let busy_n = List.length (List.filter Fun.id t.recent) in
+      let frac = float_of_int busy_n /. float_of_int t.cfg.window in
+      Float.max t.cfg.min_interval (t.current *. (t.cfg.speedup ** frac))
+    end
+    else Float.min t.cfg.max_interval (t.current *. t.cfg.backoff)
+  in
+  t.current <- next;
+  next

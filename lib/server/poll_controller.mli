@@ -1,0 +1,48 @@
+module Diagnostic = Adp_analysis.Diagnostic
+
+(** Adaptive dispatcher polling (after solid_queue's dispatcher): the
+    poll interval stretches multiplicatively while polls come back empty
+    and shrinks while they find work, with the shrink rate damped by a
+    sliding window of recent poll results so one lucky poll cannot slam
+    the interval to the floor.
+
+    The controller is pure state-machine arithmetic over whatever time
+    unit the caller uses (the server feeds it virtual µs): it never reads
+    a clock, so a fixed sequence of poll results always produces the same
+    interval sequence — which is what the qcheck determinism property
+    pins down. *)
+
+type config = {
+  min_interval : float;  (** floor; the interval under sustained load *)
+  max_interval : float;  (** ceiling; the interval when fully idle *)
+  backoff : float;  (** stretch factor per empty poll (>= 1) *)
+  speedup : float;
+      (** full shrink factor per busy poll (0 < s <= 1), reached only
+          when the whole window is busy *)
+  window : int;  (** sliding window of recent poll results (>= 1) *)
+}
+
+(** 0.01 s floor, 1 s ceiling, stretch 1.5, shrink 0.7, window 8 —
+    solid_queue's shape, scaled to the virtual-µs clock. *)
+val default : config
+
+(** All knob problems at once, with stable [poll-*] codes. *)
+val validate : config -> Diagnostic.t list
+
+type t
+
+(** Fresh controller at [max_interval] (an idle server should not
+    thrash; the first busy poll starts pulling it down).
+    @raise Diagnostic.Failed on invalid knobs. *)
+val create : config -> t
+
+(** Current interval. *)
+val interval : t -> float
+
+(** [record t ~found] feeds one poll result (how many ready jobs the
+    poll observed) and returns the new interval.  Empty polls stretch
+    monotonically toward [max_interval]; busy polls shrink toward
+    [min_interval] by [speedup ^ (busy fraction of the window)], so a
+    single busy poll moves the interval by at most a [speedup] factor
+    and sustained load converges to the floor. *)
+val record : t -> found:int -> float

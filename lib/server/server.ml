@@ -1,0 +1,891 @@
+open Adp_relation
+open Adp_exec
+open Adp_optimizer
+module Corrective = Adp_core.Corrective
+module Diagnostic = Adp_analysis.Diagnostic
+module Trace = Adp_obs.Trace
+module Metrics = Adp_obs.Metrics
+module Json = Adp_obs.Json
+module Selectivity = Adp_stats.Selectivity
+module Checkpoint = Adp_recovery.Checkpoint
+module Crash = Adp_recovery.Crash
+module Workload = Adp_query.Workload
+module Sql_parser = Adp_query.Sql_parser
+module Tpch = Adp_datagen.Tpch
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  poll : Poll_controller.config;
+  heartbeat_interval : float;
+  heartbeat_timeout : float;
+  max_retries : int;
+  retry_backoff : float;
+  checkpoint_dir : string;
+  checkpoint_every : int;
+  corrective : Corrective.config;
+  trace : Trace.t;
+  metrics : Metrics.t option;
+}
+
+let default_config ~checkpoint_dir =
+  { workers = 2; queue_capacity = 16; poll = Poll_controller.default;
+    heartbeat_interval = 5e4; heartbeat_timeout = 2e5; max_retries = 3;
+    retry_backoff = 1e5; checkpoint_dir; checkpoint_every = 500;
+    corrective =
+      { Corrective.default_config with poll_interval = 2e4;
+        min_leaf_seen = 200; switch_threshold = 0.8 };
+    trace = Trace.null; metrics = None }
+
+let validate cfg =
+  let bad fmt = Diagnostic.errorf ~path:"server" fmt in
+  Poll_controller.validate cfg.poll
+  @ List.concat
+      [ (if cfg.workers >= 1 then []
+         else [ bad ~code:"server-bad-workers" "workers must be >= 1 (got %d)"
+                  cfg.workers ]);
+        (if cfg.queue_capacity >= 1 then []
+         else
+           [ bad ~code:"server-bad-capacity"
+               "queue_capacity must be >= 1 (got %d)" cfg.queue_capacity ]);
+        (if cfg.heartbeat_interval > 0.0 then []
+         else
+           [ bad ~code:"server-bad-heartbeat"
+               "heartbeat_interval must be > 0 (got %g)" cfg.heartbeat_interval
+           ]);
+        (if cfg.heartbeat_timeout >= cfg.heartbeat_interval then []
+         else
+           [ bad ~code:"server-bad-heartbeat"
+               "heartbeat_timeout must be >= heartbeat_interval (got %g < %g)"
+               cfg.heartbeat_timeout cfg.heartbeat_interval ]);
+        (if cfg.max_retries >= 0 then []
+         else [ bad ~code:"server-bad-retries"
+                  "max_retries must be >= 0 (got %d)" cfg.max_retries ]);
+        (if cfg.retry_backoff >= 0.0 then []
+         else [ bad ~code:"server-bad-backoff"
+                  "retry_backoff must be >= 0 (got %g)" cfg.retry_backoff ]);
+        (if cfg.checkpoint_every >= 0 then []
+         else
+           [ bad ~code:"server-bad-checkpoint-every"
+               "checkpoint_every must be >= 0 (got %d)" cfg.checkpoint_every ]);
+        (if cfg.checkpoint_dir <> "" then []
+         else [ bad ~code:"server-bad-checkpoint-dir"
+                  "checkpoint_dir must not be empty" ]) ]
+
+type resolved = {
+  r_query : Logical.query;
+  r_catalog : Catalog.t;
+  r_sources : unit -> Source.t list;
+}
+
+type resolver = string -> resolved
+
+type outcome =
+  | Done of { result : Relation.t; stats : Corrective.stats }
+  | Failed of string
+  | Cancelled
+  | Rejected of string
+
+type query_report = {
+  qr_id : string;
+  qr_spec : string;
+  qr_outcome : outcome;
+  qr_submitted_s : float;
+  qr_finished_s : float;
+  qr_attempts : int;
+  qr_warm_signatures : int;
+  qr_warm_plan_changed : bool;
+}
+
+type report = {
+  r_queries : query_report list;
+  r_done : int;
+  r_failed : int;
+  r_cancelled : int;
+  r_rejected : int;
+  r_workers_spawned : int;
+  r_workers_died : int;
+  r_reclaims : int;
+  r_polls : int;
+  r_busy_polls : int;
+  r_min_interval_s : float;
+  r_max_interval_s : float;
+  r_finished_s : float;
+  r_shared_signatures : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Internal state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything an in-flight attempt needs to be re-executed bit-identically
+   (a kill directive landing mid-attempt replays it with the crash armed)
+   and to map the inner run's virtual clock onto the server clock. *)
+type attempt = {
+  a_worker : int;
+  a_t0 : float;  (* server time the attempt started *)
+  a_base : float;  (* inner clock at start (resume point), µs *)
+  a_resume : string option;
+  a_seed : Selectivity.dump;  (* shared-store snapshot the attempt saw *)
+  a_snapshot : string list;  (* checkpoint files present at start *)
+}
+
+(* What the eagerly-executed attempt produced, held until the server
+   clock reaches the completion (or supervisor-detection) event. *)
+type pending =
+  | P_done of Relation.t * Corrective.stats * Trace.stamped list
+  | P_error of string * Trace.stamped list
+  | P_crashed of { last_hb : float; msg : string; events : Trace.stamped list }
+
+type jstate = Queued | Running | Terminal
+
+type job = {
+  j_id : string;
+  j_spec : string;
+  j_resolved : resolved option;
+  j_submitted : float;
+  mutable j_state : jstate;
+  mutable j_attempts : int;  (* executions started *)
+  mutable j_failures : int;  (* attempts reclaimed after a worker death *)
+  mutable j_not_before : float;
+  mutable j_armed : Crash.point list;  (* kills waiting for an attempt *)
+  mutable j_gen : int;  (* invalidates stale completion/death events *)
+  mutable j_params : attempt option;
+  mutable j_pending : pending option;
+  mutable j_outcome : outcome option;
+  mutable j_finished : float;
+  mutable j_warm_sigs : int;
+  mutable j_warm_changed : bool;
+}
+
+type ev =
+  | E_submit of string * string
+  | E_kill of string * Crash.point
+  | E_cancel of string
+  | E_drain
+  | E_poll
+  | E_complete of string * int
+  | E_death of string * int
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ckpt_files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".adpckpt")
+    |> List.sort String.compare
+  else []
+
+let latest_clock dir ~base =
+  match Checkpoint.latest ~dir with
+  | None -> None
+  | Some path -> (
+    match Checkpoint.load path with
+    | Ok ck -> Some (Float.max base ck.Checkpoint.clock.Clock.s_now)
+    | Error _ -> None)
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: tl ->
+    let s = subsets tl in
+    s @ List.map (fun y -> x :: y) s
+
+let plan_desc spec = Format.asprintf "%a" Plan.pp_spec spec
+
+let run config resolver script =
+  Diagnostic.raise_if_errors ~where:"server" (validate config);
+  let trace_on = Trace.enabled config.trace in
+  let emit ~at ev = if trace_on then Trace.emit config.trace ~at ev in
+  let metrics =
+    match config.metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let depth_g =
+    Metrics.gauge metrics ~help:"waiting queries" "adp_server_queue_depth"
+  in
+  let interval_g =
+    Metrics.gauge metrics ~help:"dispatcher poll interval (virtual s)"
+      "adp_server_poll_interval_seconds"
+  in
+  let alive_g =
+    Metrics.gauge metrics ~help:"live pool workers" "adp_server_workers_alive"
+  in
+  let outcome_c name =
+    Metrics.counter metrics
+      ~labels:[ ("outcome", name) ]
+      ~help:"queries by final outcome" "adp_server_queries_total"
+  in
+  let done_c = outcome_c "done"
+  and failed_c = outcome_c "failed"
+  and cancelled_c = outcome_c "cancelled"
+  and rejected_c = outcome_c "rejected" in
+  let polls_c =
+    Metrics.counter metrics ~help:"dispatcher polls" "adp_server_polls_total"
+  in
+  let reclaims_c =
+    Metrics.counter metrics ~help:"queries reclaimed from dead workers"
+      "adp_server_reclaims_total"
+  in
+  (* Event heap: a sorted association list is plenty at workload scale;
+     the sequence number keeps equal-time events in insertion order. *)
+  let heap : (float * int * ev) list ref = ref [] in
+  let seq = ref 0 in
+  let schedule at ev =
+    incr seq;
+    let rec ins = function
+      | [] -> [ (at, !seq, ev) ]
+      | ((t, s, _) as hd) :: tl ->
+        if t < at || (t = at && s < !seq) then hd :: ins tl
+        else (at, !seq, ev) :: hd :: tl
+    in
+    heap := ins !heap
+  in
+  (* State. *)
+  let jobs : (string, job) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let waiting = ref [] in
+  let draining = ref false in
+  let shared = Selectivity.create () in
+  let workers : (int, string option) Hashtbl.t = Hashtbl.create 8 in
+  let next_worker = ref 0 in
+  let spawned = ref 0 and died = ref 0 and reclaims = ref 0 in
+  let polls = ref 0 and busy_polls = ref 0 in
+  let min_seen = ref infinity and max_seen = ref 0.0 in
+  let now = ref 0.0 in
+  let spawn_worker () =
+    incr next_worker;
+    incr spawned;
+    Hashtbl.replace workers !next_worker None;
+    Metrics.set alive_g (float_of_int (Hashtbl.length workers));
+    emit ~at:!now (Trace.Worker_spawned { worker = !next_worker });
+    !next_worker
+  in
+  let pc = Poll_controller.create config.poll in
+  let job_dir job = Filename.concat config.checkpoint_dir job.j_id in
+  let set_depth () =
+    Metrics.set depth_g (float_of_int (List.length !waiting))
+  in
+  let finish job outcome =
+    job.j_state <- Terminal;
+    job.j_outcome <- Some outcome;
+    job.j_finished <- !now;
+    job.j_params <- None;
+    job.j_pending <- None;
+    Metrics.incr
+      (match outcome with
+       | Done _ -> done_c
+       | Failed _ -> failed_c
+       | Cancelled -> cancelled_c
+       | Rejected _ -> rejected_c)
+  in
+  let emit_shifted (params : attempt) events =
+    if trace_on then
+      List.iter
+        (fun (ts, ev) ->
+          emit ~at:(params.a_t0 +. Float.max 0.0 (ts -. params.a_base)) ev)
+        events
+  in
+  (* Warm-start evidence: how many of the shared store's selectivity
+     signatures match a connected subexpression of this query, and
+     whether that evidence flips the optimizer's initial plan.  Both go
+     through the estimator only, which never touches any clock. *)
+  let warm_start job (r : resolved) seed =
+    let names = Logical.source_names r.r_query in
+    let sigs =
+      subsets names
+      |> List.filter (fun s -> s <> [] && Logical.connected r.r_query s)
+      |> List.map (Logical.signature_of_set r.r_query)
+      |> List.sort_uniq String.compare
+    in
+    let known sg =
+      List.mem_assoc sg seed.Selectivity.d_sels
+      || List.mem_assoc sg seed.Selectivity.d_outs
+    in
+    job.j_warm_sigs <- List.length (List.filter known sigs);
+    if job.j_warm_sigs > 0 then begin
+      let cc = config.corrective in
+      let plan_under sels =
+        plan_desc
+          (Optimizer.optimize ~preagg:cc.Corrective.preagg
+             ~costs:cc.Corrective.costs r.r_query r.r_catalog sels)
+            .Optimizer.spec
+      in
+      match
+        plan_under (Selectivity.create ()) <> plan_under (Selectivity.load seed)
+      with
+      | changed -> job.j_warm_changed <- changed
+      | exception _ -> job.j_warm_changed <- false
+    end
+  in
+  (* Execute one attempt eagerly through the ordinary corrective entry
+     point; the outcome is parked on the job and surfaces when the
+     server clock reaches the completion/detection event. *)
+  let execute job (params : attempt) ~crash =
+    let r = Option.get job.j_resolved in
+    let dir = job_dir job in
+    let qm = Metrics.with_labels metrics [ ("query", job.j_id) ] in
+    (* Drop cells of a discarded or reclaimed prior attempt: the cells
+       left behind equal what a single fresh process would have
+       produced, and the store stays bounded per query. *)
+    Metrics.prune qm;
+    let inner = if trace_on then Trace.memory () else Trace.null in
+    let policy =
+      Checkpoint.policy
+        ?every_tuples:
+          (if config.checkpoint_every > 0 then Some config.checkpoint_every
+           else None)
+        ~dir ()
+    in
+    let cc =
+      { config.corrective with
+        Corrective.checkpoint = Some policy; resume_from = params.a_resume;
+        crash; stats_seed = Some params.a_seed; trace = inner;
+        metrics = Some qm }
+    in
+    match Corrective.run ~config:cc r.r_query r.r_catalog (r.r_sources ()) with
+    | result, stats ->
+      job.j_pending <- Some (P_done (result, stats, Trace.events inner));
+      schedule
+        (params.a_t0
+        +. Float.max 0.0 (stats.Corrective.total_time -. params.a_base))
+        (E_complete (job.j_id, job.j_gen))
+    | exception Crash.Crashed msg ->
+      (* The worker died at the virtual moment of its last checkpoint (the
+         best deterministic anchor the survivors can ever learn); its last
+         heartbeat is the latest beat before that, and the supervisor
+         notices one heartbeat-timeout later. *)
+      let death_off =
+        match latest_clock dir ~base:params.a_base with
+        | Some s_now -> s_now -. params.a_base
+        | None -> 0.0
+      in
+      let death_at = params.a_t0 +. death_off in
+      let hb = config.heartbeat_interval in
+      let beats = Float.of_int (int_of_float (death_off /. hb)) in
+      let last_hb = params.a_t0 +. (beats *. hb) in
+      job.j_pending <-
+        Some (P_crashed { last_hb; msg; events = Trace.events inner });
+      ignore death_at;
+      schedule (last_hb +. config.heartbeat_timeout)
+        (E_death (job.j_id, job.j_gen))
+    | exception Diagnostic.Failed (where, diags) ->
+      job.j_pending <-
+        Some
+          (P_error
+             ( Printf.sprintf "%s: %s" where
+                 (String.trim (Diagnostic.to_string diags)),
+               Trace.events inner ));
+      schedule params.a_t0 (E_complete (job.j_id, job.j_gen))
+  in
+  let start_attempt job worker =
+    let dir = job_dir job in
+    if job.j_attempts = 0 then
+      (* a previous server run's checkpoints must not leak into this one *)
+      List.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (ckpt_files dir);
+    let resume =
+      if job.j_failures > 0 && Checkpoint.latest ~dir <> None then Some dir
+      else None
+    in
+    let base =
+      match resume with
+      | None -> 0.0
+      | Some _ -> (
+        match latest_clock dir ~base:0.0 with Some s -> s | None -> 0.0)
+    in
+    let seed = Selectivity.dump shared in
+    if job.j_attempts = 0 then
+      Option.iter (fun r -> warm_start job r seed) job.j_resolved;
+    job.j_attempts <- job.j_attempts + 1;
+    job.j_gen <- job.j_gen + 1;
+    job.j_state <- Running;
+    Hashtbl.replace workers worker (Some job.j_id);
+    let params =
+      { a_worker = worker; a_t0 = !now; a_base = base; a_resume = resume;
+        a_seed = seed; a_snapshot = ckpt_files dir }
+    in
+    job.j_params <- Some params;
+    let crash =
+      match job.j_armed with
+      | [] -> []
+      | p :: tl ->
+        job.j_armed <- tl;
+        [ p ]
+    in
+    execute job params ~crash
+  in
+  let reject job reason =
+    emit ~at:!now
+      (Trace.Admission
+         { query = job.j_id; accepted = false;
+           queue_depth = List.length !waiting; reason });
+    finish job (Rejected reason)
+  in
+  let handle = function
+    | E_submit (qid, spec) ->
+      let resolved, resolve_error =
+        match resolver spec with
+        | r -> (Some r, None)
+        | exception Diagnostic.Failed (where, diags) ->
+          ( None,
+            Some
+              (Printf.sprintf "%s: %s" where
+                 (String.trim (Diagnostic.to_string diags))) )
+      in
+      let job =
+        { j_id = qid; j_spec = spec; j_resolved = resolved;
+          j_submitted = !now; j_state = Queued; j_attempts = 0;
+          j_failures = 0; j_not_before = !now; j_armed = []; j_gen = 0;
+          j_params = None; j_pending = None; j_outcome = None;
+          j_finished = !now; j_warm_sigs = 0; j_warm_changed = false }
+      in
+      Hashtbl.replace jobs qid job;
+      order := qid :: !order;
+      if !draining then reject job "draining"
+      else if List.length !waiting >= config.queue_capacity then
+        reject job "queue-full"
+      else begin
+        match resolve_error with
+        | Some msg ->
+          emit ~at:!now
+            (Trace.Admission
+               { query = qid; accepted = true;
+                 queue_depth = List.length !waiting; reason = "" });
+          finish job (Failed msg)
+        | None ->
+          waiting := !waiting @ [ qid ];
+          set_depth ();
+          emit ~at:!now
+            (Trace.Admission
+               { query = qid; accepted = true;
+                 queue_depth = List.length !waiting; reason = "" })
+      end
+    | E_kill (qid, point) -> (
+      match Hashtbl.find_opt jobs qid with
+      | None -> ()
+      | Some job -> (
+        match job.j_state with
+        | Queued -> job.j_armed <- job.j_armed @ [ point ]
+        | Terminal -> ()
+        | Running -> (
+          match job.j_pending with
+          | Some (P_done _) -> (
+            (* The in-flight attempt would have completed; replay it with
+               the crash armed.  Same seed, same resume point, same
+               checkpoint dir state: deterministic. *)
+            match job.j_params with
+            | None -> job.j_armed <- job.j_armed @ [ point ]
+            | Some params ->
+              job.j_gen <- job.j_gen + 1;
+              let dir = job_dir job in
+              List.iter
+                (fun f ->
+                  if not (List.mem f params.a_snapshot) then
+                    Sys.remove (Filename.concat dir f))
+                (ckpt_files dir);
+              execute job params ~crash:[ point ])
+          | Some (P_error _) | Some (P_crashed _) | None ->
+            (* already failing or already dying; arm for a later attempt *)
+            job.j_armed <- job.j_armed @ [ point ])))
+    | E_cancel qid -> (
+      match Hashtbl.find_opt jobs qid with
+      | Some job when job.j_state = Queued ->
+        waiting := List.filter (fun id -> id <> qid) !waiting;
+        set_depth ();
+        finish job Cancelled
+      | Some _ | None -> ())
+    | E_drain -> draining := true
+    | E_complete (qid, gen) -> (
+      match Hashtbl.find_opt jobs qid with
+      | Some job when job.j_gen = gen -> (
+        let params = Option.get job.j_params in
+        Hashtbl.replace workers params.a_worker None;
+        match job.j_pending with
+        | Some (P_done (result, stats, events)) ->
+          emit_shifted params events;
+          (* publish what this run learned only now, at its completion
+             event: a later-starting attempt must not see statistics from
+             a run that (on the server clock) had not finished yet *)
+          Selectivity.absorb shared stats.Corrective.learned;
+          finish job (Done { result; stats })
+        | Some (P_error (msg, events)) ->
+          emit_shifted params events;
+          finish job (Failed msg)
+        | Some (P_crashed _) | None -> ())
+      | Some _ | None -> ())
+    | E_death (qid, gen) -> (
+      match Hashtbl.find_opt jobs qid with
+      | Some job when job.j_gen = gen -> (
+        match (job.j_pending, job.j_params) with
+        | Some (P_crashed { last_hb; msg; events }), Some params ->
+          emit_shifted params events;
+          let w = params.a_worker in
+          Hashtbl.remove workers w;
+          incr died;
+          Metrics.set alive_g (float_of_int (Hashtbl.length workers));
+          emit ~at:!now
+            (Trace.Worker_died
+               { worker = w; query = qid; last_heartbeat_s = last_hb /. 1e6 });
+          let dir = job_dir job in
+          let resume_from =
+            match Checkpoint.latest ~dir with Some _ -> dir | None -> ""
+          in
+          emit ~at:!now
+            (Trace.Worker_reclaimed
+               { worker = w; query = qid; attempt = job.j_attempts;
+                 resume_from });
+          incr reclaims;
+          Metrics.incr reclaims_c;
+          ignore (spawn_worker ());
+          job.j_failures <- job.j_failures + 1;
+          job.j_params <- None;
+          job.j_pending <- None;
+          if job.j_failures > config.max_retries then
+            finish job
+              (Failed
+                 (Printf.sprintf
+                    "retry budget exhausted after %d attempts (last: %s)"
+                    job.j_attempts msg))
+          else begin
+            job.j_state <- Queued;
+            job.j_not_before <-
+              !now
+              +. config.retry_backoff
+                 *. (2.0 ** float_of_int (job.j_failures - 1));
+            waiting := !waiting @ [ qid ];
+            set_depth ()
+          end
+        | _ -> ())
+      | Some _ | None -> ())
+    | E_poll ->
+      let ready =
+        List.filter
+          (fun qid ->
+            match Hashtbl.find_opt jobs qid with
+            | Some job -> job.j_not_before <= !now
+            | None -> false)
+          !waiting
+      in
+      let idle =
+        Hashtbl.fold (fun w s acc -> if s = None then w :: acc else acc)
+          workers []
+        |> List.sort compare
+      in
+      let rec assign ws qs =
+        match (ws, qs) with
+        | w :: ws', qid :: qs' ->
+          waiting := List.filter (fun id -> id <> qid) !waiting;
+          start_attempt (Hashtbl.find jobs qid) w;
+          assign ws' qs'
+        | _ -> ()
+      in
+      assign idle ready;
+      set_depth ();
+      let found = List.length ready in
+      incr polls;
+      if found > 0 then incr busy_polls;
+      Metrics.incr polls_c;
+      let before = Poll_controller.interval pc in
+      let interval = Poll_controller.record pc ~found in
+      if interval < !min_seen then min_seen := interval;
+      if interval > !max_seen then max_seen := interval;
+      Metrics.set interval_g (interval /. 1e6);
+      if interval <> before then
+        emit ~at:!now
+          (Trace.Poll_interval_changed
+             { from_s = before /. 1e6; to_s = interval /. 1e6; found });
+      let busy_worker =
+        Hashtbl.fold (fun _ s acc -> acc || s <> None) workers false
+      in
+      if !waiting <> [] || busy_worker || !heap <> [] then
+        schedule (!now +. interval) E_poll
+  in
+  (* Boot: the pool comes up at time zero, the script is enqueued, and
+     the dispatcher starts polling. *)
+  for _ = 1 to config.workers do
+    ignore (spawn_worker ())
+  done;
+  List.iter
+    (fun (at_s, d) ->
+      let at = at_s *. 1e6 in
+      match d with
+      | Script.Submit { qid; spec } -> schedule at (E_submit (qid, spec))
+      | Script.Kill { qid; point } -> schedule at (E_kill (qid, point))
+      | Script.Cancel qid -> schedule at (E_cancel qid)
+      | Script.Drain -> schedule at E_drain)
+    script;
+  schedule 0.0 E_poll;
+  let rec loop () =
+    match !heap with
+    | [] -> ()
+    | (at, _, ev) :: rest ->
+      heap := rest;
+      now := Float.max !now at;
+      handle ev;
+      loop ()
+  in
+  loop ();
+  let queries =
+    List.rev_map
+      (fun qid ->
+        let j = Hashtbl.find jobs qid in
+        { qr_id = j.j_id; qr_spec = j.j_spec;
+          qr_outcome =
+            (match j.j_outcome with
+             | Some o -> o
+             | None -> Failed "server stopped before the query finished");
+          qr_submitted_s = j.j_submitted /. 1e6;
+          qr_finished_s = j.j_finished /. 1e6; qr_attempts = j.j_attempts;
+          qr_warm_signatures = j.j_warm_sigs;
+          qr_warm_plan_changed = j.j_warm_changed })
+      !order
+  in
+  let count f = List.length (List.filter f queries) in
+  let initial = config.poll.Poll_controller.max_interval in
+  { r_queries = queries;
+    r_done = count (fun q -> match q.qr_outcome with Done _ -> true | _ -> false);
+    r_failed =
+      count (fun q -> match q.qr_outcome with Failed _ -> true | _ -> false);
+    r_cancelled = count (fun q -> q.qr_outcome = Cancelled);
+    r_rejected =
+      count (fun q -> match q.qr_outcome with Rejected _ -> true | _ -> false);
+    r_workers_spawned = !spawned; r_workers_died = !died;
+    r_reclaims = !reclaims; r_polls = !polls; r_busy_polls = !busy_polls;
+    r_min_interval_s =
+      (if !polls = 0 then initial /. 1e6 else !min_seen /. 1e6);
+    r_max_interval_s =
+      (if !polls = 0 then initial /. 1e6 else !max_seen /. 1e6);
+    r_finished_s = !now /. 1e6;
+    r_shared_signatures = Selectivity.size shared }
+
+(* ------------------------------------------------------------------ *)
+(* Resolver                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tpch_resolver ?(with_cardinalities = false) ?seed ds spec =
+  let spec = String.trim spec in
+  let bundled =
+    List.find_opt
+      (fun wq ->
+        String.lowercase_ascii (Workload.name wq)
+        = String.lowercase_ascii spec)
+      [ Workload.Q3; Workload.Q3A; Workload.Q10; Workload.Q10A; Workload.Q5 ]
+  in
+  let q =
+    match bundled with
+    | Some wq -> Workload.query wq
+    | None -> (
+      try Sql_parser.parse ~schema_of:Tpch.schema_of spec
+      with Sql_parser.Parse_error m ->
+        raise
+          (Diagnostic.Failed
+             ( "server.resolve",
+               [ Diagnostic.error ~code:"server-bad-query" ~path:spec m ] )))
+  in
+  { r_query = q; r_catalog = Workload.catalog ~with_cardinalities ds q;
+    r_sources = Workload.sources ?seed ds q }
+
+(* ------------------------------------------------------------------ *)
+(* Report views                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type query_view = {
+  v_id : string;
+  v_spec : string;
+  v_outcome : string;
+  v_reason : string;
+  v_submitted_s : float;
+  v_finished_s : float;
+  v_attempts : int;
+  v_result_card : int;
+  v_time_s : float;
+  v_coverage : float;
+  v_resumed_phases : int;
+  v_checkpoints : int;
+  v_warm_signatures : int;
+  v_warm_plan_changed : bool;
+}
+
+type view = {
+  vr_queries : query_view list;
+  vr_done : int;
+  vr_failed : int;
+  vr_cancelled : int;
+  vr_rejected : int;
+  vr_workers_spawned : int;
+  vr_workers_died : int;
+  vr_reclaims : int;
+  vr_polls : int;
+  vr_busy_polls : int;
+  vr_min_interval_s : float;
+  vr_max_interval_s : float;
+  vr_finished_s : float;
+  vr_shared_signatures : int;
+}
+
+let view r =
+  let qv (q : query_report) =
+    let outcome, reason =
+      match q.qr_outcome with
+      | Done _ -> ("done", "")
+      | Failed m -> ("failed", m)
+      | Cancelled -> ("cancelled", "")
+      | Rejected m -> ("rejected", m)
+    in
+    let card, time_s, coverage, resumed, ckpts =
+      match q.qr_outcome with
+      | Done { stats; _ } ->
+        ( stats.Corrective.result_card,
+          stats.Corrective.total_time /. 1e6, stats.Corrective.coverage,
+          stats.Corrective.resumed_phases, stats.Corrective.checkpoints )
+      | _ -> (0, 0.0, 0.0, 0, 0)
+    in
+    { v_id = q.qr_id; v_spec = q.qr_spec; v_outcome = outcome;
+      v_reason = reason; v_submitted_s = q.qr_submitted_s;
+      v_finished_s = q.qr_finished_s; v_attempts = q.qr_attempts;
+      v_result_card = card; v_time_s = time_s; v_coverage = coverage;
+      v_resumed_phases = resumed; v_checkpoints = ckpts;
+      v_warm_signatures = q.qr_warm_signatures;
+      v_warm_plan_changed = q.qr_warm_plan_changed }
+  in
+  { vr_queries = List.map qv r.r_queries; vr_done = r.r_done;
+    vr_failed = r.r_failed; vr_cancelled = r.r_cancelled;
+    vr_rejected = r.r_rejected; vr_workers_spawned = r.r_workers_spawned;
+    vr_workers_died = r.r_workers_died; vr_reclaims = r.r_reclaims;
+    vr_polls = r.r_polls; vr_busy_polls = r.r_busy_polls;
+    vr_min_interval_s = r.r_min_interval_s;
+    vr_max_interval_s = r.r_max_interval_s; vr_finished_s = r.r_finished_s;
+    vr_shared_signatures = r.r_shared_signatures }
+
+let view_to_json v =
+  let num f = Json.Num f in
+  let int i = Json.Num (float_of_int i) in
+  let str s = Json.Str s in
+  let q (x : query_view) =
+    Json.Obj
+      [ ("id", str x.v_id); ("spec", str x.v_spec);
+        ("outcome", str x.v_outcome); ("reason", str x.v_reason);
+        ("submitted_s", num x.v_submitted_s);
+        ("finished_s", num x.v_finished_s); ("attempts", int x.v_attempts);
+        ("result_card", int x.v_result_card); ("time_s", num x.v_time_s);
+        ("coverage", num x.v_coverage);
+        ("resumed_phases", int x.v_resumed_phases);
+        ("checkpoints", int x.v_checkpoints);
+        ("warm_signatures", int x.v_warm_signatures);
+        ("warm_plan_changed", Json.Bool x.v_warm_plan_changed) ]
+  in
+  Json.Obj
+    [ ("schema", int 1); ("kind", str "tukwila-server-report");
+      ("queries", Json.List (List.map q v.vr_queries));
+      ("done", int v.vr_done); ("failed", int v.vr_failed);
+      ("cancelled", int v.vr_cancelled); ("rejected", int v.vr_rejected);
+      ("workers_spawned", int v.vr_workers_spawned);
+      ("workers_died", int v.vr_workers_died);
+      ("reclaims", int v.vr_reclaims); ("polls", int v.vr_polls);
+      ("busy_polls", int v.vr_busy_polls);
+      ("min_interval_s", num v.vr_min_interval_s);
+      ("max_interval_s", num v.vr_max_interval_s);
+      ("finished_s", num v.vr_finished_s);
+      ("shared_signatures", int v.vr_shared_signatures) ]
+
+let view_of_json j =
+  let get j k f =
+    match Option.bind (Json.member k j) f with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or malformed field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* kind = get j "kind" Json.get_str in
+  if kind <> "tukwila-server-report" then
+    Error "not a tukwila server report"
+  else
+    let* qs = get j "queries" Json.get_list in
+    let* queries =
+      List.fold_left
+        (fun acc qj ->
+          let* acc = acc in
+          let* v_id = get qj "id" Json.get_str in
+          let* v_spec = get qj "spec" Json.get_str in
+          let* v_outcome = get qj "outcome" Json.get_str in
+          let* v_reason = get qj "reason" Json.get_str in
+          let* v_submitted_s = get qj "submitted_s" Json.get_num in
+          let* v_finished_s = get qj "finished_s" Json.get_num in
+          let* v_attempts = get qj "attempts" Json.get_int in
+          let* v_result_card = get qj "result_card" Json.get_int in
+          let* v_time_s = get qj "time_s" Json.get_num in
+          let* v_coverage = get qj "coverage" Json.get_num in
+          let* v_resumed_phases = get qj "resumed_phases" Json.get_int in
+          let* v_checkpoints = get qj "checkpoints" Json.get_int in
+          let* v_warm_signatures = get qj "warm_signatures" Json.get_int in
+          let* v_warm_plan_changed =
+            get qj "warm_plan_changed" Json.get_bool
+          in
+          Ok
+            ({ v_id; v_spec; v_outcome; v_reason; v_submitted_s;
+               v_finished_s; v_attempts; v_result_card; v_time_s;
+               v_coverage; v_resumed_phases; v_checkpoints;
+               v_warm_signatures; v_warm_plan_changed }
+            :: acc))
+        (Ok []) qs
+    in
+    let* vr_done = get j "done" Json.get_int in
+    let* vr_failed = get j "failed" Json.get_int in
+    let* vr_cancelled = get j "cancelled" Json.get_int in
+    let* vr_rejected = get j "rejected" Json.get_int in
+    let* vr_workers_spawned = get j "workers_spawned" Json.get_int in
+    let* vr_workers_died = get j "workers_died" Json.get_int in
+    let* vr_reclaims = get j "reclaims" Json.get_int in
+    let* vr_polls = get j "polls" Json.get_int in
+    let* vr_busy_polls = get j "busy_polls" Json.get_int in
+    let* vr_min_interval_s = get j "min_interval_s" Json.get_num in
+    let* vr_max_interval_s = get j "max_interval_s" Json.get_num in
+    let* vr_finished_s = get j "finished_s" Json.get_num in
+    let* vr_shared_signatures = get j "shared_signatures" Json.get_int in
+    Ok
+      { vr_queries = List.rev queries; vr_done; vr_failed; vr_cancelled;
+        vr_rejected; vr_workers_spawned; vr_workers_died; vr_reclaims;
+        vr_polls; vr_busy_polls; vr_min_interval_s; vr_max_interval_s;
+        vr_finished_s; vr_shared_signatures }
+
+let pp_view ppf v =
+  let fnum = Json.float_str in
+  Format.fprintf ppf "server report:@.";
+  List.iter
+    (fun (q : query_view) ->
+      let status =
+        match q.v_outcome with
+        | "done" ->
+          Printf.sprintf "done: %d rows in %s virtual s, coverage %.1f%%"
+            q.v_result_card (fnum q.v_time_s) (100.0 *. q.v_coverage)
+        | o when q.v_reason <> "" -> Printf.sprintf "%s: %s" o q.v_reason
+        | o -> o
+      in
+      Format.fprintf ppf "  %-8s [%s]  %s@." q.v_id q.v_spec status;
+      if q.v_attempts > 1 || q.v_resumed_phases > 0 then
+        Format.fprintf ppf
+          "           attempts %d, resumed phases %d, checkpoints %d@."
+          q.v_attempts q.v_resumed_phases q.v_checkpoints;
+      if q.v_warm_signatures > 0 then
+        Format.fprintf ppf
+          "           warm start: %d inherited signature%s%s@."
+          q.v_warm_signatures
+          (if q.v_warm_signatures = 1 then "" else "s")
+          (if q.v_warm_plan_changed then " (initial plan changed)" else ""))
+    v.vr_queries;
+  Format.fprintf ppf
+    "outcomes: %d done, %d failed, %d cancelled, %d rejected@." v.vr_done
+    v.vr_failed v.vr_cancelled v.vr_rejected;
+  Format.fprintf ppf
+    "workers: %d spawned, %d died, %d queries reclaimed@."
+    v.vr_workers_spawned v.vr_workers_died v.vr_reclaims;
+  Format.fprintf ppf
+    "dispatcher: %d polls (%d busy), interval %s..%s s@." v.vr_polls
+    v.vr_busy_polls (fnum v.vr_min_interval_s) (fnum v.vr_max_interval_s);
+  Format.fprintf ppf
+    "shared statistics: %d selectivity signature%s; finished at %s virtual \
+     s@."
+    v.vr_shared_signatures
+    (if v.vr_shared_signatures = 1 then "" else "s")
+    (fnum v.vr_finished_s)

@@ -22,4 +22,5 @@ let () =
       "sql", Test_sql.suite;
       "report", Test_report.suite;
       "obs", Test_obs.suite;
-      "recovery", Test_recovery.suite ]
+      "recovery", Test_recovery.suite;
+      "server", Test_server.suite ]

@@ -130,7 +130,18 @@ let one_of_each : Trace.stamped list =
               builds = 9; mem_hw = 7 };
     14.0, Trace.Calibration
             { phase = "stitch-up"; point = "stitch-up"; node = "σ[x](a)";
-              est = 20000.0; actual = 25.0; q_error = 800.0; blame = true } ]
+              est = 20000.0; actual = 25.0; q_error = 800.0; blame = true };
+    15.0, Trace.Worker_spawned { worker = 3 };
+    16.0, Trace.Worker_died
+            { worker = 3; query = "q7"; last_heartbeat_s = 15.875 };
+    17.0, Trace.Worker_reclaimed
+            { worker = 3; query = "q7"; attempt = 2;
+              resume_from = "ckpt/q7" };
+    18.0, Trace.Poll_interval_changed
+            { from_s = 0.5; to_s = 0.75; found = 0 };
+    19.0, Trace.Admission
+            { query = "q9"; accepted = false; queue_depth = 16;
+              reason = "queue-full" } ]
 
 let test_event_jsonl_roundtrip () =
   (* Through the in-memory codec... *)
@@ -246,6 +257,62 @@ let test_metrics_registry () =
     in
     Alcotest.(check bool) "json dump sorted" true
       (names = List.sort compare names && List.length names = 4)
+
+(* Label scopes: the multi-query regression.  Two views of one store
+   scoped by different label sets must never collide on same-named
+   cells, and pruning a scope retires its cells without unbounded
+   accumulation across repeated scope lifetimes. *)
+let test_metrics_label_scopes () =
+  let m = Metrics.create () in
+  let q1 = Metrics.with_labels m [ "query", "q1" ] in
+  let q2 = Metrics.with_labels m [ "query", "q2" ] in
+  let c0 = Metrics.counter m ~help:"tuples" "adp_scope_total" in
+  let c1 = Metrics.counter q1 ~help:"tuples" "adp_scope_total" in
+  let c2 = Metrics.counter q2 ~help:"tuples" "adp_scope_total" in
+  Metrics.incr ~by:1 c0;
+  Metrics.incr ~by:10 c1;
+  Metrics.incr ~by:100 c2;
+  (* Three distinct cells: the scopes did not clobber each other. *)
+  Alcotest.(check int) "root cell" 1 (Metrics.count c0);
+  Alcotest.(check int) "q1 cell" 10 (Metrics.count c1);
+  Alcotest.(check int) "q2 cell" 100 (Metrics.count c2);
+  Alcotest.(check int) "three cells registered" 3 (Metrics.cells m);
+  (* Scopes compose: extra labels nest under the scope. *)
+  let c1n = Metrics.counter q1 ~labels:[ "node", "j" ] "adp_scope_total" in
+  Metrics.incr ~by:7 c1n;
+  let prom = Metrics.to_prometheus m in
+  Alcotest.(check bool) "scoped labels rendered" true
+    (contains ~needle:"adp_scope_total{query=\"q1\",node=\"j\"} 7" prom);
+  (* Re-registration through the same scope returns the same cell. *)
+  Metrics.incr (Metrics.counter q1 "adp_scope_total");
+  Alcotest.(check int) "same scoped cell" 11 (Metrics.count c1);
+  (* A cell count seen through any view is the whole store's. *)
+  Alcotest.(check int) "views share the store" (Metrics.cells m)
+    (Metrics.cells q1);
+  (* Pruning q1 retires exactly q1's cells (including nested labels);
+     the root and q2 cells survive. *)
+  Metrics.prune q1;
+  Alcotest.(check int) "q1 cells dropped" 2 (Metrics.cells m);
+  Alcotest.(check int) "root survives" 1
+    (Metrics.count (Metrics.counter m "adp_scope_total"));
+  Alcotest.(check int) "q2 survives" 100
+    (Metrics.count (Metrics.counter q2 "adp_scope_total"));
+  (* Boundedness: a re-run query that registers and is pruned each
+     attempt leaves the store no bigger than a single attempt would. *)
+  for attempt = 1 to 50 do
+    Metrics.prune q1;
+    let c = Metrics.counter q1 "adp_scope_total" in
+    Metrics.incr ~by:attempt c;
+    let g = Metrics.gauge q1 "adp_scope_gauge" in
+    Metrics.set g (float_of_int attempt)
+  done;
+  Alcotest.(check int) "store stays bounded across attempts" 4
+    (Metrics.cells m);
+  Alcotest.(check int) "last attempt's value wins" 50
+    (Metrics.count (Metrics.counter q1 "adp_scope_total"));
+  (* Pruning the root scope (empty label set) clears everything. *)
+  Metrics.prune m;
+  Alcotest.(check int) "root prune clears the store" 0 (Metrics.cells m)
 
 (* ---------------- traced = untraced (the headline invariant) ------- *)
 
@@ -815,6 +882,8 @@ let suite =
       test_event_jsonl_roundtrip;
     Alcotest.test_case "chrome export golden" `Quick test_chrome_export_golden;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "metrics label scopes" `Quick
+      test_metrics_label_scopes;
     Alcotest.test_case "tracing is free" `Quick test_tracing_is_free;
     Alcotest.test_case "cqp event classes" `Quick test_cqp_event_classes;
     Alcotest.test_case "fault events" `Quick test_fault_events;
