@@ -16,7 +16,8 @@ let time_us f =
     for _ = 1 to n do
       ignore (Sys.opaque_identity (f ()))
     done;
-    (Sys.time () -. t0) (* determinism-ok *) *. 1e6 /. float_of_int n
+    (Sys.time () -. t0) (* determinism-ok: measuring the analyzer itself *)
+    *. 1e6 /. float_of_int n
   in
   let samples = List.sort compare (List.init 7 (fun _ -> batch ())) in
   List.nth samples 3

@@ -154,7 +154,8 @@ let run () =
               | Some _ | None -> None
             in
             (name, ns) :: acc)
-          analyzed [])
+          analyzed []
+        |> List.sort compare)
       tests
     |> List.concat
     |> List.sort compare

@@ -549,7 +549,7 @@ let query_cmd =
 module Analyzer = Adp_analysis.Analyzer
 module Diagnostic = Adp_analysis.Diagnostic
 module Stitch_matrix = Adp_analysis.Stitch_matrix
-module Determinism = Adp_analysis.Determinism
+module Lint = Adp_lint.Lint
 
 (* Deliberate plan mutations, for demonstrating the analyzer and for
    exercising it in CI: each introduces one class of bug the analyzer must
@@ -580,9 +580,10 @@ let phases_arg =
 
 let audit_arg =
   let doc =
-    "Also run the determinism audit over the given file or directory \
-     (repeatable): flags unseeded randomness and wall-clock reads in \
-     OCaml sources."
+    "Also run the effect & determinism lint over the given file or \
+     directory (repeatable): flags wall-clock reads, unseeded randomness, \
+     hash-order-sensitive folds and unguarded trace emission in OCaml \
+     sources (same passes as $(b,tukwila lint))."
   in
   Arg.(value & opt_all string [] & info [ "audit" ] ~docv:"PATH" ~doc)
 
@@ -704,7 +705,7 @@ let check_cmd =
         ~catalog:(Workload.flights_catalog fds)
         ~table:flights_table
     end;
-    if audits <> [] then report "audit" (Determinism.audit_paths audits);
+    if audits <> [] then report "audit" (Lint.audit_paths audits);
     exit !exit_code
   in
   let doc =
@@ -1176,6 +1177,88 @@ let bench_diff_cmd =
     (Cmd.info "bench-diff" ~doc)
     Term.(const run $ base_arg $ new_arg $ tol_arg)
 
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let run paths strict json_out baseline =
+    let paths =
+      match paths with
+      | [] -> List.filter Sys.file_exists Lint.default_paths
+      | ps -> ps
+    in
+    if paths = [] then begin
+      Printf.eprintf "lint: no input paths (run from the repo root, or \
+                      pass paths explicitly)\n";
+      exit 2
+    end;
+    let r = Lint.run paths in
+    let shown =
+      match baseline with
+      | None -> r.Lint.r_diags
+      | Some file -> (
+        match Adp_obs.Json.parse (In_channel.with_open_bin file
+                                    In_channel.input_all) with
+        | Ok base -> Lint.diags_not_in_baseline r base
+        | Error msg ->
+          Printf.eprintf "lint: unreadable baseline %s: %s\n" file msg;
+          exit 2)
+    in
+    List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) shown;
+    (match json_out with
+     | None -> ()
+     | Some file ->
+       Out_channel.with_open_bin file (fun oc ->
+           Out_channel.output_string oc
+             (Adp_obs.Json.to_string (Lint.report_json r));
+           Out_channel.output_char oc '\n'));
+    let errs = List.length (Diagnostic.errors shown) in
+    let warns = List.length shown - errs in
+    Format.printf "lint: %d file%s, %d error%s, %d warning%s%s@."
+      r.Lint.r_files
+      (if r.Lint.r_files = 1 then "" else "s")
+      errs
+      (if errs = 1 then "" else "s")
+      warns
+      (if warns = 1 then "" else "s")
+      (match baseline with None -> "" | Some _ -> " (vs baseline)");
+    if errs > 0 || (strict && warns > 0) then exit 1 else exit 0
+  in
+  let doc =
+    "Statically check the effect & determinism contracts over OCaml \
+     sources: wall-clock reads and unseeded randomness (errors anywhere, \
+     and traced to engine entry points with a witness chain), ambient \
+     environment reads reachable from the engine, hash-order-sensitive \
+     $(b,Hashtbl.fold)/$(b,iter) results, and trace emission outside a \
+     traced guard.  Findings are waived per-site with a \
+     $(b,(* determinism-ok: reason *)) comment; the reason is mandatory \
+     and unused waivers are flagged.  Exits 1 on errors (with \
+     $(b,--strict), also on warnings)."
+  in
+  let paths_arg =
+    let doc =
+      "Files or directories to lint (default: lib bin bench test)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let strict_arg =
+    let doc = "Treat warnings as fatal." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the full report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Only report diagnostics absent from this previously written \
+       $(b,--json) report."
+    in
+    Arg.(value & opt (some file) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(const run $ paths_arg $ strict_arg $ json_arg $ baseline_arg)
+
 let () =
   let doc =
     "Tukwila-style adaptive query processing over generated data-integration \
@@ -1186,4 +1269,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; explain_cmd; plan_cmd; query_cmd; check_cmd;
-            profile_cmd; serve_cmd; server_report_cmd; bench_diff_cmd ]))
+            profile_cmd; serve_cmd; server_report_cmd; bench_diff_cmd;
+            lint_cmd ]))

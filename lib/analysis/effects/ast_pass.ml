@@ -1,0 +1,229 @@
+(* Single-file AST passes: hash-order sensitivity and perturbation
+   purity.
+
+   Hash-order: a [Hashtbl.fold] whose folding function builds an
+   order-carrying value (list cons/append) inherits the table's
+   iteration order — a function of hashing and insertion history, not of
+   the keys — so unless the result is piped into a deterministic sort in
+   the same expression ([|> List.sort], [List.sort _ (fold ...)],
+   [sort @@ fold ...]), any list, trace, report or serialized output it
+   flows into silently depends on insertion order.  [Hashtbl.iter]
+   accumulating into a ref via cons is the same hazard.  Folds with
+   order-insensitive accumulators (sums, or-flags, table-to-table
+   copies) are ignored, as are non-literal folding functions (nothing to
+   inspect).
+
+   Purity (engine directories only — lib/exec, lib/core, lib/server):
+   every [Trace.emit]/[Ctx.emit] call site must be dominated by a traced
+   guard ([if Ctx.traced ...], [if Trace.enabled ...], a [trace_on]
+   flag), emission results must not feed other expressions, and
+   observability reads ([Trace.events], [Profile.spans], ...) may appear
+   only under such a guard — decisions must not depend on whether the
+   run is observed. *)
+
+type kind =
+  | Unsorted_fold of string
+  | Unsorted_iter of string
+  | Unguarded_emit of string
+  | Obs_read of string
+  | Emit_feedback of string
+
+type finding = { f_kind : kind; f_line : int }
+
+let engine_dirs = [ "lib/exec"; "lib/core"; "lib/server" ]
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let in_engine path =
+  List.exists (fun d -> contains ~sub:d path) engine_dirs
+
+(* ---------------- small expression queries ---------------- *)
+
+let expr_mem pred e =
+  let found = ref false in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+           | Parsetree.Pexp_ident { txt; _ }
+             when pred (`Ident (Longident.flatten txt)) ->
+             found := true
+           | Parsetree.Pexp_construct ({ txt = Longident.Lident "::"; _ }, _)
+             when pred `Cons ->
+             found := true
+           | _ -> ());
+          if not !found then Ast_iterator.default_iterator.expr it e) }
+  in
+  it.expr it e;
+  !found
+
+let is_guard_cond e =
+  expr_mem
+    (function
+      | `Ident path -> Effect_table.is_guard_ident path
+      | `Cons -> false)
+    e
+
+let builds_list e =
+  expr_mem
+    (function
+      | `Cons -> true
+      | `Ident path -> (
+        match List.rev path with
+        | ("@" | "append" | "rev_append" | "cons" | "concat") :: _ ->
+          (match path with
+           | [ "@" ] | "List" :: _ -> true
+           | _ -> false)
+        | _ -> false))
+    e
+
+let assigns e =
+  expr_mem
+    (function `Ident [ ":=" ] -> true | `Ident _ | `Cons -> false)
+    e
+
+let ident_path e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> Some (Longident.flatten txt)
+  | _ -> None
+
+let rec fun_body e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun (_, _, _, body) -> fun_body body
+  | _ -> e
+
+let is_fun e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun _ -> true
+  | _ -> false
+
+(* an expression that is, or partially applies, a sort *)
+let sortish e =
+  match ident_path e with
+  | Some p -> Effect_table.is_sort p
+  | None -> (
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_apply (f, _) -> (
+      match ident_path f with
+      | Some p -> Effect_table.is_sort p
+      | None -> false)
+    | _ -> false)
+
+let line_of e = e.Parsetree.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+(* ---------------- the pass ---------------- *)
+
+let run (u : Src_unit.t) =
+  let findings = ref [] in
+  let engine = in_engine u.u_path in
+  let add kind line = findings := { f_kind = kind; f_line = line } :: !findings in
+  let guarded = ref false in
+  let sorted = ref false in
+  let saving r v f =
+    let s = !r in
+    r := v;
+    f ();
+    r := s
+  in
+  let rec visit e =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ifthenelse (c, t, eo) when is_guard_cond c ->
+      visit c;
+      saving guarded true (fun () -> visit t);
+      Option.iter visit eo
+    | Parsetree.Pexp_fun (_, default, _, body) ->
+      Option.iter visit default;
+      (* a closure body is a new evaluation context: an enclosing sort
+         says nothing about folds performed inside it *)
+      saving sorted false (fun () -> visit body)
+    | Parsetree.Pexp_let (_, vbs, body) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          (match (vb.pvb_pat.Parsetree.ppat_desc, vb.pvb_expr) with
+           | Parsetree.Ppat_var _, bound when engine -> (
+             match bound.Parsetree.pexp_desc with
+             | Parsetree.Pexp_apply (f, _)
+               when (match ident_path f with
+                     | Some p -> Effect_table.is_emit p
+                     | None -> false) ->
+               add (Emit_feedback "emission result bound to a name")
+                 (line_of bound)
+             | _ -> ())
+           | _ -> ());
+          visit vb.pvb_expr)
+        vbs;
+      visit body
+    | Parsetree.Pexp_apply (f, args) -> visit_apply e f args
+    | _ -> Ast_iterator.default_iterator.expr deeper e
+  and deeper =
+    (* default traversal that re-enters [visit] on sub-expressions *)
+    { Ast_iterator.default_iterator with expr = (fun _ e -> visit e) }
+  and visit_apply e f args =
+    let fpath = ident_path f in
+    let arg_exprs = List.map snd args in
+    (* emission results must not feed other computations *)
+    if engine then
+      List.iter
+        (fun a ->
+          match a.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply (g, _)
+            when (match ident_path g with
+                  | Some p -> Effect_table.is_emit p
+                  | None -> false) ->
+            add (Emit_feedback "emission used as an argument") (line_of a)
+          | _ -> ())
+        arg_exprs;
+    match fpath with
+    | Some [ "|>" ] -> (
+      match arg_exprs with
+      | [ lhs; rhs ] when sortish rhs ->
+        visit rhs;
+        saving sorted true (fun () -> visit lhs)
+      | _ ->
+        visit f;
+        List.iter visit arg_exprs)
+    | Some [ "@@" ] -> (
+      match arg_exprs with
+      | [ lhs; rhs ] when sortish lhs ->
+        visit lhs;
+        saving sorted true (fun () -> visit rhs)
+      | _ ->
+        visit f;
+        List.iter visit arg_exprs)
+    | Some p when Effect_table.is_sort p ->
+      saving sorted true (fun () -> List.iter visit arg_exprs)
+    | Some p when Effect_table.is_hash_fold p ->
+      (match arg_exprs with
+       | fn :: _ when is_fun fn ->
+         if builds_list (fun_body fn) && not !sorted then
+           add (Unsorted_fold (Effect_table.dotted p)) (line_of e)
+       | _ -> ());
+      List.iter visit arg_exprs
+    | Some p when Effect_table.is_hash_iter p ->
+      (match arg_exprs with
+       | fn :: _ when is_fun fn ->
+         let body = fun_body fn in
+         if assigns body && builds_list body && not !sorted then
+           add (Unsorted_iter (Effect_table.dotted p)) (line_of e)
+       | _ -> ());
+      List.iter visit arg_exprs
+    | Some p when engine && Effect_table.is_emit p ->
+      if not !guarded then
+        add (Unguarded_emit (Effect_table.dotted p)) (line_of e);
+      List.iter visit arg_exprs
+    | Some p when engine && Effect_table.is_obs_read p ->
+      if not !guarded then add (Obs_read (Effect_table.dotted p)) (line_of e);
+      List.iter visit arg_exprs
+    | _ ->
+      visit f;
+      List.iter visit arg_exprs
+  in
+  let it =
+    { Ast_iterator.default_iterator with expr = (fun _ e -> visit e) }
+  in
+  it.structure it u.u_ast;
+  List.rev !findings

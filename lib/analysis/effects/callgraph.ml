@@ -1,0 +1,254 @@
+(* Per-module call graph over the parsed units, and the taint fixpoint
+   behind the forbidden-effect reachability pass.
+
+   Defs are the top-level value bindings of each file-module (nested
+   module values are flattened as "Sub.name").  References are collected
+   syntactically: every identifier mentioned in a def's body is either a
+   forbidden primitive (recorded as a direct effect use) or resolved,
+   best-effort, against the def table — "Corrective.run" resolves through
+   the file-module table, a bare "helper" resolves within its own module.
+   First-class uses (storing a function in a record) count as calls,
+   which errs on the conservative side.
+
+   Taint: a def is tainted by every effect kind it uses *unwaived*, and
+   by the taint of every callee whose call site is unwaived.  A waiver on
+   the primitive line declares the effect harmless at its source; a
+   waiver on a call line cuts the flow at that edge — the "scoped waiver
+   on the call site" of the zero-perturbation contract. *)
+
+type prim_use = {
+  p_kind : Effect_table.kind;
+  p_path : string;  (* "Sys.time" *)
+  p_line : int;
+  p_waived : bool;
+}
+
+type call = {
+  c_ref : string list;  (* raw identifier path as written *)
+  c_line : int;
+  c_waiver : Src_unit.waiver option;
+}
+
+type def = {
+  d_module : string;
+  d_name : string;
+  d_unit : Src_unit.t;
+  mutable d_prims : prim_use list;
+  mutable d_refs : (string list * int) list;
+  mutable d_calls : (def * call) list;
+  mutable d_taint : (Effect_table.kind * witness) list;
+}
+
+(* How the taint got there, for rendering a witness chain. *)
+and witness =
+  | W_prim of string * string * int  (* primitive path, file, line *)
+  | W_call of def * int              (* via this callee, called at line *)
+
+let qualified d = d.d_module ^ "." ^ d.d_name
+
+(* ---------------- collection ---------------- *)
+
+let collect_unit (u : Src_unit.t) =
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let find_or_add name =
+    match Hashtbl.find_opt defs name with
+    | Some d -> d
+    | None ->
+      let d =
+        { d_module = u.u_module; d_name = name; d_unit = u; d_prims = [];
+          d_refs = []; d_calls = []; d_taint = [] }
+      in
+      Hashtbl.add defs name d;
+      order := d :: !order;
+      d
+  in
+  let collect_expr d e =
+    let it =
+      { Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.Parsetree.pexp_desc with
+             | Parsetree.Pexp_ident { txt; loc } ->
+               let path = Longident.flatten txt in
+               let line = loc.Location.loc_start.Lexing.pos_lnum in
+               (match Effect_table.classify path with
+                | Some kind ->
+                  let w = Src_unit.waiver_for u ~line in
+                  Option.iter (fun w -> w.Src_unit.w_used <- true) w;
+                  d.d_prims <-
+                    { p_kind = kind; p_path = Effect_table.dotted path;
+                      p_line = line; p_waived = w <> None }
+                    :: d.d_prims
+                | None -> d.d_refs <- (path, line) :: d.d_refs)
+             | _ -> ());
+            Ast_iterator.default_iterator.expr it e) }
+    in
+    it.expr it e
+  in
+  let binding_name vb =
+    match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } -> Some txt
+    | _ -> None
+  in
+  let rec collect_structure prefix structure =
+    List.iter
+      (fun (si : Parsetree.structure_item) ->
+        match si.pstr_desc with
+        | Parsetree.Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let name =
+                match binding_name vb with
+                | Some n -> prefix ^ n
+                | None -> prefix ^ "(toplevel)"
+              in
+              collect_expr (find_or_add name) vb.Parsetree.pvb_expr)
+            vbs
+        | Parsetree.Pstr_eval (e, _) ->
+          collect_expr (find_or_add (prefix ^ "(toplevel)")) e
+        | Parsetree.Pstr_module mb -> collect_module prefix mb
+        | Parsetree.Pstr_recmodule mbs -> List.iter (collect_module prefix) mbs
+        | _ -> ())
+      structure
+  and collect_module prefix (mb : Parsetree.module_binding) =
+    let sub =
+      match mb.pmb_name.Location.txt with
+      | Some n -> prefix ^ n ^ "."
+      | None -> prefix
+    in
+    match mb.pmb_expr.Parsetree.pmod_desc with
+    | Parsetree.Pmod_structure s -> collect_structure sub s
+    | _ -> ()
+  in
+  collect_structure "" u.u_ast;
+  List.rev !order
+
+(* ---------------- resolution ---------------- *)
+
+type graph = {
+  g_defs : def list;
+  g_by_id : (string * string, def) Hashtbl.t;
+  g_modules : (string, unit) Hashtbl.t;
+}
+
+let build units =
+  let defs = List.concat_map collect_unit units in
+  let by_id = Hashtbl.create 256 in
+  let modules = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace modules d.d_module ();
+      if not (Hashtbl.mem by_id (d.d_module, d.d_name)) then
+        Hashtbl.add by_id (d.d_module, d.d_name) d)
+    defs;
+  let g = { g_defs = defs; g_by_id = by_id; g_modules = modules } in
+  (* Resolve raw references into call edges.  A path is looked up (a)
+     from the first component that names a known file-module, taking the
+     path's last component as the value ("Adp_exec.Ctx.emit" -> Ctx.emit);
+     (b) locally, joined on dots, so nested-module values resolve within
+     their own file. *)
+  let resolve d path =
+    match path with
+    | [] -> None
+    | [ name ] -> Hashtbl.find_opt by_id (d.d_module, name)
+    | _ -> (
+      let last = List.nth path (List.length path - 1) in
+      let rec from_module = function
+        | [] -> None
+        | m :: _ when Hashtbl.mem modules m ->
+          Hashtbl.find_opt by_id (m, last)
+        | _ :: rest -> from_module rest
+      in
+      match from_module path with
+      | Some d -> Some d
+      | None -> Hashtbl.find_opt by_id (d.d_module, String.concat "." path))
+  in
+  List.iter
+    (fun d ->
+      d.d_calls <-
+        List.filter_map
+          (fun (path, line) ->
+            match resolve d path with
+            | Some callee when callee != d ->
+              Some
+                ( callee,
+                  { c_ref = path; c_line = line;
+                    c_waiver = Src_unit.waiver_for d.d_unit ~line } )
+            | _ -> None)
+          (List.rev d.d_refs))
+    defs;
+  g
+
+(* ---------------- taint fixpoint ---------------- *)
+
+let propagate g =
+  List.iter
+    (fun d ->
+      d.d_taint <-
+        List.filter_map
+          (fun p ->
+            if p.p_waived then None
+            else
+              Some (p.p_kind, W_prim (p.p_path, d.d_unit.Src_unit.u_path,
+                                      p.p_line)))
+          d.d_prims)
+    g.g_defs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun d ->
+        List.iter
+          (fun (callee, c) ->
+            if c.c_waiver = None then
+              List.iter
+                (fun (k, _) ->
+                  if not (List.mem_assoc k d.d_taint) then begin
+                    d.d_taint <- (k, W_call (callee, c.c_line)) :: d.d_taint;
+                    changed := true
+                  end)
+                callee.d_taint)
+          d.d_calls)
+      g.g_defs
+  done;
+  (* An edge waiver did real work iff its callee is tainted. *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (callee, c) ->
+          match c.c_waiver with
+          | Some w when callee.d_taint <> [] -> w.Src_unit.w_used <- true
+          | _ -> ())
+        d.d_calls)
+    g.g_defs
+
+(* Render "f -> g -> Sys.time (file:line)" from the witness chain. *)
+let witness_chain d kind =
+  let buf = Buffer.create 64 in
+  let rec go d depth =
+    Buffer.add_string buf (qualified d);
+    if depth < 8 then
+      match List.assoc_opt kind d.d_taint with
+      | Some (W_call (callee, _)) ->
+        Buffer.add_string buf " -> ";
+        go callee (depth + 1)
+      | Some (W_prim (path, file, line)) ->
+        Buffer.add_string buf (Printf.sprintf " -> %s (%s:%d)" path file line)
+      | None -> ()
+  in
+  go d 0;
+  Buffer.contents buf
+
+(* Entry points: (module, Some value) for one function, (module, None)
+   for every top-level value of the module. *)
+let entry_defs g entries =
+  List.concat_map
+    (fun (m, v) ->
+      match v with
+      | Some v -> (
+        match Hashtbl.find_opt g.g_by_id (m, v) with
+        | Some d -> [ d ]
+        | None -> [])
+      | None -> List.filter (fun d -> d.d_module = m) g.g_defs)
+    entries

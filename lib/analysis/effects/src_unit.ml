@@ -1,0 +1,204 @@
+(* One parsed OCaml source file: the compiler-libs AST plus the comment
+   layer the parser drops.  The lint works on the AST — a banned
+   identifier inside a string literal or a comment is *not* a finding,
+   which is exactly what the old substring scanner got wrong — but the
+   waiver grammar lives in comments, so the raw text is re-scanned here
+   with a small lexer that makes the same string/comment distinctions
+   the real one does. *)
+
+type comment = {
+  c_text : string;
+  c_line : int;      (* line the comment opens on (1-based) *)
+  c_end_line : int;  (* line the comment closes on *)
+}
+
+(* A waiver is a comment carrying the [marker] string below, followed by
+   a colon and a reason.  It exempts findings on the lines the comment
+   spans and on the line directly below it (so it can sit at the end of
+   the offending line or alone on the line above).  The reason is
+   mandatory: a used waiver without one is itself an error, and a waiver
+   that exempts nothing is flagged as unused. *)
+type waiver = {
+  w_line : int;
+  w_end_line : int;
+  w_reason : string option;
+  mutable w_used : bool;
+}
+
+type t = {
+  u_path : string;
+  u_module : string;  (* "Corrective" for lib/core/corrective.ml *)
+  u_ast : Parsetree.structure;
+  u_comments : comment list;
+  u_waivers : waiver list;
+}
+
+let module_name path =
+  String.capitalize_ascii Filename.(remove_extension (basename path))
+
+(* ---------------- comment scanner ---------------- *)
+
+let scan_comments text =
+  let n = String.length text in
+  let comments = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some text.[!i + k] else None in
+  let advance () =
+    if text.[!i] = '\n' then incr line;
+    incr i
+  in
+  (* positioned at an opening '"' *)
+  let skip_escaped_string () =
+    advance ();
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      match text.[!i] with
+      | '\\' ->
+        advance ();
+        if !i < n then advance ()
+      | '"' ->
+        advance ();
+        fin := true
+      | _ -> advance ()
+    done
+  in
+  (* positioned at '{': skip {id|...|id} quoted strings *)
+  let skip_quoted_string () =
+    let j = ref (!i + 1) in
+    while
+      !j < n && (text.[!j] = '_' || (text.[!j] >= 'a' && text.[!j] <= 'z'))
+    do
+      incr j
+    done;
+    if !j < n && text.[!j] = '|' then begin
+      let id = String.sub text (!i + 1) (!j - !i - 1) in
+      let closer = "|" ^ id ^ "}" in
+      let m = String.length closer in
+      while !i <= !j do advance () done;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if !i + m <= n && String.sub text !i m = closer then begin
+          for _ = 1 to m do advance () done;
+          fin := true
+        end
+        else advance ()
+      done
+    end
+    else advance ()
+  in
+  (* positioned at the '(' of an opening "(*" *)
+  let read_comment () =
+    let start_line = !line in
+    let buf = Buffer.create 64 in
+    advance ();
+    advance ();
+    let depth = ref 1 in
+    while !depth > 0 && !i < n do
+      if !i + 1 < n && text.[!i] = '(' && text.[!i + 1] = '*' then begin
+        Buffer.add_string buf "(*";
+        advance ();
+        advance ();
+        incr depth
+      end
+      else if !i + 1 < n && text.[!i] = '*' && text.[!i + 1] = ')' then begin
+        decr depth;
+        if !depth > 0 then Buffer.add_string buf "*)";
+        advance ();
+        advance ()
+      end
+      else if text.[!i] = '"' then begin
+        (* comments track string literals, so "*)" inside one is text *)
+        let s0 = !i in
+        skip_escaped_string ();
+        Buffer.add_string buf (String.sub text s0 (!i - s0))
+      end
+      else begin
+        Buffer.add_char buf text.[!i];
+        advance ()
+      end
+    done;
+    comments :=
+      { c_text = Buffer.contents buf; c_line = start_line;
+        c_end_line = !line }
+      :: !comments
+  in
+  while !i < n do
+    match text.[!i] with
+    | '"' -> skip_escaped_string ()
+    | '{' -> skip_quoted_string ()
+    | '\'' -> (
+      (* distinguish char literals from type variables *)
+      match (peek 1, peek 2) with
+      | Some '\\', _ ->
+        advance ();
+        advance ();
+        let fin = ref false in
+        let guard = ref 0 in
+        while (not !fin) && !i < n && !guard < 5 do
+          if text.[!i] = '\'' then fin := true;
+          advance ();
+          incr guard
+        done
+      | Some _, Some '\'' ->
+        advance ();
+        advance ();
+        advance ()
+      | _ -> advance ())
+    | '(' when peek 1 = Some '*' -> read_comment ()
+    | _ -> advance ()
+  done;
+  List.rev !comments
+
+(* ---------------- waivers ---------------- *)
+
+let marker = "determinism-ok"
+
+let find_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let waiver_of_comment c =
+  match find_sub ~sub:marker c.c_text with
+  | None -> None
+  | Some off ->
+    let tail_off = off + String.length marker in
+    let rest =
+      String.trim
+        (String.sub c.c_text tail_off (String.length c.c_text - tail_off))
+    in
+    let reason =
+      if String.length rest > 0 && rest.[0] = ':' then
+        let r = String.trim (String.sub rest 1 (String.length rest - 1)) in
+        if r = "" then None else Some r
+      else None
+    in
+    Some { w_line = c.c_line; w_end_line = c.c_end_line; w_reason = reason;
+           w_used = false }
+
+(* The waiver covering [line], if any: its own lines plus the line
+   directly below the comment. *)
+let waiver_for u ~line =
+  List.find_opt
+    (fun w -> line >= w.w_line && line <= w.w_end_line + 1)
+    u.u_waivers
+
+(* ---------------- parsing ---------------- *)
+
+let parse ~path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast ->
+    let comments = scan_comments text in
+    Ok
+      { u_path = path; u_module = module_name path; u_ast = ast;
+        u_comments = comments;
+        u_waivers = List.filter_map waiver_of_comment comments }
+  | exception exn ->
+    let line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum in
+    Error (line, Printexc.to_string exn)

@@ -153,14 +153,17 @@ let check_cover ~relations ~phases combos =
             :: !dup)
       (all_combos ~relations ~phases);
     (* Whatever is left in [counts] covers relations or phases outside the
-       expected matrix. *)
-    Hashtbl.iter
-      (fun c _ ->
-        alien :=
-          Printf.sprintf "combination %s is outside the %d-phase matrix"
-            (combo_to_string c) phases
-          :: !alien)
-      counts;
+       expected matrix; report them in key order, not hash order. *)
+    let aliens =
+      Hashtbl.fold (fun c _ acc -> combo_to_string c :: acc) counts []
+      |> List.sort String.compare
+    in
+    alien :=
+      List.rev_map
+        (fun c ->
+          Printf.sprintf "combination %s is outside the %d-phase matrix" c
+            phases)
+        aliens;
     capped "stitch-missing-combo" "stitchup" (List.rev !missing)
     @ capped "stitch-duplicate-combo" "stitchup" (List.rev !dup)
     @ capped "stitch-uniform-combo" "stitchup" (List.rev !uniform)

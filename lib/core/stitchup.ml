@@ -104,11 +104,6 @@ let rec eval env ~is_root ~depth spec =
     let schema = Schema.concat l.schema r.schema in
     let lkey = Array.of_list (List.map (Schema.index l.schema) left_key) in
     let signature = Plan.signature_of spec in
-    if Sys.getenv_opt "ADP_DEBUG" <> None then
-      Printf.eprintf "stitch node %s: phases found %s\n%!" signature
-        (String.concat ","
-           (List.map string_of_int
-              (Registry.phases_with env.registry ~signature)));
     let rtabs, rmixed = build_side env sp r.schema ~key_cols:right_key r in
     (* Uniform combinations: reuse registered intermediates when possible;
        skip entirely at the root (exclusion list). *)

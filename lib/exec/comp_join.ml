@@ -303,27 +303,25 @@ let finish t =
   let cross ltbl rtbl =
     if Hash_table.length ltbl = 0 || Hash_table.length rtbl = 0 then []
     else begin
-      let acc = ref [] in
       let scan_left = Hash_table.length ltbl <= Hash_table.length rtbl in
       let scan, probe_tbl =
         if scan_left then ltbl, rtbl else rtbl, ltbl
       in
-      Hash_table.iter
-        (fun s ->
-          let k = Hash_table.key_of scan s in
-          let matches = Hash_table.probe probe_tbl k in
-          Ctx.charge_span t.ctx t.sp_stitch
-            (c.hash_probe
-            +. (c.per_match *. float_of_int (List.length matches)));
-          List.iter
-            (fun m ->
-              let out =
-                if scan_left then Tuple.concat s m else Tuple.concat m s
-              in
-              acc := out :: !acc)
-            matches)
-        scan;
-      !acc
+      (* Scan order is hash order; sorting the combination gives stitch-up
+         output a deterministic key order independent of insertion
+         history. *)
+      Hash_table.to_list scan
+      |> List.concat_map (fun s ->
+             let k = Hash_table.key_of scan s in
+             let matches = Hash_table.probe probe_tbl k in
+             Ctx.charge_span t.ctx t.sp_stitch
+               (c.hash_probe
+               +. (c.per_match *. float_of_int (List.length matches)));
+             List.map
+               (fun m ->
+                 if scan_left then Tuple.concat s m else Tuple.concat m s)
+               matches)
+      |> List.sort Tuple.compare
     end
   in
   let s1 = cross (Sym_join.left_table t.merge) (Sym_join.right_table t.hash) in

@@ -43,7 +43,8 @@ let create ?(costs = Cost_model.default) ?(trace = Trace.null) ?metrics
 let charge t c = Clock.charge t.clock c
 let now t = Clock.now t.clock
 let traced t = Trace.enabled t.trace
-let emit t ev = Trace.emit t.trace ~at:(Clock.now t.clock) ev
+let emit t ev =
+  if traced t then Trace.emit t.trace ~at:(Clock.now t.clock) ev
 
 let profiled t = Option.is_some t.profile
 

@@ -109,6 +109,7 @@ let save ~dir t =
 let latest ~dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then None
   else
+    (* determinism-ok: listing is sorted below before any choice is made *)
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".adpckpt")
     |> List.sort compare

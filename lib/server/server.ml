@@ -173,6 +173,7 @@ type ev =
 
 let ckpt_files dir =
   if Sys.file_exists dir && Sys.is_directory dir then
+    (* determinism-ok: listing is sorted below before any choice is made *)
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".adpckpt")
     |> List.sort String.compare
@@ -345,6 +346,8 @@ let run config resolver script =
     in
     match Corrective.run ~config:cc r.r_query r.r_catalog (r.r_sources ()) with
     | result, stats ->
+      (* determinism-ok: draining the job's own capture trace ([] when
+         tracing is off) into the reply, not back into execution *)
       job.j_pending <- Some (P_done (result, stats, Trace.events inner));
       schedule
         (params.a_t0
@@ -365,6 +368,8 @@ let run config resolver script =
       let beats = Float.of_int (int_of_float (death_off /. hb)) in
       let last_hb = params.a_t0 +. (beats *. hb) in
       job.j_pending <-
+        (* determinism-ok: draining the job's own capture trace into the
+           crash record, not back into execution *)
         Some (P_crashed { last_hb; msg; events = Trace.events inner });
       ignore death_at;
       schedule (last_hb +. config.heartbeat_timeout)
@@ -375,6 +380,8 @@ let run config resolver script =
           (P_error
              ( Printf.sprintf "%s: %s" where
                  (String.trim (Diagnostic.to_string diags)),
+               (* determinism-ok: draining the job's own capture trace into
+                  the error record, not back into execution *)
                Trace.events inner ));
       schedule params.a_t0 (E_complete (job.j_id, job.j_gen))
   in

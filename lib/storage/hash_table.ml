@@ -40,6 +40,7 @@ let probe t k =
 let iter f t = Ktbl.iter (fun _ cell -> List.iter f !cell) t.table
 
 let to_list t =
+  (* determinism-ok: multiset semantics — callers must not depend on order *)
   Ktbl.fold (fun _ cell acc -> List.rev_append !cell acc) t.table []
 
 let distinct_keys t = Ktbl.length t.table

@@ -379,24 +379,238 @@ let test_knobs () =
     (List.length (Diagnostic.errors bad) >= 6);
   Alcotest.(check (list string)) "all under one code" [ "bad-knob" ] (codes bad)
 
-let test_determinism_audit () =
-  Alcotest.(check bool) "flags Sys.time" true
-    (Determinism.audit_line "  let t0 = Sys.time () in" <> None);
-  Alcotest.(check bool) "flags global Random" true
-    (Determinism.audit_line "let x = Random.int 10" <> None);
-  Alcotest.(check bool) "marker exempts" true
-    (Determinism.audit_line "let t = Sys.time () (* determinism-ok *)" = None);
-  Alcotest.(check bool) "seeded Random.State is fine" true
-    (Determinism.audit_line "let x = Random.State.int st 10" = None);
-  let ds =
-    Determinism.audit_source ~path:"x.ml"
-      "let a = 1\nlet t = Unix.gettimeofday ()\n"
+(* ---------------- effect & determinism lint ----------------------- *)
+
+module Lint = Adp_lint.Lint
+module Src_unit = Adp_lint.Src_unit
+
+let unit_of ~path src =
+  match Src_unit.parse ~path src with
+  | Ok u -> u
+  | Error (line, msg) ->
+    Alcotest.fail (Printf.sprintf "fixture %s:%d did not parse: %s" path line msg)
+
+let has_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let lint ?entries ~path src = Lint.analyze ?entries [ unit_of ~path src ]
+let lint_codes ?entries ~path src = Diagnostic.codes (lint ?entries ~path src)
+
+let test_lint_forbidden_effect () =
+  Alcotest.(check (list string)) "wall clock flagged"
+    [ "lint-forbidden-effect" ]
+    (lint_codes ~path:"lib/x.ml" "let f () = Sys.time ()\n");
+  Alcotest.(check (list string)) "unseeded randomness flagged"
+    [ "lint-forbidden-effect" ]
+    (lint_codes ~path:"lib/x.ml" "let f () = Random.int 10\n");
+  Alcotest.(check (list string)) "seeded Random.State is fine" []
+    (lint_codes ~path:"lib/x.ml" "let f st = Random.State.int st 10\n");
+  Alcotest.(check (list string)) "reasoned waiver exempts" []
+    (lint_codes ~path:"lib/x.ml"
+       "let f () = Sys.time () (* determinism-ok: harness timing *)\n");
+  (match lint ~path:"lib/x.ml" "let a = 1\nlet t = Unix.gettimeofday ()\n" with
+   | [ d ] ->
+     Alcotest.(check string) "code" "lint-forbidden-effect" d.Diagnostic.code;
+     Alcotest.(check string) "path" "lib/x.ml" d.Diagnostic.path;
+     Alcotest.(check bool) "message carries the line" true
+       (has_sub ~sub:"line 2" d.Diagnostic.message)
+   | ds -> Alcotest.fail (Diagnostic.to_string ds))
+
+(* The old substring scanner flagged banned names inside strings and
+   comments; the AST-based lint must not. *)
+let test_lint_string_comment_immune () =
+  Alcotest.(check (list string)) "strings and comments are not uses" []
+    (lint_codes ~path:"lib/x.ml"
+       "(* calls Sys.time and Random.int, honest *)\n\
+        let doc = \"Sys.time () and Unix.gettimeofday ()\"\n\
+        let f x = x + String.length doc\n")
+
+let test_lint_waiver_audit () =
+  Alcotest.(check (list string)) "used waiver without reason is an error"
+    [ "lint-waiver-reason" ]
+    (lint_codes ~path:"lib/x.ml"
+       "let f () = Sys.time () (* determinism-ok *)\n");
+  Alcotest.(check (list string)) "unused waiver is flagged"
+    [ "lint-unused-waiver" ]
+    (lint_codes ~path:"lib/x.ml"
+       "(* determinism-ok: nothing here needs this *)\nlet f x = x + 1\n")
+
+let test_lint_reachability () =
+  let helper =
+    unit_of ~path:"lib/core/helper.ml"
+      "let go () = Sys.getenv_opt \"ADP_X\"\n"
   in
+  let entries = [ ("Eng", Some "run") ] in
+  let eng src = unit_of ~path:"lib/core/eng.ml" src in
+  let ds =
+    Lint.analyze ~entries [ eng "let run () = Helper.go ()\n"; helper ]
+  in
+  Alcotest.(check (list string)) "ambient read reachable from entry"
+    [ "lint-effect-reachable" ] (Diagnostic.codes ds);
   (match ds with
    | [ d ] ->
-     Alcotest.(check string) "code" "wall-clock" d.Diagnostic.code;
-     Alcotest.(check string) "file:line" "x.ml:2" d.Diagnostic.path
-   | _ -> Alcotest.fail "expected exactly one diagnostic")
+     Alcotest.(check bool) "witness names the chain" true
+       (has_sub ~sub:"Eng.run -> Helper.go -> Sys.getenv_opt" d.Diagnostic.message)
+   | _ -> Alcotest.fail "expected one diagnostic");
+  let waived =
+    Lint.analyze ~entries
+      [ eng
+          "let run () =\n\
+           \  (* determinism-ok: config read once at startup *)\n\
+           \  Helper.go ()\n";
+        unit_of ~path:"lib/core/helper.ml"
+          "let go () = Sys.getenv_opt \"ADP_X\"\n" ]
+  in
+  Alcotest.(check (list string)) "call-site waiver cuts the edge" []
+    (Diagnostic.codes waived)
+
+let test_lint_hash_order () =
+  Alcotest.(check (list string)) "fold into a list, unsorted"
+    [ "lint-unsorted-hash-fold" ]
+    (lint_codes ~path:"lib/x.ml"
+       "let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n");
+  Alcotest.(check (list string)) "fold piped into a sort is fine" []
+    (lint_codes ~path:"lib/x.ml"
+       "let keys h =\n\
+        \  Hashtbl.fold (fun k _ acc -> k :: acc) h []\n\
+        \  |> List.sort compare\n");
+  Alcotest.(check (list string)) "order-insensitive fold is fine" []
+    (lint_codes ~path:"lib/x.ml"
+       "let total h = Hashtbl.fold (fun _ v acc -> acc + v) h 0\n");
+  Alcotest.(check (list string)) "iter accumulating into a ref"
+    [ "lint-unsorted-hash-iter" ]
+    (lint_codes ~path:"lib/x.ml"
+       "let keys h =\n\
+        \  let acc = ref [] in\n\
+        \  Hashtbl.iter (fun k _ -> acc := k :: !acc) h;\n\
+        \  !acc\n")
+
+let test_lint_purity () =
+  let engine = "lib/exec/x.ml" in
+  Alcotest.(check (list string)) "unguarded emit in engine code"
+    [ "lint-unguarded-emit" ]
+    (lint_codes ~path:engine "let f t ev = Trace.emit t ev\n");
+  Alcotest.(check (list string)) "guarded emit is fine" []
+    (lint_codes ~path:engine
+       "let f t ev = if Ctx.traced t then Trace.emit t ev\n");
+  Alcotest.(check (list string)) "same code outside the engine is fine" []
+    (lint_codes ~path:"bench/x.ml" "let f t ev = Trace.emit t ev\n");
+  Alcotest.(check (list string)) "unguarded observability read"
+    [ "lint-obs-read" ]
+    (lint_codes ~path:engine "let n t = Trace.events t\n");
+  Alcotest.(check (list string)) "guarded observability read is fine" []
+    (lint_codes ~path:engine
+       "let n t = if Trace.enabled t then Trace.events t else []\n");
+  Alcotest.(check bool) "emission feeding a computation" true
+    (List.mem "lint-emit-feedback"
+       (lint_codes ~path:engine
+          "let f t g ev = g (Trace.emit t ev)\n"));
+  Alcotest.(check bool) "emission bound to a name" true
+    (List.mem "lint-emit-feedback"
+       (lint_codes ~path:engine
+          "let f t ev = let x = Trace.emit t ev in x\n"))
+
+(* Seeded mutations of real engine sources: each must be caught with its
+   stable code.  The sources are read from the repo tree when it is
+   visible from the test's working directory. *)
+let repo_root () =
+  let rec climb best dir =
+    let best =
+      if
+        Sys.file_exists (Filename.concat dir "dune-project")
+        && Sys.file_exists (Filename.concat dir "lib")
+      then Some dir
+      else best
+    in
+    let parent = Filename.dirname dir in
+    if parent = dir then best else climb best parent
+  in
+  climb None (Sys.getcwd ())
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let replace ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  let hit = ref false in
+  while !i < n do
+    if (not !hit) && !i + m <= n && String.sub s !i m = sub then begin
+      Buffer.add_string buf by;
+      hit := true;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  if not !hit then Alcotest.fail ("mutation anchor not found: " ^ sub);
+  Buffer.contents buf
+
+let test_lint_catches_seeded_mutations () =
+  match repo_root () with
+  | None -> ()
+  | Some root ->
+    let path rel = Filename.concat root rel in
+    let ctx = read_file (path "lib/exec/ctx.ml") in
+    let unguarded =
+      replace ~sub:"if traced t then Trace.emit" ~by:"Trace.emit" ctx
+    in
+    Alcotest.(check bool) "dropped traced guard caught" true
+      (List.mem "lint-unguarded-emit"
+         (lint_codes ~path:"lib/exec/ctx.ml" unguarded));
+    let jittered =
+      replace ~sub:"let traced t"
+        ~by:"let jitter () = Random.int 3\nlet traced t" ctx
+    in
+    Alcotest.(check bool) "inserted unseeded randomness caught" true
+      (List.mem "lint-forbidden-effect"
+         (lint_codes ~path:"lib/exec/ctx.ml" jittered));
+    let matrix = read_file (path "lib/analysis/stitch_matrix.ml") in
+    let unsorted =
+      replace ~sub:"|> List.sort String.compare" ~by:"" matrix
+    in
+    Alcotest.(check bool) "deleted sort after fold caught" true
+      (List.mem "lint-unsorted-hash-fold"
+         (lint_codes ~path:"lib/analysis/stitch_matrix.ml" unsorted))
+
+(* Property: the shipped tree lints clean — zero errors, zero warnings.
+   This is the committed baseline the CI gate enforces. *)
+let test_lint_tree_clean () =
+  match repo_root () with
+  | None -> ()
+  | Some root ->
+    let paths =
+      List.filter Sys.file_exists
+        (List.map (Filename.concat root) Lint.default_paths)
+    in
+    let r = Lint.run paths in
+    Alcotest.(check (list string)) "shipped tree lints clean" []
+      (List.map
+         (fun (d : Diagnostic.t) -> d.code ^ " " ^ d.path ^ " " ^ d.message)
+         r.Lint.r_diags)
+
+let test_lint_json_report () =
+  let u = unit_of ~path:"lib/x.ml" "let f () = Sys.time ()\n" in
+  let r = { Lint.r_files = 1; r_diags = Lint.analyze [ u ] } in
+  let json = Adp_obs.Json.to_string (Lint.report_json r) in
+  match Adp_obs.Json.parse json with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+    let num field =
+      Option.bind (Adp_obs.Json.member field j) Adp_obs.Json.get_int
+    in
+    Alcotest.(check (option int)) "schema" (Some 1) (num "schema");
+    Alcotest.(check (option int)) "errors" (Some 1) (num "errors");
+    Alcotest.(check (option int)) "warnings" (Some 0) (num "warnings");
+    Alcotest.(check int) "report vs itself as baseline: no regressions" 0
+      (List.length (Lint.diags_not_in_baseline r j));
+    Alcotest.(check int) "report vs empty baseline: all diagnostics new" 1
+      (List.length
+         (Lint.diags_not_in_baseline r (Adp_obs.Json.Obj [])))
 
 (* ---------------- property: optimizer output is always clean ------- *)
 
@@ -515,7 +729,22 @@ let suite =
     Alcotest.test_case "stitch tree checks" `Quick test_stitch_tree_checks;
     Alcotest.test_case "oversized matrix warns" `Quick test_matrix_too_large;
     Alcotest.test_case "knob ranges" `Quick test_knobs;
-    Alcotest.test_case "determinism audit" `Quick test_determinism_audit;
+    Alcotest.test_case "lint: forbidden effects" `Quick
+      test_lint_forbidden_effect;
+    Alcotest.test_case "lint: strings and comments immune" `Quick
+      test_lint_string_comment_immune;
+    Alcotest.test_case "lint: waiver audit" `Quick test_lint_waiver_audit;
+    Alcotest.test_case "lint: entry-point reachability" `Quick
+      test_lint_reachability;
+    Alcotest.test_case "lint: hash-order sensitivity" `Quick
+      test_lint_hash_order;
+    Alcotest.test_case "lint: perturbation purity" `Quick test_lint_purity;
+    Alcotest.test_case "lint: catches seeded mutations" `Quick
+      test_lint_catches_seeded_mutations;
+    Alcotest.test_case "lint: shipped tree is clean" `Quick
+      test_lint_tree_clean;
+    Alcotest.test_case "lint: JSON report and baseline" `Quick
+      test_lint_json_report;
     qtest prop_enumerated_plans_clean;
     Alcotest.test_case "corrective rejects bad initial plan" `Quick
       test_corrective_rejects_bad_initial_plan;
