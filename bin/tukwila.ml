@@ -364,6 +364,69 @@ let crash_arg =
   Arg.(value & opt_all (conv (parse, print)) []
        & info [ "crash-after"; "crash" ] ~docv:"POINT" ~doc)
 
+(* ---------------- resource governance ---------------- *)
+
+let breaker_arg =
+  let doc =
+    "Give every source a circuit breaker: $(b,--breaker-threshold) \
+     connection failures within $(b,--breaker-window) trip it open — \
+     retries stop burning the retry budget and the re-optimizer treats \
+     the source as stalled, steering joins toward the healthy sources \
+     and mirrors.  After $(b,--breaker-cooldown) (with seeded jitter) a \
+     single half-open probe is admitted; a successful probe, or live \
+     data, closes the breaker."
+  in
+  let enabled = Arg.(value & flag & info [ "breaker" ] ~doc) in
+  let doc = "Breaker sliding failure window, virtual seconds." in
+  let window =
+    Arg.(value & opt float Breaker.default_policy.Breaker.window_s
+         & info [ "breaker-window" ] ~docv:"S" ~doc)
+  in
+  let doc = "Connection failures within the window that trip the breaker." in
+  let threshold =
+    Arg.(value & opt int Breaker.default_policy.Breaker.failure_threshold
+         & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+  in
+  let doc = "Cooldown before a half-open probe, virtual seconds." in
+  let cooldown =
+    Arg.(value & opt float Breaker.default_policy.Breaker.cooldown_s
+         & info [ "breaker-cooldown" ] ~docv:"S" ~doc)
+  in
+  let combine enabled window_s failure_threshold cooldown_s =
+    if enabled then
+      Some
+        { Breaker.default_policy with
+          Breaker.window_s; failure_threshold; cooldown_s }
+    else None
+  in
+  Term.(const combine $ enabled $ window $ threshold $ cooldown)
+
+let deadline_arg =
+  let doc =
+    "Deadline for the whole query, virtual seconds.  At every \
+     re-optimizer poll the running plan's cost-to-go is compared against \
+     the remaining budget; once the deadline cannot be met (or has \
+     passed) the run degrades deliberately — the phase closes early, \
+     stitch-up assembles what arrived, and the partial answer is \
+     reported as DEGRADED (deadline) with its coverage."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+
+let mem_budget_arg =
+  let doc =
+    "Soft memory budget in resident tuples: past it, join state pages \
+     out most-complex-first and its probes pay the I/O penalty."
+  in
+  Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"N" ~doc)
+
+let mem_ceiling_arg =
+  let doc =
+    "Hard memory ceiling in resident tuples, counting join state \
+     $(i,plus) pre-aggregation windows.  Past it the run degrades to a \
+     partial answer (DEGRADED (memory))."
+  in
+  Arg.(value & opt (some int) None & info [ "mem-ceiling" ] ~docv:"N" ~doc)
+
 (* ---------------- observability ---------------- *)
 
 let trace_arg =
@@ -389,7 +452,8 @@ let metrics_arg =
 
 let query_cmd =
   let run sql scale skew seed cards strategy preagg model faults mirrors
-      retry limit ckpt_dir ckpt_every resume crash trace_file metrics_file =
+      retry limit ckpt_dir ckpt_every resume crash trace_file metrics_file
+      deadline_s memory_budget memory_ceiling breaker =
     let ds = dataset scale skew seed in
     let q, order = parse_query_with_order sql in
     let catalog = Workload.catalog ~with_cardinalities:cards ds q in
@@ -443,14 +507,22 @@ let query_cmd =
           exit 2)
       | Some path -> Some path
     in
+    let deadline = Option.map (fun s -> s *. 1e6) deadline_s in
     let recovery_cfg c =
-      { c with Corrective.checkpoint; resume_from; crash }
+      { c with
+        Corrective.checkpoint; resume_from; crash; deadline; memory_budget;
+        memory_ceiling; breaker }
+    in
+    let governed =
+      deadline <> None || memory_budget <> None || memory_ceiling <> None
+      || breaker <> None
     in
     let strategy =
       match strategy with
       | `Static ->
-        if checkpoint = None && resume_from = None && crash = [] then
-          Strategy.Static
+        if checkpoint = None && resume_from = None && crash = []
+           && not governed
+        then Strategy.Static
         else
           (* Static is corrective that never switches on its own; recovery
              can still force a phase switch across a crash. *)
@@ -472,7 +544,12 @@ let query_cmd =
      | _ ->
        if checkpoint <> None || resume_from <> None || crash <> [] then
          Printf.eprintf
-           "warning: checkpointing applies only to static/corrective runs\n%!");
+           "warning: checkpointing applies only to static/corrective runs\n%!";
+       if governed then
+         Printf.eprintf
+           "warning: resource governance (--deadline/--mem-budget/\
+            --mem-ceiling/--breaker) applies only to static/corrective \
+            runs\n%!");
     let trace =
       match trace_file with
       | None -> None
@@ -542,7 +619,8 @@ let query_cmd =
     Term.(const run $ sql_arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
           $ strategy_arg $ preagg_arg $ model_arg $ fault_arg $ mirror_arg
           $ retry_arg $ limit_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-          $ resume_arg $ crash_arg $ trace_arg $ metrics_arg)
+          $ resume_arg $ crash_arg $ trace_arg $ metrics_arg $ deadline_arg
+          $ mem_budget_arg $ mem_ceiling_arg $ breaker_arg)
 
 (* ---------------- check ---------------- *)
 
@@ -889,6 +967,38 @@ let serve_cmd =
                tuples (0 = phase boundaries only)." in
     Arg.(value & opt int 500 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
   in
+  let class_arg =
+    let parse s =
+      match String.index_opt s '=' with
+      | Some i -> (
+        let name = String.sub s 0 i in
+        let quota = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt quota with
+        | Some q when name <> "" -> Ok (name, q)
+        | _ -> Error (`Msg "expected NAME=QUOTA with an integer quota"))
+      | None -> Error (`Msg "expected NAME=QUOTA")
+    in
+    let print fmt (n, q) = Format.fprintf fmt "%s=%d" n q in
+    let doc =
+      "Declare admission priority class $(i,NAME) with at most \
+       $(i,QUOTA) waiting queries (beyond it, submissions under the \
+       class are rejected with $(b,class-quota:NAME) even when the \
+       global queue has room).  Repeatable; order is priority — earlier \
+       classes dispatch first, unclassified work last.  Submitting \
+       under an undeclared class is rejected ($(b,unknown-class:NAME))."
+    in
+    Arg.(value & opt_all (conv (parse, print)) []
+         & info [ "class" ] ~docv:"NAME=QUOTA" ~doc)
+  in
+  let serve_mem_arg =
+    let doc =
+      "Global memory budget in resident tuples, partitioned evenly \
+       across the pool: every worker run pages its join state under \
+       $(i,N)/workers."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "memory-budget" ] ~docv:"N" ~doc)
+  in
   let report_arg =
     let doc = "Write the JSON server report to $(i,FILE) (render it later \
                with $(b,tukwila server-report))." in
@@ -905,7 +1015,7 @@ let serve_cmd =
   let run script_path scale skew seed cards workers queue_cap poll_min
       poll_max poll_backoff poll_speedup poll_window hb_interval hb_timeout
       max_retries retry_backoff ckpt_dir ckpt_every trace_file metrics_file
-      report_file results_dir =
+      report_file results_dir classes memory_budget breaker faults =
     let script =
       match Server_script.parse_file script_path with
       | Ok s -> s
@@ -930,8 +1040,9 @@ let serve_cmd =
       | Some _ -> Some (Adp_obs.Metrics.create ())
       | None -> None
     in
+    let base = Server.default_config ~checkpoint_dir:ckpt_dir in
     let config =
-      { (Server.default_config ~checkpoint_dir:ckpt_dir) with
+      { base with
         Server.workers; queue_capacity = queue_cap;
         poll =
           { Poll_controller.min_interval = poll_min *. 1e6;
@@ -940,7 +1051,26 @@ let serve_cmd =
         heartbeat_interval = hb_interval *. 1e6;
         heartbeat_timeout = hb_timeout *. 1e6; max_retries;
         retry_backoff = retry_backoff *. 1e6; checkpoint_every = ckpt_every;
+        class_quotas = classes; memory_budget;
+        corrective = { base.Server.corrective with Corrective.breaker };
         trace; metrics }
+    in
+    let resolver spec =
+      let r = Server.tpch_resolver ~with_cardinalities:cards ds spec in
+      if faults = [] then r
+      else
+        { r with
+          Server.r_sources =
+            (fun () ->
+              let srcs = r.Server.r_sources () in
+              List.iter
+                (fun src ->
+                  List.iter
+                    (fun (n, f) ->
+                      if n = Source.name src then Source.inject src f)
+                    faults)
+                srcs;
+              srcs) }
     in
     let finish () =
       Adp_obs.Trace.close trace;
@@ -955,11 +1085,7 @@ let serve_cmd =
       | _ -> ()
     in
     let report =
-      match
-        Server.run config
-          (Server.tpch_resolver ~with_cardinalities:cards ds)
-          script
-      with
+      match Server.run config resolver script with
       | r ->
         finish ();
         r
@@ -1012,7 +1138,8 @@ let serve_cmd =
           $ poll_window_arg $ hb_interval_arg $ hb_timeout_arg
           $ max_retries_arg $ retry_backoff_arg $ serve_ckpt_dir_arg
           $ serve_ckpt_every_arg $ trace_arg $ metrics_arg $ report_arg
-          $ results_arg)
+          $ results_arg $ class_arg $ serve_mem_arg $ breaker_arg
+          $ fault_arg)
 
 let server_report_cmd =
   let run path =

@@ -428,6 +428,61 @@ let check_knobs ~poll_interval ~switch_threshold ~max_phases ~min_leaf_seen
     bad "retry.jitter" "jitter must lie in [0, 1), got %g" retry.jitter;
   !ds
 
+let check_governance ~deadline ~memory_budget ~memory_ceiling
+    ~(breaker : Breaker.policy option) =
+  let ds = ref [] in
+  let bad code path fmt =
+    Printf.ksprintf
+      (fun message -> ds := !ds @ [ Diagnostic.error ~code ~path message ])
+      fmt
+  in
+  (match deadline with
+   | Some d when not (d > 0.) ->
+     bad "gov-bad-deadline" "deadline"
+       "deadline must be a positive virtual-µs budget, got %g" d
+   | Some _ | None -> ());
+  (match memory_budget with
+   | Some b when b <= 0 ->
+     bad "gov-bad-budget" "memory_budget"
+       "memory budget must be a positive tuple count, got %d" b
+   | Some _ | None -> ());
+  (match memory_ceiling with
+   | Some c when c <= 0 ->
+     bad "gov-bad-ceiling" "memory_ceiling"
+       "memory ceiling must be a positive tuple count, got %d" c
+   | Some _ | None -> ());
+  (match memory_budget, memory_ceiling with
+   | Some b, Some c when b > 0 && c > 0 && c < b ->
+     bad "gov-ceiling-below-budget" "memory_ceiling"
+       "hard ceiling %d is below the soft paging budget %d, so the query \
+        would degrade before paging ever triggers"
+       c b
+   | _ -> ());
+  (match breaker with
+   | None -> ()
+   | Some p ->
+     if not (p.window_s > 0.) then
+       bad "gov-bad-breaker" "breaker.window_s"
+         "failure window must be positive, got %g" p.window_s;
+     if p.failure_threshold < 1 then
+       bad "gov-bad-breaker" "breaker.failure_threshold"
+         "at least one failure must be required to trip, got %d"
+         p.failure_threshold;
+     if not (p.cooldown_s > 0.) then
+       bad "gov-bad-breaker" "breaker.cooldown_s"
+         "cooldown must be positive, got %g" p.cooldown_s;
+     if p.window_s > 0. && p.cooldown_s > 0. && p.window_s < p.cooldown_s
+     then
+       bad "gov-breaker-window" "breaker.window_s"
+         "failure window %g s is shorter than the probe cooldown %g s: \
+          recorded failures expire before the breaker can re-trip, so it \
+          flaps instead of holding open"
+         p.window_s p.cooldown_s;
+     if not (p.probe_jitter >= 0. && p.probe_jitter < 1.) then
+       bad "gov-bad-breaker" "breaker.probe_jitter"
+         "probe jitter must lie in [0, 1), got %g" p.probe_jitter);
+  !ds
+
 (* ------------------------------------------------------------------ *)
 (* Umbrella                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -103,6 +103,21 @@ val check_knobs :
   min_leaf_seen:int -> min_remaining_fraction:float -> retry:Retry.policy ->
   Diagnostic.t list
 
+(** Range-check the resource-governance knobs.  Invalid values are
+    structured diagnostics, never silently clamped.  Codes:
+    ["gov-bad-deadline"] (deadline must be a positive budget),
+    ["gov-bad-budget"] / ["gov-bad-ceiling"] (tuple caps must be
+    positive), ["gov-ceiling-below-budget"] (hard ceiling below the soft
+    paging budget would degrade before paging triggers),
+    ["gov-bad-breaker"] (window/cooldown positive, threshold ≥ 1, jitter
+    in [0, 1)), and ["gov-breaker-window"] (a failure window shorter than
+    the probe cooldown makes the breaker flap — failures expire before it
+    can re-trip). *)
+val check_governance :
+  deadline:float option -> memory_budget:int option ->
+  memory_ceiling:int option -> breaker:Breaker.policy option ->
+  Diagnostic.t list
+
 (** {2 Umbrella} *)
 
 (** The full pre-execution work-up used by [tukwila check] and the

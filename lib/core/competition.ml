@@ -58,7 +58,8 @@ let run ?(costs = Cost_model.default) ?(candidates = 3)
           ()
       with
       | Driver.Exhausted -> comp.exhausted <- true
-      | Driver.Switched -> ())
+      | Driver.Switched -> ()
+      | Driver.Stopped -> assert false)
     comps;
   let explore_time = Ctx.now ctx in
   (* Keep the plan that progressed furthest (finishing counts as furthest). *)
@@ -76,7 +77,7 @@ let run ?(costs = Cost_model.default) ?(candidates = 3)
        Driver.run ctx ~sources:winner.sources ~consume:(consume winner) ()
      with
      | Driver.Exhausted -> ()
-     | Driver.Switched -> assert false)
+     | Driver.Switched | Driver.Stopped -> assert false)
   end;
   Sink.feed winner.sink ~from:(Plan.schema winner.plan) (Plan.flush winner.plan);
   let result = Sink.result winner.sink in

@@ -23,6 +23,9 @@ type config = {
   min_remaining_fraction : float;
   use_histograms : bool;
   retry : Retry.policy;
+  deadline : float option;
+  memory_ceiling : int option;
+  breaker : Breaker.policy option;
   checkpoint : Checkpoint.policy option;
   resume_from : string option;
   crash : Crash.point list;
@@ -39,7 +42,8 @@ let default_config =
     costs = Cost_model.default; reuse_intermediates = true;
     initial_plan = None; memory_budget = None;
     min_remaining_fraction = 0.25; use_histograms = false;
-    retry = Retry.default_policy; checkpoint = None; resume_from = None;
+    retry = Retry.default_policy; deadline = None; memory_ceiling = None;
+    breaker = None; checkpoint = None; resume_from = None;
     crash = []; trace = Trace.null; metrics = None; profile = None;
     calibrate = None; stats_seed = None }
 
@@ -67,6 +71,8 @@ type stats = {
   checkpoints : int;
   paged_out : int;
   resumed_phases : int;
+  degraded_reason : string option;
+  breaker_trips : int;
   learned : Adp_stats.Selectivity.dump;
 }
 
@@ -477,7 +483,21 @@ let run ?(config = default_config) query catalog sources =
        ~switch_threshold:cfg.switch_threshold ~max_phases:cfg.max_phases
        ~min_leaf_seen:cfg.min_leaf_seen
        ~min_remaining_fraction:cfg.min_remaining_fraction ~retry:cfg.retry
+    @ Analyzer.check_governance ~deadline:cfg.deadline
+        ~memory_budget:cfg.memory_budget ~memory_ceiling:cfg.memory_ceiling
+        ~breaker:cfg.breaker
     @ Analyzer.check_query ~lookup query);
+  (* Circuit breakers persist across phases — unlike retry controllers,
+     which every [Driver.run] call recreates — so a source that trips in
+     phase 1 is still remembered open in phase 2. *)
+  let breakers =
+    Option.map
+      (fun policy ->
+        Array.of_list
+          (List.mapi (fun i _ -> Breaker.create ~salt:i policy) sources))
+      cfg.breaker
+  in
+  let degraded = ref None in
   let fp = Checkpoint.fingerprint query in
   (* Recovery (tentpole): load the checkpoint, validate it against this
      query and these sources, and absorb its observed statistics so the
@@ -695,6 +715,56 @@ let run ?(config = default_config) query catalog sources =
      | Some _ | None -> ());
     Crash.tuple_consumed crash ~total:(tuples_read ())
   in
+  let source_coverage () =
+    let delivered, total =
+      List.fold_left
+        (fun (d, t) src ->
+          d + Source.consumed src, t + Source.cardinality src)
+        (0, 0) sources
+    in
+    if total = 0 then 1.0 else float_of_int delivered /. float_of_int total
+  in
+  (* Graceful degradation: record why, count it, and answer [`Stop] so the
+     driver ends the phase — stitch-up then assembles what arrived and the
+     report carries the reason, instead of the run timing out with
+     nothing. *)
+  let degrade ph reason =
+    if !degraded = None then begin
+      degraded := Some reason;
+      Metrics.incr ctx.Ctx.degraded;
+      if Ctx.traced ctx then
+        Ctx.emit ctx
+          (Trace.Query_degraded
+             { reason; phase = ph.Phase.id; coverage = source_coverage () })
+    end;
+    `Stop
+  in
+  let breaker_open i =
+    match breakers with
+    | Some bks -> Breaker.state bks.(i) = Breaker.Open
+    | None -> false
+  in
+  (* The optimizer's view of source properties: a source whose breaker is
+     open is planned as if it had no more data — its observed cardinality
+     becomes final — so the re-optimizer reorders joins away from it (and
+     [remaining_fraction] stops expecting its missing tuples).  The
+     override lives in a transient copy: if the breaker later closes and
+     tuples flow again, the real registry was never poisoned. *)
+  let planning_sels () =
+    match breakers with
+    | Some bks
+      when Array.exists (fun b -> Breaker.state b = Breaker.Open) bks ->
+      let s = Adp_stats.Selectivity.create () in
+      Adp_stats.Selectivity.absorb s (Adp_stats.Selectivity.dump sels);
+      List.iteri
+        (fun i src ->
+          if breaker_open i then
+            Adp_stats.Selectivity.observe_final_cardinality s
+              ~relation:(Source.name src) ~total:(Source.consumed src))
+        sources;
+      s
+    | Some _ | None -> sels
+  in
   let poll () =
     let ph = !current in
     if cfg.use_histograms then
@@ -716,15 +786,44 @@ let run ?(config = default_config) query catalog sources =
        end
      | None -> ());
     update_observations cfg query catalog sels sources order_detectors ph.Phase.plan;
+    let now = Ctx.now ctx in
+    (* Governance first: a crossed hard ceiling or an already-passed
+       deadline degrades before any re-optimization work is priced. *)
+    let over_ceiling =
+      match cfg.memory_ceiling with
+      | Some ceiling ->
+        let in_use = Plan.memory_footprint ph.Phase.plan in
+        if in_use > ceiling && !degraded = None && Ctx.traced ctx then
+          Ctx.emit ctx (Trace.Budget_exhausted { in_use; ceiling });
+        in_use > ceiling
+      | None -> false
+    in
+    let past_deadline =
+      (not over_ceiling)
+      && (match cfg.deadline with
+          | Some dl when now >= dl ->
+            if !degraded = None && Ctx.traced ctx then
+              Ctx.emit ctx
+                (Trace.Deadline_exceeded
+                   { deadline_s = dl /. 1e6; now_s = now /. 1e6;
+                     est_finish_s = now /. 1e6 });
+            true
+          | Some _ | None -> false)
+    in
+    if over_ceiling then degrade ph "memory"
+    else if past_deadline then degrade ph "deadline"
+    else begin
     (* §4.3: factor in work already performed — late in the input there
        is not enough left for a better plan to amortize the stitch-up. *)
     let remaining_fraction =
       let read, expected =
         List.fold_left
-          (fun (r, e) src ->
+          (fun (r, e) (i, src) ->
             let name = Source.name src in
             let total =
-              if Source.finished src then
+              (* An open breaker is a source property: plan as if no more
+                 data is coming from it. *)
+              if Source.finished src || breaker_open i then
                 float_of_int (Source.consumed src)
               else
                 max
@@ -732,7 +831,8 @@ let run ?(config = default_config) query catalog sources =
                   (2.0 *. float_of_int (Source.consumed src))
             in
             r +. float_of_int (Source.consumed src), e +. total)
-          (0.0, 0.0) sources
+          (0.0, 0.0)
+          (List.mapi (fun i s -> (i, s)) sources)
       in
       if expected <= 0.0 then 0.0 else 1.0 -. (read /. expected)
     in
@@ -770,12 +870,26 @@ let run ?(config = default_config) query catalog sources =
       `Continue
     | None -> begin
       (* Background re-optimization: cost-to-go of the running plan vs the
-         best plan under the refreshed estimates. *)
-      let est = Cardinality.create query catalog sels in
+         best plan under the refreshed estimates (with any open-breaker
+         source pinned at its observed cardinality). *)
+      let psels = planning_sels () in
+      let est = Cardinality.create query catalog psels in
       let current_cost = Cost.query_cost cfg.costs est ph.Phase.spec in
+      match cfg.deadline with
+      | Some dl when now +. current_cost > dl ->
+        (* §4.3 against the clock: the cost-to-go no longer fits the
+           remaining budget, so no switch can save this run — close it
+           deliberately and report what arrived. *)
+        if !degraded = None && Ctx.traced ctx then
+          Ctx.emit ctx
+            (Trace.Deadline_exceeded
+               { deadline_s = dl /. 1e6; now_s = now /. 1e6;
+                 est_finish_s = (now +. current_cost) /. 1e6 });
+        degrade ph "deadline"
+      | Some _ | None ->
       let best =
         Optimizer.optimize ~preagg:cfg.preagg ~costs:cfg.costs query catalog
-          sels
+          psels
       in
       (* Switching is not free: the regions already consumed must later be
          stitched against everything the new plan reads — work roughly
@@ -839,6 +953,7 @@ let run ?(config = default_config) query catalog sources =
       end
       else `Continue
     end
+    end
   in
   let finish_phase () =
     let ph = !current in
@@ -871,7 +986,7 @@ let run ?(config = default_config) query catalog sources =
   let rec drive () =
     match
       Driver.run ctx ~sources ~consume ~poll:(cfg.poll_interval, poll)
-        ~retry:cfg.retry ()
+        ~retry:cfg.retry ?deadline:cfg.deadline ?breakers ()
     with
     | Driver.Switched ->
       finish_phase ();
@@ -892,6 +1007,10 @@ let run ?(config = default_config) query catalog sources =
              { id = !current.Phase.id; plan = plan_desc spec });
       drive ()
     | Driver.Exhausted -> finish_phase ()
+    | Driver.Stopped ->
+      (* Deliberate governance stop: close the phase normally so what
+         arrived participates in stitch-up like any other phase. *)
+      finish_phase ()
   in
   if Ctx.traced ctx then
     Ctx.emit ctx
@@ -1051,4 +1170,6 @@ let run ?(config = default_config) query catalog sources =
       checkpoints = Metrics.count ctx.Ctx.checkpoints;
       paged_out = Metrics.count ctx.Ctx.paged_out;
       resumed_phases = List.length restored;
+      degraded_reason = !degraded;
+      breaker_trips = Metrics.count ctx.Ctx.breaker_trips;
       learned = Adp_stats.Selectivity.dump sels } )

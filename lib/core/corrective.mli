@@ -51,6 +51,30 @@ type config = {
           permanent source failure triggers an immediate re-optimizer
           poll (a dead build-side input changes the best remaining
           plan) *)
+  deadline : float option;
+      (** virtual-µs budget for the whole query.  The re-optimizer poll
+          compares the running plan's cost-to-go against the remaining
+          budget; once the deadline cannot be met (or has passed), the
+          engine {e degrades deliberately}: the phase closes early,
+          stitch-up runs over what arrived, and the partial answer is
+          reported with [degraded_reason = Some "deadline"] and the
+          coverage machinery quantifying what was delivered *)
+  memory_ceiling : int option;
+      (** hard cap (in tuples) on the query's total resident footprint —
+          join build sides {e plus} pre-aggregation windows (unlike
+          [memory_budget], which counts only pageable join state).  When
+          the footprint exceeds the ceiling even after paging, the query
+          degrades exactly like a missed deadline, with
+          [degraded_reason = Some "memory"] *)
+  breaker : Breaker.policy option;
+      (** when set, each source gets a circuit breaker (salted by source
+          index).  Repeated connection failures within the policy window
+          trip the breaker open: retries stop burning the retry budget,
+          arrival events are deferred to the next seeded probe time, and
+          the re-optimizer treats the source as stalled (its remaining
+          input is costed at zero through a transient statistics overlay,
+          biasing plan choice toward the healthy sources and mirrors).
+          Live data or a successful probe closes the breaker. *)
   checkpoint : Adp_recovery.Checkpoint.policy option;
       (** when set, write consistent snapshots of the execution (phase
           ledger, operator state, stream positions, clock, observed
@@ -122,6 +146,11 @@ type stats = {
       (** state structures paged out by memory pressure over the run *)
   resumed_phases : int;
       (** phases restored from a checkpoint (0 for a fresh run) *)
+  degraded_reason : string option;
+      (** [Some "deadline"] / [Some "memory"] when the run finished early
+          under resource governance; [None] for a complete run (coverage
+          < 1.0 with [None] means fault exhaustion, not governance) *)
+  breaker_trips : int;  (** circuit-breaker closed→open transitions *)
   learned : Adp_stats.Selectivity.dump;
       (** everything the monitor observed over the run (seed included),
           ready to be absorbed into a server's shared store *)

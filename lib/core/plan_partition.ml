@@ -34,7 +34,7 @@ let run_stage ?(preagg = Optimizer.No_preagg) ?spec ~costs ctx query catalog
   in
   (match Driver.run ctx ~sources ~consume () with
    | Driver.Exhausted -> ()
-   | Driver.Switched -> assert false);
+   | Driver.Switched | Driver.Stopped -> assert false);
   Sink.feed sink ~from:(Plan.schema plan) (Plan.flush plan);
   Sink.result sink
 

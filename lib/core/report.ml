@@ -14,6 +14,7 @@ type run = {
   failovers : int;
   paged_out : int;
   checkpoints : int;
+  degraded_reason : string option;
 }
 
 let human_int n =
@@ -42,7 +43,10 @@ let pp_run fmt r =
       (percent r.coverage) r.retries r.failovers;
   if r.paged_out > 0 then Format.fprintf fmt ", %d paged out" r.paged_out;
   if r.checkpoints > 0 then
-    Format.fprintf fmt ", %d checkpoint(s)" r.checkpoints
+    Format.fprintf fmt ", %d checkpoint(s)" r.checkpoints;
+  match r.degraded_reason with
+  | Some reason -> Format.fprintf fmt ", DEGRADED (%s)" reason
+  | None -> ()
 
 let table ~title ~header rows =
   let all = header :: rows in

@@ -23,6 +23,11 @@ type run = {
           were swapped is reported per-poll by
           {!Adp_exec.Plan.apply_memory_pressure}) *)
   checkpoints : int;  (** checkpoint files written during the run *)
+  degraded_reason : string option;
+      (** why resource governance ended the run early ([Some "deadline"]
+          or [Some "memory"]); [None] means the run was not degraded — a
+          coverage below 1.0 with [None] is fault exhaustion (all mirrors
+          lost), not a governance decision *)
 }
 
 val pp_run : Format.formatter -> run -> unit

@@ -67,7 +67,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           reused = stats.reused_tuples; discarded = stats.discarded_tuples;
           result_card = stats.result_card; coverage = stats.coverage;
           retries = stats.retries; failovers = stats.failovers;
-          paged_out = stats.paged_out; checkpoints = stats.checkpoints }
+          paged_out = stats.paged_out; checkpoints = stats.checkpoints;
+          degraded_reason = stats.degraded_reason }
       in
       { result; report; corrective_stats = Some stats }
     | Plan_partitioned { break_after } ->
@@ -81,7 +82,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           wall_s = 0.0; phases = stats.stages; stitch_time_s = 0.0;
           reused = 0; discarded = 0; result_card = stats.result_card;
           coverage = 1.0; retries = 0; failovers = 0; paged_out = 0;
-          checkpoints = 0 }
+          checkpoints = 0; degraded_reason = None }
       in
       { result; report; corrective_stats = None }
     | Competitive { candidates; explore_budget } ->
@@ -94,7 +95,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           cpu_s = us_to_s stats.cpu; idle_s = us_to_s stats.idle;
           wall_s = 0.0; phases = 1; stitch_time_s = 0.0; reused = 0;
           discarded = 0; result_card = stats.result_card; coverage = 1.0;
-          retries = 0; failovers = 0; paged_out = 0; checkpoints = 0 }
+          retries = 0; failovers = 0; paged_out = 0; checkpoints = 0;
+          degraded_reason = None }
       in
       { result; report; corrective_stats = None }
     | Eddying ->
@@ -120,7 +122,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
       let srcs = sources () in
       (match Driver.run ctx ~sources:srcs ~consume ?retry () with
        | Driver.Exhausted -> ()
-       | Driver.Switched -> assert false);
+       | Driver.Switched | Driver.Stopped -> assert false);
       let result = Sink.result sink in
       Ctx.sync_metrics ctx;
       let coverage =
@@ -140,7 +142,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
           result_card = Relation.cardinality result; coverage;
           retries = Adp_obs.Metrics.count ctx.Ctx.retries;
           failovers = Adp_obs.Metrics.count ctx.Ctx.failovers;
-          paged_out = 0; checkpoints = 0 }
+          paged_out = 0; checkpoints = 0; degraded_reason = None }
       in
       { result; report; corrective_stats = None }
   in

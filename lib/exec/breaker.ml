@@ -1,0 +1,114 @@
+open Adp_datagen
+
+type policy = {
+  window_s : float;
+  failure_threshold : int;
+  cooldown_s : float;
+  probe_jitter : float;
+  seed : int;
+}
+
+let default_policy =
+  { window_s = 30.0; failure_threshold = 3; cooldown_s = 5.0;
+    probe_jitter = 0.1; seed = 11 }
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  policy : policy;
+  rng : Prng.t;
+  mutable state : state;
+  (* Virtual timestamps (µs) of failures, newest first, pruned to the
+     sliding window on every observation. *)
+  mutable failures : float list;
+  mutable probe_at : float;
+  mutable probe_inflight : bool;
+  mutable trips : int;
+  mutable transitions : int;
+}
+
+let create ?(salt = 0) policy =
+  { policy; rng = Prng.create (policy.seed + (salt * 1_000_003));
+    state = Closed; failures = []; probe_at = 0.0; probe_inflight = false;
+    trips = 0; transitions = 0 }
+
+let policy t = t.policy
+let state t = t.state
+let trips t = t.trips
+let transitions t = t.transitions
+let probe_at t = t.probe_at
+
+let prune t ~now =
+  let horizon = now -. (t.policy.window_s *. 1e6) in
+  t.failures <- List.filter (fun ts -> ts >= horizon) t.failures
+
+let failure_count t ~now =
+  prune t ~now;
+  List.length t.failures
+
+(* The cooldown before the next half-open probe, with multiplicative
+   jitter drawn from the breaker's own seeded stream — the probe schedule
+   is deterministic per source, exactly like retry backoff. *)
+let cooldown t =
+  let p = t.policy in
+  let j =
+    if p.probe_jitter <= 0.0 then 1.0
+    else 1.0 -. p.probe_jitter +. (2.0 *. p.probe_jitter *. Prng.float t.rng)
+  in
+  p.cooldown_s *. j *. 1e6
+
+let transition t to_state =
+  t.transitions <- t.transitions + 1;
+  (match to_state with Open -> t.trips <- t.trips + 1 | _ -> ());
+  t.state <- to_state
+
+let allow t ~now =
+  match t.state with
+  | Closed -> true
+  | Half_open -> not t.probe_inflight
+  | Open ->
+    if now >= t.probe_at then begin
+      transition t Half_open;
+      t.probe_inflight <- false;
+      true
+    end
+    else false
+
+let note_probe t =
+  if t.state = Half_open then t.probe_inflight <- true
+
+let record_success t ~now =
+  prune t ~now;
+  match t.state with
+  | Closed -> false
+  | Half_open | Open ->
+    (* A successful probe — or, while open, live data arriving anyway —
+       proves the source healthy again. *)
+    t.failures <- [];
+    t.probe_inflight <- false;
+    transition t Closed;
+    true
+
+let record_failure t ~now =
+  prune t ~now;
+  t.failures <- now :: t.failures;
+  match t.state with
+  | Closed ->
+    if List.length t.failures >= t.policy.failure_threshold then begin
+      transition t Open;
+      t.probe_at <- now +. cooldown t;
+      true
+    end
+    else false
+  | Half_open ->
+    (* The probe failed: back to open with a fresh cooldown. *)
+    t.probe_inflight <- false;
+    transition t Open;
+    t.probe_at <- now +. cooldown t;
+    true
+  | Open -> false

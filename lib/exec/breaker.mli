@@ -1,0 +1,74 @@
+(** Per-source circuit breakers over the virtual clock.
+
+    A retry controller reacts to each silence in isolation; a breaker
+    remembers.  It counts failures in a sliding virtual-time window and,
+    once the count reaches a threshold, stops asking the source at all
+    (closed → open).  After a seeded, jittered cooldown one probe is
+    admitted (open → half-open); its outcome decides between recovery
+    (→ closed, window cleared) and another cooldown (→ open).  Because
+    failures, cooldowns and probes all live on the virtual clock with a
+    per-source seeded jitter stream, every trip and reset is
+    bit-reproducible.
+
+    The breaker holds no clock of its own: callers pass [~now]
+    (virtual µs) at every observation, as with {!Retry}. *)
+
+type policy = {
+  window_s : float;
+      (** sliding window (virtual seconds) over which failures count *)
+  failure_threshold : int;
+      (** failures within the window that trip the breaker open *)
+  cooldown_s : float;
+      (** open-state dwell before a half-open probe is admitted *)
+  probe_jitter : float;
+      (** multiplicative jitter on each cooldown, drawn from a seeded
+          stream in [1-j, 1+j); 0 disables it *)
+  seed : int;  (** root seed for the probe-schedule streams *)
+}
+
+(** 30 s window, 3 failures to trip, 5 s cooldown, 10% jitter. *)
+val default_policy : policy
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type t
+
+(** [create ?salt policy] — [salt] (e.g. the source's index) derives an
+    independent probe-jitter stream per breaker. *)
+val create : ?salt:int -> policy -> t
+
+val policy : t -> policy
+val state : t -> state
+
+(** Closed→open transitions over the breaker's lifetime. *)
+val trips : t -> int
+
+(** All state transitions over the breaker's lifetime. *)
+val transitions : t -> int
+
+(** Virtual time at which an open breaker admits its half-open probe. *)
+val probe_at : t -> float
+
+(** Failures still inside the sliding window at [now]. *)
+val failure_count : t -> now:float -> int
+
+(** May the source be asked at [now]?  Open breakers refuse until the
+    probe time, then move to half-open and admit exactly one attempt
+    (mark it with {!note_probe}); half-open breakers refuse while that
+    probe is in flight. *)
+val allow : t -> now:float -> bool
+
+(** Mark the half-open probe as in flight, so further {!allow} calls
+    refuse until its outcome is recorded. *)
+val note_probe : t -> unit
+
+(** A delivery or successful reconnect at [now].  Returns [true] when
+    the state changed (half-open probe succeeded, or live data arrived
+    while open — either way the breaker closes and the window clears). *)
+val record_success : t -> now:float -> bool
+
+(** A failure (timeout / failed reconnect) at [now].  Returns [true]
+    when the state changed (tripped open, or a half-open probe failed). *)
+val record_failure : t -> now:float -> bool

@@ -17,6 +17,9 @@ type t = {
   checkpoints : Metrics.counter;
   checkpoint_bytes : Metrics.counter;
   paged_out : Metrics.counter;
+  breaker_trips : Metrics.counter;
+  breaker_transitions : Metrics.counter;
+  degraded : Metrics.counter;
 }
 
 let create ?(costs = Cost_model.default) ?(trace = Trace.null) ?metrics
@@ -38,7 +41,15 @@ let create ?(costs = Cost_model.default) ?(trace = Trace.null) ?metrics
       c "adp_checkpoint_bytes_total" "bytes of checkpoint data written";
     paged_out =
       c "adp_paged_out_total"
-        "state structures paged out by memory pressure" }
+        "state structures paged out by memory pressure";
+    breaker_trips =
+      c "adp_breaker_trips_total" "circuit breakers tripped open";
+    breaker_transitions =
+      c "adp_breaker_transitions_total"
+        "circuit breaker state transitions (any direction)";
+    degraded =
+      c "adp_degraded_total"
+        "queries deliberately degraded by deadline or memory governance" }
 
 let charge t c = Clock.charge t.clock c
 let now t = Clock.now t.clock

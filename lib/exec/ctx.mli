@@ -29,6 +29,12 @@ type t = {
       (** bytes of checkpoint data written *)
   paged_out : Adp_obs.Metrics.counter;
       (** state structures paged out by memory pressure *)
+  breaker_trips : Adp_obs.Metrics.counter;
+      (** circuit breakers tripped open *)
+  breaker_transitions : Adp_obs.Metrics.counter;
+      (** circuit breaker state transitions, any direction *)
+  degraded : Adp_obs.Metrics.counter;
+      (** queries deliberately degraded by deadline/memory governance *)
 }
 
 (** [trace] defaults to {!Adp_obs.Trace.null} (tracing disabled);

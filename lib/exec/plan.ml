@@ -586,6 +586,20 @@ let memory_in_use t =
       if Hash_table.swapped tbl then acc else acc + Hash_table.length tbl)
     0 (join_tables t)
 
+let preagg_in_use t =
+  fold_nodes
+    (fun acc node ->
+      match node.impl with
+      | RPreagg p -> acc + Ktbl.length p.pa.p_buffer
+      | RLeaf _ | RJoin _ -> acc)
+    0 t.root
+
+(* The governance ceiling accounts for everything resident: hash-join
+   build sides plus buffered pre-aggregation groups.  [memory_in_use]
+   keeps its original build-side-only meaning because the page-out
+   budget below only manages join tables. *)
+let memory_footprint t = memory_in_use t + preagg_in_use t
+
 let apply_memory_pressure t ~budget =
   (* Keep the simplest expressions resident (they are the likeliest to be
      shared); page out from the most complex end once the budget runs out. *)

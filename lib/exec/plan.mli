@@ -142,6 +142,14 @@ val preagg_stats : t -> (string * int * int * int) list
 (** Tuples currently held in the plan's join state structures. *)
 val memory_in_use : t -> int
 
+(** Buffered pre-aggregation groups currently resident. *)
+val preagg_in_use : t -> int
+
+(** Everything the governance ceiling counts: resident join build-side
+    tuples ({!memory_in_use}) plus buffered pre-aggregation groups
+    ({!preagg_in_use}). *)
+val memory_footprint : t -> int
+
 (** [apply_memory_pressure t ~budget] keeps at most [budget] tuples'
     worth of state structures in memory, paging out join-node structures
     in most-complex-expression-first order (§3.4.2's heuristic — complex

@@ -159,6 +159,7 @@ let inject t fault =
   fire_faults t
 
 let add_mirror t m = t.mirrors <- t.mirrors @ [ m ]
+let mirrors_remaining t = List.length t.mirrors
 
 (* Rebase the arrival schedule after a (re)connection established at
    virtual time [at]: the first tuple is queued server-side, so it costs

@@ -118,6 +118,9 @@ val inject : t -> fault -> unit
 (** Append a failover target. *)
 val add_mirror : t -> mirror -> unit
 
+(** Mirrors not yet consumed by failovers. *)
+val mirrors_remaining : t -> int
+
 (** [try_reconnect t ~at] — a reconnect attempt issued at virtual time
     [at].  Succeeds on an up link (the source was merely silent) or on a
     recoverable disconnect whose rejoin time has passed; the stream then

@@ -72,6 +72,19 @@ type event =
       queue_depth : int;
       reason : string;
     }
+  | Deadline_exceeded of {
+      deadline_s : float;
+      now_s : float;
+      est_finish_s : float;
+    }
+  | Budget_exhausted of { in_use : int; ceiling : int }
+  | Query_degraded of { reason : string; phase : int; coverage : float }
+  | Breaker_state_changed of {
+      source : string;
+      from_state : string;
+      to_state : string;
+      failures : int;
+    }
 
 type stamped = float * event
 
@@ -130,6 +143,10 @@ let event_name = function
   | Worker_reclaimed _ -> "worker_reclaimed"
   | Poll_interval_changed _ -> "poll_interval_changed"
   | Admission _ -> "admission"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Budget_exhausted _ -> "budget_exhausted"
+  | Query_degraded _ -> "query_degraded"
+  | Breaker_state_changed _ -> "breaker_state_changed"
 
 let decision_str = function Keep -> "keep" | Switch -> "switch"
 
@@ -195,6 +212,17 @@ let fields ev : (string * Json.t) list =
   | Admission { query; accepted; queue_depth; reason } ->
     [ ("query", str query); ("accepted", Json.Bool accepted);
       ("queue_depth", int queue_depth); ("reason", str reason) ]
+  | Deadline_exceeded { deadline_s; now_s; est_finish_s } ->
+    [ ("deadline_s", num deadline_s); ("now_s", num now_s);
+      ("est_finish_s", num est_finish_s) ]
+  | Budget_exhausted { in_use; ceiling } ->
+    [ ("in_use", int in_use); ("ceiling", int ceiling) ]
+  | Query_degraded { reason; phase; coverage } ->
+    [ ("reason", str reason); ("phase", int phase);
+      ("coverage", num coverage) ]
+  | Breaker_state_changed { source; from_state; to_state; failures } ->
+    [ ("source", str source); ("from", str from_state);
+      ("to", str to_state); ("failures", int failures) ]
 
 let to_json (at, ev) =
   Json.Obj
@@ -302,6 +330,20 @@ let of_json j =
         Admission
           { query = str "query"; accepted = bool "accepted";
             queue_depth = int "queue_depth"; reason = str "reason" }
+      | "deadline_exceeded" ->
+        Deadline_exceeded
+          { deadline_s = num "deadline_s"; now_s = num "now_s";
+            est_finish_s = num "est_finish_s" }
+      | "budget_exhausted" ->
+        Budget_exhausted { in_use = int "in_use"; ceiling = int "ceiling" }
+      | "query_degraded" ->
+        Query_degraded
+          { reason = str "reason"; phase = int "phase";
+            coverage = num "coverage" }
+      | "breaker_state_changed" ->
+        Breaker_state_changed
+          { source = str "source"; from_state = str "from";
+            to_state = str "to"; failures = int "failures" }
       | other -> raise (Bad (Printf.sprintf "unknown event %S" other))
     in
     Ok (at, ev)
@@ -485,6 +527,24 @@ let pp_event ppf ev =
     else
       Format.fprintf ppf "admission: %s REJECTED (%s, queue depth %d)" query
         reason queue_depth
+  | Deadline_exceeded { deadline_s; now_s; est_finish_s } ->
+    Format.fprintf ppf
+      "deadline exceeded: limit %s s, now %s s, estimated finish %s s"
+      (fnum deadline_s) (fnum now_s) (fnum est_finish_s)
+  | Budget_exhausted { in_use; ceiling } ->
+    Format.fprintf ppf
+      "memory budget exhausted: %d resident tuples over ceiling %d" in_use
+      ceiling
+  | Query_degraded { reason; phase; coverage } ->
+    Format.fprintf ppf
+      "query DEGRADED (%s) in phase %d: finishing with what arrived \
+       (coverage %.2f)"
+      reason phase coverage
+  | Breaker_state_changed { source; from_state; to_state; failures } ->
+    Format.fprintf ppf
+      "circuit breaker: %s %s -> %s (%d failure%s in window)" source
+      from_state to_state failures
+      (if failures = 1 then "" else "s")
 
 (* Rebuild a [Profile.t] from the Node_profile events a profiled run
    appends to its trace; emission preserved registration order, so the
@@ -613,4 +673,28 @@ let explain ppf evs =
       Format.fprintf ppf
         "-- server: workers spawned %d; deaths %d; reclaims %d; \
          poll-interval moves %d; load-shed %d@."
-        spawns deaths reclaims interval_moves sheds
+        spawns deaths reclaims interval_moves sheds;
+    (* Governance events likewise only appear when deadlines, budgets or
+       breakers are configured; ungoverned replays stay byte-identical. *)
+    let deadline_hits =
+      count (function Deadline_exceeded _ -> true | _ -> false)
+    in
+    let budget_hits =
+      count (function Budget_exhausted _ -> true | _ -> false)
+    in
+    let degradations =
+      count (function Query_degraded _ -> true | _ -> false)
+    in
+    let breaker_moves =
+      count (function Breaker_state_changed _ -> true | _ -> false)
+    in
+    let breaker_trips =
+      count (function
+        | Breaker_state_changed { to_state = "open"; _ } -> true
+        | _ -> false)
+    in
+    if deadline_hits + budget_hits + degradations + breaker_moves > 0 then
+      Format.fprintf ppf
+        "-- governance: deadline hits %d; budget hits %d; degradations %d; \
+         breaker transitions %d (trips %d)@."
+        deadline_hits budget_hits degradations breaker_moves breaker_trips

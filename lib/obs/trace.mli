@@ -113,6 +113,31 @@ type event =
       queue_depth : int;  (** waiting jobs after the decision *)
       reason : string;  (** "" when accepted; why when shed *)
     }
+  | Deadline_exceeded of {
+      deadline_s : float;  (** the query's deadline, virtual seconds *)
+      now_s : float;
+      est_finish_s : float;
+          (** [now + cost-to-go] when the poll concluded the deadline
+              cannot be met (equals [now_s] when already past it) *)
+    }
+  | Budget_exhausted of {
+      in_use : int;  (** resident tuples across builds + pre-agg windows *)
+      ceiling : int;  (** the hard memory ceiling that was crossed *)
+    }
+  | Query_degraded of {
+      reason : string;  (** "deadline" | "memory" *)
+      phase : int;  (** phase in which degradation was decided *)
+      coverage : float;  (** fraction of source input consumed so far *)
+    }
+      (** The governance layer decided to finish early: the current phase
+          closes, stitch-up runs over what arrived, and the report carries
+          [degraded_reason] instead of the run timing out with nothing. *)
+  | Breaker_state_changed of {
+      source : string;
+      from_state : string;  (** "closed" | "open" | "half-open" *)
+      to_state : string;
+      failures : int;  (** failures in the sliding window at transition *)
+    }
 
 (** Events are stamped with the virtual clock (µs). *)
 type stamped = float * event

@@ -2,7 +2,12 @@ module Diagnostic = Adp_analysis.Diagnostic
 module Crash = Adp_recovery.Crash
 
 type directive =
-  | Submit of { qid : string; spec : string }
+  | Submit of {
+      qid : string;
+      spec : string;
+      klass : string option;
+      deadline_s : float option;
+    }
   | Kill of { qid : string; point : Crash.point }
   | Cancel of string
   | Drain
@@ -10,7 +15,13 @@ type directive =
 type t = (float * directive) list
 
 let pp_directive ppf = function
-  | Submit { qid; spec } -> Format.fprintf ppf "submit %s %s" qid spec
+  | Submit { qid; spec; klass; deadline_s } ->
+    Format.fprintf ppf "submit %s%s%s %s" qid
+      (match klass with Some c -> " class=" ^ c | None -> "")
+      (match deadline_s with
+       | Some d -> Printf.sprintf " deadline=%g" d
+       | None -> "")
+      spec
   | Kill { qid; point } ->
     Format.fprintf ppf "kill %s %a" qid Crash.pp_point point
   | Cancel qid -> Format.fprintf ppf "cancel %s" qid
@@ -92,10 +103,58 @@ let parse ?(file = "<script>") text =
                 err ~code:"script-duplicate-qid" ~line
                   "query id %S submitted twice" qid
               else begin
-                Hashtbl.replace submitted qid ();
-                directives :=
-                  (at, Submit { qid; spec = String.concat " " spec })
-                  :: !directives
+                (* Optional governance tokens sit between the qid and the
+                   query text: class=<name>, deadline=<seconds>. *)
+                let opt prefix tok =
+                  let pl = String.length prefix in
+                  if String.length tok > pl && String.sub tok 0 pl = prefix
+                  then Some (String.sub tok pl (String.length tok - pl))
+                  else None
+                in
+                let klass = ref None and deadline_s = ref None in
+                let ok = ref true in
+                let rec peel = function
+                  | tok :: tl as all -> (
+                    match opt "class=" tok with
+                    | Some c ->
+                      if is_qid c then klass := Some c
+                      else begin
+                        ok := false;
+                        err ~code:"script-bad-class" ~line
+                          "bad priority class %S (letters, digits, '_', '-')"
+                          c
+                      end;
+                      peel tl
+                    | None -> (
+                      match opt "deadline=" tok with
+                      | Some d -> (
+                        (match float_of_string_opt d with
+                         | Some d when Float.is_finite d && d > 0.0 ->
+                           deadline_s := Some d
+                         | Some _ | None ->
+                           ok := false;
+                           err ~code:"script-bad-deadline" ~line
+                             "bad deadline %S (want a finite number of \
+                              seconds > 0)"
+                             d);
+                        peel tl)
+                      | None -> all))
+                  | [] -> []
+                in
+                let spec = peel spec in
+                if spec = [] then
+                  err ~code:"script-syntax" ~line
+                    "submit wants: at <seconds> submit <qid> [class=<name>] \
+                     [deadline=<seconds>] <query>"
+                else if !ok then begin
+                  Hashtbl.replace submitted qid ();
+                  directives :=
+                    ( at,
+                      Submit
+                        { qid; spec = String.concat " " spec;
+                          klass = !klass; deadline_s = !deadline_s } )
+                    :: !directives
+                end
               end
             | "submit" :: _ ->
               err ~code:"script-syntax" ~line

@@ -23,6 +23,8 @@ type config = {
   retry_backoff : float;
   checkpoint_dir : string;
   checkpoint_every : int;
+  class_quotas : (string * int) list;
+  memory_budget : int option;
   corrective : Corrective.config;
   trace : Trace.t;
   metrics : Metrics.t option;
@@ -32,6 +34,7 @@ let default_config ~checkpoint_dir =
   { workers = 2; queue_capacity = 16; poll = Poll_controller.default;
     heartbeat_interval = 5e4; heartbeat_timeout = 2e5; max_retries = 3;
     retry_backoff = 1e5; checkpoint_dir; checkpoint_every = 500;
+    class_quotas = []; memory_budget = None;
     corrective =
       { Corrective.default_config with poll_interval = 2e4;
         min_leaf_seen = 200; switch_threshold = 0.8 };
@@ -70,7 +73,31 @@ let validate cfg =
                "checkpoint_every must be >= 0 (got %d)" cfg.checkpoint_every ]);
         (if cfg.checkpoint_dir <> "" then []
          else [ bad ~code:"server-bad-checkpoint-dir"
-                  "checkpoint_dir must not be empty" ]) ]
+                  "checkpoint_dir must not be empty" ]);
+        List.concat_map
+          (fun (name, quota) ->
+            (if name <> "" then []
+             else [ bad ~code:"server-bad-class"
+                      "priority class names must not be empty" ])
+            @
+            if quota >= 1 then []
+            else
+              [ bad ~code:"server-bad-class"
+                  "class %S quota must be >= 1 (got %d)" name quota ])
+          cfg.class_quotas;
+        (let names = List.map fst cfg.class_quotas in
+         if List.length (List.sort_uniq String.compare names)
+            = List.length names
+         then []
+         else [ bad ~code:"server-bad-class"
+                  "priority class names must be distinct" ]);
+        (match cfg.memory_budget with
+         | Some b when b < cfg.workers ->
+           [ bad ~code:"server-bad-memory"
+               "global memory budget %d cannot be partitioned across %d \
+                workers (need at least one tuple per worker)"
+               b cfg.workers ]
+         | Some _ | None -> []) ]
 
 type resolved = {
   r_query : Logical.query;
@@ -89,6 +116,8 @@ type outcome =
 type query_report = {
   qr_id : string;
   qr_spec : string;
+  qr_class : string option;
+  qr_deadline_s : float option;
   qr_outcome : outcome;
   qr_submitted_s : float;
   qr_finished_s : float;
@@ -103,6 +132,7 @@ type report = {
   r_failed : int;
   r_cancelled : int;
   r_rejected : int;
+  r_shed : int;
   r_workers_spawned : int;
   r_workers_died : int;
   r_reclaims : int;
@@ -142,6 +172,8 @@ type jstate = Queued | Running | Terminal
 type job = {
   j_id : string;
   j_spec : string;
+  j_class : string option;
+  j_deadline : float option;  (* absolute server µs *)
   j_resolved : resolved option;
   j_submitted : float;
   mutable j_state : jstate;
@@ -159,7 +191,7 @@ type job = {
 }
 
 type ev =
-  | E_submit of string * string
+  | E_submit of string * string * string option * float option
   | E_kill of string * Crash.point
   | E_cancel of string
   | E_drain
@@ -228,6 +260,11 @@ let run config resolver script =
     Metrics.counter metrics ~help:"queries reclaimed from dead workers"
       "adp_server_reclaims_total"
   in
+  let shed_c =
+    Metrics.counter metrics
+      ~help:"queued queries shed because their deadline passed"
+      "adp_server_shed_total"
+  in
   (* Event heap: a sorted association list is plenty at workload scale;
      the sequence number keeps equal-time events in insertion order. *)
   let heap : (float * int * ev) list ref = ref [] in
@@ -251,6 +288,7 @@ let run config resolver script =
   let workers : (int, string option) Hashtbl.t = Hashtbl.create 8 in
   let next_worker = ref 0 in
   let spawned = ref 0 and died = ref 0 and reclaims = ref 0 in
+  let sheds = ref 0 in
   let polls = ref 0 and busy_polls = ref 0 in
   let min_seen = ref infinity and max_seen = ref 0.0 in
   let now = ref 0.0 in
@@ -338,11 +376,28 @@ let run config resolver script =
            else None)
         ~dir ()
     in
+    (* Map the job's absolute server-clock deadline onto the attempt's
+       inner clock (which starts at the resume point [a_base]): the run
+       must stop when server time reaches the deadline, i.e. when its own
+       clock reaches [a_base + (deadline - a_t0)]. *)
+    let deadline =
+      match job.j_deadline with
+      | Some dl -> Some (params.a_base +. Float.max 0.0 (dl -. params.a_t0))
+      | None -> config.corrective.Corrective.deadline
+    in
+    (* The global memory budget is partitioned evenly across the pool:
+       every worker pages under its slice regardless of what its
+       neighbours run, so one heavy query cannot starve the others. *)
+    let memory_budget =
+      match config.memory_budget with
+      | Some b -> Some (max 1 (b / config.workers))
+      | None -> config.corrective.Corrective.memory_budget
+    in
     let cc =
       { config.corrective with
         Corrective.checkpoint = Some policy; resume_from = params.a_resume;
         crash; stats_seed = Some params.a_seed; trace = inner;
-        metrics = Some qm }
+        metrics = Some qm; deadline; memory_budget }
     in
     match Corrective.run ~config:cc r.r_query r.r_catalog (r.r_sources ()) with
     | result, stats ->
@@ -430,8 +485,29 @@ let run config resolver script =
            queue_depth = List.length !waiting; reason });
     finish job (Rejected reason)
   in
+  (* Priority rank of a class: its position in [class_quotas] (earlier =
+     higher priority); unclassified work dispatches after every class. *)
+  let class_rank klass =
+    match klass with
+    | None -> max_int
+    | Some c ->
+      let rec idx i = function
+        | [] -> max_int
+        | (n, _) :: tl -> if n = c then i else idx (i + 1) tl
+      in
+      idx 0 config.class_quotas
+  in
+  let waiting_in_class c =
+    List.length
+      (List.filter
+         (fun qid ->
+           match Hashtbl.find_opt jobs qid with
+           | Some j -> j.j_class = Some c
+           | None -> false)
+         !waiting)
+  in
   let handle = function
-    | E_submit (qid, spec) ->
+    | E_submit (qid, spec, klass, deadline_s) ->
       let resolved, resolve_error =
         match resolver spec with
         | r -> (Some r, None)
@@ -442,7 +518,9 @@ let run config resolver script =
                  (String.trim (Diagnostic.to_string diags))) )
       in
       let job =
-        { j_id = qid; j_spec = spec; j_resolved = resolved;
+        { j_id = qid; j_spec = spec; j_class = klass;
+          j_deadline = Option.map (fun d -> !now +. (d *. 1e6)) deadline_s;
+          j_resolved = resolved;
           j_submitted = !now; j_state = Queued; j_attempts = 0;
           j_failures = 0; j_not_before = !now; j_armed = []; j_gen = 0;
           j_params = None; j_pending = None; j_outcome = None;
@@ -450,9 +528,27 @@ let run config resolver script =
       in
       Hashtbl.replace jobs qid job;
       order := qid :: !order;
+      let quota_full =
+        match klass with
+        | Some c -> (
+          match List.assoc_opt c config.class_quotas with
+          | Some quota -> waiting_in_class c >= quota
+          | None -> false)
+        | None -> false
+      in
       if !draining then reject job "draining"
+      else if
+        (match klass with
+         | Some c -> not (List.mem_assoc c config.class_quotas)
+         | None -> false)
+      then
+        reject job
+          (Printf.sprintf "unknown-class:%s" (Option.get klass))
       else if List.length !waiting >= config.queue_capacity then
         reject job "queue-full"
+      else if quota_full then
+        reject job
+          (Printf.sprintf "class-quota:%s" (Option.get klass))
       else begin
         match resolve_error with
         | Some msg ->
@@ -567,6 +663,21 @@ let run config resolver script =
         | _ -> ())
       | Some _ | None -> ())
     | E_poll ->
+      (* Deadline shedding: queued work whose deadline already passed can
+         only waste a worker — drop it now rather than dispatch it. *)
+      List.iter
+        (fun qid ->
+          match Hashtbl.find_opt jobs qid with
+          | Some job
+            when (match job.j_deadline with
+                  | Some dl -> dl <= !now
+                  | None -> false) ->
+            waiting := List.filter (fun id -> id <> qid) !waiting;
+            incr sheds;
+            Metrics.incr shed_c;
+            reject job "deadline-shed"
+          | Some _ | None -> ())
+        !waiting;
       let ready =
         List.filter
           (fun qid ->
@@ -574,6 +685,15 @@ let run config resolver script =
             | Some job -> job.j_not_before <= !now
             | None -> false)
           !waiting
+        (* Class priority decides dispatch order; FIFO breaks ties (the
+           sort is stable and [waiting] is in submission order). *)
+        |> List.stable_sort (fun a b ->
+               let rank qid =
+                 match Hashtbl.find_opt jobs qid with
+                 | Some j -> class_rank j.j_class
+                 | None -> max_int
+               in
+               compare (rank a) (rank b))
       in
       let idle =
         Hashtbl.fold (fun w s acc -> if s = None then w :: acc else acc)
@@ -618,7 +738,8 @@ let run config resolver script =
     (fun (at_s, d) ->
       let at = at_s *. 1e6 in
       match d with
-      | Script.Submit { qid; spec } -> schedule at (E_submit (qid, spec))
+      | Script.Submit { qid; spec; klass; deadline_s } ->
+        schedule at (E_submit (qid, spec, klass, deadline_s))
       | Script.Kill { qid; point } -> schedule at (E_kill (qid, point))
       | Script.Cancel qid -> schedule at (E_cancel qid)
       | Script.Drain -> schedule at E_drain)
@@ -638,7 +759,8 @@ let run config resolver script =
     List.rev_map
       (fun qid ->
         let j = Hashtbl.find jobs qid in
-        { qr_id = j.j_id; qr_spec = j.j_spec;
+        { qr_id = j.j_id; qr_spec = j.j_spec; qr_class = j.j_class;
+          qr_deadline_s = Option.map (fun d -> d /. 1e6) j.j_deadline;
           qr_outcome =
             (match j.j_outcome with
              | Some o -> o
@@ -658,6 +780,7 @@ let run config resolver script =
     r_cancelled = count (fun q -> q.qr_outcome = Cancelled);
     r_rejected =
       count (fun q -> match q.qr_outcome with Rejected _ -> true | _ -> false);
+    r_shed = !sheds;
     r_workers_spawned = !spawned; r_workers_died = !died;
     r_reclaims = !reclaims; r_polls = !polls; r_busy_polls = !busy_polls;
     r_min_interval_s =
@@ -701,6 +824,8 @@ let tpch_resolver ?(with_cardinalities = false) ?seed ds spec =
 type query_view = {
   v_id : string;
   v_spec : string;
+  v_class : string;
+  v_deadline_s : float;
   v_outcome : string;
   v_reason : string;
   v_submitted_s : float;
@@ -709,6 +834,8 @@ type query_view = {
   v_result_card : int;
   v_time_s : float;
   v_coverage : float;
+  v_degraded : string;
+  v_breaker_trips : int;
   v_resumed_phases : int;
   v_checkpoints : int;
   v_warm_signatures : int;
@@ -721,6 +848,7 @@ type view = {
   vr_failed : int;
   vr_cancelled : int;
   vr_rejected : int;
+  vr_shed : int;
   vr_workers_spawned : int;
   vr_workers_died : int;
   vr_reclaims : int;
@@ -741,25 +869,32 @@ let view r =
       | Cancelled -> ("cancelled", "")
       | Rejected m -> ("rejected", m)
     in
-    let card, time_s, coverage, resumed, ckpts =
+    let card, time_s, coverage, resumed, ckpts, degraded, trips =
       match q.qr_outcome with
       | Done { stats; _ } ->
         ( stats.Corrective.result_card,
           stats.Corrective.total_time /. 1e6, stats.Corrective.coverage,
-          stats.Corrective.resumed_phases, stats.Corrective.checkpoints )
-      | _ -> (0, 0.0, 0.0, 0, 0)
+          stats.Corrective.resumed_phases, stats.Corrective.checkpoints,
+          Option.value ~default:"" stats.Corrective.degraded_reason,
+          stats.Corrective.breaker_trips )
+      | _ -> (0, 0.0, 0.0, 0, 0, "", 0)
     in
-    { v_id = q.qr_id; v_spec = q.qr_spec; v_outcome = outcome;
+    { v_id = q.qr_id; v_spec = q.qr_spec;
+      v_class = Option.value ~default:"" q.qr_class;
+      v_deadline_s = Option.value ~default:0.0 q.qr_deadline_s;
+      v_outcome = outcome;
       v_reason = reason; v_submitted_s = q.qr_submitted_s;
       v_finished_s = q.qr_finished_s; v_attempts = q.qr_attempts;
       v_result_card = card; v_time_s = time_s; v_coverage = coverage;
+      v_degraded = degraded; v_breaker_trips = trips;
       v_resumed_phases = resumed; v_checkpoints = ckpts;
       v_warm_signatures = q.qr_warm_signatures;
       v_warm_plan_changed = q.qr_warm_plan_changed }
   in
   { vr_queries = List.map qv r.r_queries; vr_done = r.r_done;
     vr_failed = r.r_failed; vr_cancelled = r.r_cancelled;
-    vr_rejected = r.r_rejected; vr_workers_spawned = r.r_workers_spawned;
+    vr_rejected = r.r_rejected; vr_shed = r.r_shed;
+    vr_workers_spawned = r.r_workers_spawned;
     vr_workers_died = r.r_workers_died; vr_reclaims = r.r_reclaims;
     vr_polls = r.r_polls; vr_busy_polls = r.r_busy_polls;
     vr_min_interval_s = r.r_min_interval_s;
@@ -773,21 +908,24 @@ let view_to_json v =
   let q (x : query_view) =
     Json.Obj
       [ ("id", str x.v_id); ("spec", str x.v_spec);
+        ("class", str x.v_class); ("deadline_s", num x.v_deadline_s);
         ("outcome", str x.v_outcome); ("reason", str x.v_reason);
         ("submitted_s", num x.v_submitted_s);
         ("finished_s", num x.v_finished_s); ("attempts", int x.v_attempts);
         ("result_card", int x.v_result_card); ("time_s", num x.v_time_s);
-        ("coverage", num x.v_coverage);
+        ("coverage", num x.v_coverage); ("degraded", str x.v_degraded);
+        ("breaker_trips", int x.v_breaker_trips);
         ("resumed_phases", int x.v_resumed_phases);
         ("checkpoints", int x.v_checkpoints);
         ("warm_signatures", int x.v_warm_signatures);
         ("warm_plan_changed", Json.Bool x.v_warm_plan_changed) ]
   in
   Json.Obj
-    [ ("schema", int 1); ("kind", str "tukwila-server-report");
+    [ ("schema", int 2); ("kind", str "tukwila-server-report");
       ("queries", Json.List (List.map q v.vr_queries));
       ("done", int v.vr_done); ("failed", int v.vr_failed);
       ("cancelled", int v.vr_cancelled); ("rejected", int v.vr_rejected);
+      ("shed", int v.vr_shed);
       ("workers_spawned", int v.vr_workers_spawned);
       ("workers_died", int v.vr_workers_died);
       ("reclaims", int v.vr_reclaims); ("polls", int v.vr_polls);
@@ -803,6 +941,11 @@ let view_of_json j =
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "missing or malformed field %S" k)
   in
+  (* Governance fields arrived with schema 2; defaulting keeps schema-1
+     reports loadable. *)
+  let opt j k f ~default =
+    match Option.bind (Json.member k j) f with Some v -> v | None -> default
+  in
   let ( let* ) = Result.bind in
   let* kind = get j "kind" Json.get_str in
   if kind <> "tukwila-server-report" then
@@ -815,6 +958,12 @@ let view_of_json j =
           let* acc = acc in
           let* v_id = get qj "id" Json.get_str in
           let* v_spec = get qj "spec" Json.get_str in
+          let v_class = opt qj "class" Json.get_str ~default:"" in
+          let v_deadline_s = opt qj "deadline_s" Json.get_num ~default:0.0 in
+          let v_degraded = opt qj "degraded" Json.get_str ~default:"" in
+          let v_breaker_trips =
+            opt qj "breaker_trips" Json.get_int ~default:0
+          in
           let* v_outcome = get qj "outcome" Json.get_str in
           let* v_reason = get qj "reason" Json.get_str in
           let* v_submitted_s = get qj "submitted_s" Json.get_num in
@@ -830,10 +979,11 @@ let view_of_json j =
             get qj "warm_plan_changed" Json.get_bool
           in
           Ok
-            ({ v_id; v_spec; v_outcome; v_reason; v_submitted_s;
-               v_finished_s; v_attempts; v_result_card; v_time_s;
-               v_coverage; v_resumed_phases; v_checkpoints;
-               v_warm_signatures; v_warm_plan_changed }
+            ({ v_id; v_spec; v_class; v_deadline_s; v_outcome; v_reason;
+               v_submitted_s; v_finished_s; v_attempts; v_result_card;
+               v_time_s; v_coverage; v_degraded; v_breaker_trips;
+               v_resumed_phases; v_checkpoints; v_warm_signatures;
+               v_warm_plan_changed }
             :: acc))
         (Ok []) qs
     in
@@ -841,6 +991,7 @@ let view_of_json j =
     let* vr_failed = get j "failed" Json.get_int in
     let* vr_cancelled = get j "cancelled" Json.get_int in
     let* vr_rejected = get j "rejected" Json.get_int in
+    let vr_shed = opt j "shed" Json.get_int ~default:0 in
     let* vr_workers_spawned = get j "workers_spawned" Json.get_int in
     let* vr_workers_died = get j "workers_died" Json.get_int in
     let* vr_reclaims = get j "reclaims" Json.get_int in
@@ -852,9 +1003,9 @@ let view_of_json j =
     let* vr_shared_signatures = get j "shared_signatures" Json.get_int in
     Ok
       { vr_queries = List.rev queries; vr_done; vr_failed; vr_cancelled;
-        vr_rejected; vr_workers_spawned; vr_workers_died; vr_reclaims;
-        vr_polls; vr_busy_polls; vr_min_interval_s; vr_max_interval_s;
-        vr_finished_s; vr_shared_signatures }
+        vr_rejected; vr_shed; vr_workers_spawned; vr_workers_died;
+        vr_reclaims; vr_polls; vr_busy_polls; vr_min_interval_s;
+        vr_max_interval_s; vr_finished_s; vr_shared_signatures }
 
 let pp_view ppf v =
   let fnum = Json.float_str in
@@ -870,6 +1021,20 @@ let pp_view ppf v =
         | o -> o
       in
       Format.fprintf ppf "  %-8s [%s]  %s@." q.v_id q.v_spec status;
+      if q.v_class <> "" || q.v_deadline_s > 0.0 then
+        Format.fprintf ppf "           %s%s%s@."
+          (if q.v_class <> "" then "class " ^ q.v_class else "")
+          (if q.v_class <> "" && q.v_deadline_s > 0.0 then ", " else "")
+          (if q.v_deadline_s > 0.0 then
+             Printf.sprintf "deadline %s s" (fnum q.v_deadline_s)
+           else "");
+      if q.v_degraded <> "" then
+        Format.fprintf ppf
+          "           DEGRADED (%s): partial answer, coverage %.1f%%@."
+          q.v_degraded (100.0 *. q.v_coverage);
+      if q.v_breaker_trips > 0 then
+        Format.fprintf ppf "           circuit breaker tripped %d time%s@."
+          q.v_breaker_trips (if q.v_breaker_trips = 1 then "" else "s");
       if q.v_attempts > 1 || q.v_resumed_phases > 0 then
         Format.fprintf ppf
           "           attempts %d, resumed phases %d, checkpoints %d@."
@@ -884,6 +1049,11 @@ let pp_view ppf v =
   Format.fprintf ppf
     "outcomes: %d done, %d failed, %d cancelled, %d rejected@." v.vr_done
     v.vr_failed v.vr_cancelled v.vr_rejected;
+  if v.vr_shed > 0 then
+    Format.fprintf ppf
+      "deadline shedding: %d queued quer%s dropped past deadline@."
+      v.vr_shed
+      (if v.vr_shed = 1 then "y" else "ies");
   Format.fprintf ppf
     "workers: %d spawned, %d died, %d queries reclaimed@."
     v.vr_workers_spawned v.vr_workers_died v.vr_reclaims;

@@ -51,6 +51,19 @@ type config = {
   checkpoint_every : int;
       (** tuple-count checkpoint trigger for worker runs (0 = phase
           boundaries only) *)
+  class_quotas : (string * int) list;
+      (** priority-aware admission: each class's maximum share of the
+          waiting queue, in priority order (earlier = dispatched first;
+          unclassified work dispatches last and is bounded only by
+          [queue_capacity]).  Submitting under a class not listed here is
+          rejected ([unknown-class:<name>]); exceeding a class's quota is
+          rejected ([class-quota:<name>]) even when the global queue has
+          room, so one chatty class cannot crowd out the others *)
+  memory_budget : int option;
+      (** global tuple budget partitioned evenly across the pool: every
+          worker run executes under [budget / workers] as its paging
+          budget, so co-resident queries cannot collectively exceed the
+          server's memory *)
   corrective : Corrective.config;
       (** template for worker runs; the server supplies checkpoint,
           resume, crash, stats-seed, trace and metrics per attempt *)
@@ -92,6 +105,10 @@ type outcome =
 type query_report = {
   qr_id : string;
   qr_spec : string;
+  qr_class : string option;  (** admission priority class *)
+  qr_deadline_s : float option;
+      (** deadline in server virtual seconds (absolute), when one was
+          submitted *)
   qr_outcome : outcome;
   qr_submitted_s : float;  (** server virtual seconds *)
   qr_finished_s : float;
@@ -110,6 +127,9 @@ type report = {
   r_failed : int;
   r_cancelled : int;
   r_rejected : int;
+  r_shed : int;
+      (** queued queries dropped at a dispatcher poll because their
+          deadline had already passed (counted among [r_rejected]) *)
   r_workers_spawned : int;  (** initial pool + replacements *)
   r_workers_died : int;
   r_reclaims : int;
@@ -143,6 +163,8 @@ val tpch_resolver :
 type query_view = {
   v_id : string;
   v_spec : string;
+  v_class : string;  (** admission priority class ("" = unclassified) *)
+  v_deadline_s : float;  (** absolute server deadline (0 = none) *)
   v_outcome : string;  (** "done" | "failed" | "cancelled" | "rejected" *)
   v_reason : string;  (** failure/rejection reason ("" otherwise) *)
   v_submitted_s : float;
@@ -151,6 +173,10 @@ type query_view = {
   v_result_card : int;
   v_time_s : float;  (** the query's own virtual duration *)
   v_coverage : float;
+  v_degraded : string;
+      (** "deadline" / "memory" when governance degraded the run to a
+          partial answer ("" = complete) *)
+  v_breaker_trips : int;  (** circuit-breaker trips during the run *)
   v_resumed_phases : int;
   v_checkpoints : int;
   v_warm_signatures : int;
@@ -163,6 +189,7 @@ type view = {
   vr_failed : int;
   vr_cancelled : int;
   vr_rejected : int;
+  vr_shed : int;
   vr_workers_spawned : int;
   vr_workers_died : int;
   vr_reclaims : int;

@@ -108,7 +108,7 @@ let test_driver_order_and_idle () =
   let consume src _ = log := Source.name src :: !log in
   (match Driver.run ctx ~sources:[ slow; fast ] ~consume () with
    | Driver.Exhausted -> ()
-   | Driver.Switched -> Alcotest.fail "no poll: cannot switch");
+   | Driver.Switched | Driver.Stopped -> Alcotest.fail "no poll: cannot switch");
   (* fast arrivals: 0, 1e5, 2e5; slow: 0, 1e6 -> slow's second tuple last *)
   Alcotest.(check (list string)) "arrival-ordered"
     [ "slow"; "fast"; "fast"; "fast"; "slow" ]
@@ -126,7 +126,7 @@ let test_driver_poll_switch () =
   in
   (match Driver.run ctx ~sources:[ src ] ~consume ~poll:(100.0, poll) () with
    | Driver.Switched -> ()
-   | Driver.Exhausted -> Alcotest.fail "should have switched");
+   | Driver.Exhausted | Driver.Stopped -> Alcotest.fail "should have switched");
   Alcotest.(check int) "polled twice" 2 !polls;
   Alcotest.(check bool) "source partially consumed" true
     (Source.consumed src > 0 && not (Source.exhausted src))

@@ -23,4 +23,5 @@ let () =
       "report", Test_report.suite;
       "obs", Test_obs.suite;
       "recovery", Test_recovery.suite;
-      "server", Test_server.suite ]
+      "server", Test_server.suite;
+      "governance", Test_governance.suite ]

@@ -463,7 +463,7 @@ let test_fault_events () =
   let consume _ _ = () in
   (match Driver.run ctx ~sources:[ s ] ~consume ~retry:retry_policy () with
    | Driver.Exhausted -> ()
-   | Driver.Switched -> Alcotest.fail "unexpected switch");
+   | Driver.Switched | Driver.Stopped -> Alcotest.fail "unexpected switch");
   let retries =
     List.filter_map
       (function

@@ -17,7 +17,8 @@ let test_pp_run () =
     { Report.label = "x"; time_s = 1.0; cpu_s = 0.8; idle_s = 0.2;
       wall_s = 0.1; phases = 2; stitch_time_s = 0.3; reused = 1200;
       discarded = 5; result_card = 42; coverage = 1.0; retries = 0;
-      failovers = 0; paged_out = 0; checkpoints = 0 }
+      failovers = 0; paged_out = 0; checkpoints = 0;
+      degraded_reason = None }
   in
   let render r = Format.asprintf "%a" Report.pp_run r in
   let contains s needle =
@@ -35,7 +36,12 @@ let test_pp_run () =
   let s = render { r with Report.paged_out = 3; checkpoints = 2 } in
   Alcotest.(check bool) "mentions page-outs" true (contains s "3 paged out");
   Alcotest.(check bool) "mentions checkpoints" true
-    (contains s "2 checkpoint(s)")
+    (contains s "2 checkpoint(s)");
+  Alcotest.(check bool) "quiet when not degraded" false
+    (contains s "DEGRADED");
+  let s = render { r with Report.degraded_reason = Some "deadline" } in
+  Alcotest.(check bool) "mentions degradation" true
+    (contains s "DEGRADED (deadline)")
 
 let suite =
   [ Alcotest.test_case "human_int" `Quick test_human_int;

@@ -44,7 +44,7 @@ let test_script_grammar () =
          (List.filteri (fun i _ -> i < List.length s - 1) s)
          (List.tl s));
     (match s with
-     | (0.0, Script.Submit { qid = "q2"; spec }) :: _ ->
+     | (0.0, Script.Submit { qid = "q2"; spec; _ }) :: _ ->
        Alcotest.(check string) "spec is the rest of the line, comment cut"
          "SELECT * FROM x" spec
      | _ -> Alcotest.fail "q2 should sort first");
