@@ -9,15 +9,15 @@ open Adp_analysis
 open Adp_query
 
 let time_us f =
-  (* Median of repeated batches to shed scheduler noise. *)
+  (* Median of repeated batches to shed scheduler noise; timed through
+     the sanctioned wall module, so no lint waiver is needed. *)
   let batch () =
     let n = 50 in
-    let t0 = Sys.time () (* determinism-ok: measuring the analyzer itself *) in
+    let t0 = Adp_obs.Wallclock.cpu_now () in
     for _ = 1 to n do
       ignore (Sys.opaque_identity (f ()))
     done;
-    (Sys.time () -. t0) (* determinism-ok: measuring the analyzer itself *)
-    *. 1e6 /. float_of_int n
+    (Adp_obs.Wallclock.cpu_now () -. t0) *. 1e6 /. float_of_int n
   in
   let samples = List.sort compare (List.init 7 (fun _ -> batch ())) in
   List.nth samples 3
@@ -56,4 +56,15 @@ let run () =
             (List.length diags) us)
         [ 2; 4; 8 ])
     Workload.evaluated;
-  Bench_common.Bjson.emit ~bench:"check" (List.rev !json)
+  let wall =
+    let q = Workload.query Workload.Q3A in
+    let catalog = Workload.catalog ~with_cardinalities:true ds q in
+    let lookup r =
+      try Some (Catalog.schema_of catalog r) with Not_found -> None
+    in
+    let sels = Adp_stats.Selectivity.create () in
+    let plan = (Optimizer.optimize ~preagg:Optimizer.Auto q catalog sels).spec in
+    Bench_common.wall_stats ~id:"check" (fun () ->
+        Analyzer.check_workload ~phases:4 ~lookup q [ plan ])
+  in
+  Bench_common.Bjson.emit ~bench:"check" (List.rev !json @ wall)

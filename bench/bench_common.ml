@@ -101,79 +101,63 @@ let run_cqp ?(model = Source.Local) ~variant ~query:qid ~dataset:(ds_name, ds)
 let seconds = Report.seconds
 
 (* Machine-readable companion output: every experiment writes a
-   BENCH_<id>.json file next to its printed tables, all through the same
-   schema, so [tukwila bench-diff] can compare any run against a
-   committed baseline with per-metric-kind thresholds. *)
+   BENCH_<id>.json file next to its printed tables, all through the
+   schema in [Adp_obs.Bjson], so [tukwila bench-diff] can compare any
+   run against a committed baseline with per-metric-kind thresholds. *)
 module Bjson = struct
-  (* Schema (version 1):
-       { "schema": 1, "bench": "<id>", "scale": <SF>,
-         "cells": [ { "id": "...", "kind": "...", "value": <num> }, ... ] }
-
-     Cell kinds and their diff semantics:
-       time   deterministic virtual seconds — compared with a relative
-              tolerance (plans may legitimately drift a little across
-              estimator tweaks);
-       count  deterministic integer/exact value — must match exactly;
-       bool   invariant flag (1/0) — must match exactly;
-       wall   wall-clock measurement — informational only, never gates. *)
-  type kind = Time | Count | Bool | Wall
-
-  type cell = { id : string; kind : kind; value : float }
-
-  let time id v = { id; kind = Time; value = v }
-  let count id n = { id; kind = Count; value = float_of_int n }
-  let num id v = { id; kind = Count; value = v }
-  let flag id b = { id; kind = Bool; value = (if b then 1.0 else 0.0) }
-  let wall id v = { id; kind = Wall; value = v }
-
-  let kind_name = function
-    | Time -> "time"
-    | Count -> "count"
-    | Bool -> "bool"
-    | Wall -> "wall"
-
-  (* Cell ids are path-like slugs: lowercase, [a-z0-9./%+-] kept,
-     everything else collapsed to '-'. *)
-  let slug s =
-    let b = Buffer.create (String.length s) in
-    let last_dash = ref false in
-    String.iter
-      (fun c ->
-        let c = Char.lowercase_ascii c in
-        match c with
-        | 'a' .. 'z' | '0' .. '9' | '.' | '/' | '%' | '+' ->
-          Buffer.add_char b c;
-          last_dash := false
-        | _ ->
-          if not !last_dash then Buffer.add_char b '-';
-          last_dash := true)
-      (String.trim s);
-    let s = Buffer.contents b in
-    (* strip trailing dashes *)
-    let n = ref (String.length s) in
-    while !n > 0 && s.[!n - 1] = '-' do decr n done;
-    String.sub s 0 !n
+  include Adp_obs.Bjson
 
   let emit ~bench cells =
     let file = "BENCH_" ^ bench ^ ".json" in
-    let cell_line c =
-      Printf.sprintf "    { \"id\": %S, \"kind\": %S, \"value\": %s }" c.id
-        (kind_name c.kind)
-        (Adp_obs.Json.float_str c.value)
-    in
-    let body =
-      Printf.sprintf
-        "{\n  \"schema\": 1,\n  \"bench\": %S,\n  \"scale\": %s,\n  \
-         \"cells\": [\n%s\n  ]\n}\n"
-        bench
-        (Adp_obs.Json.float_str scale)
-        (String.concat ",\n" (List.map cell_line cells))
-    in
-    let oc = open_out file in
-    output_string oc body;
-    close_out oc;
+    write file { Adp_obs.Bjson.bench; scale; cells };
     Printf.printf "[wrote %s]\n%!" file
 end
+
+(* Wall-clock repetitions: every bench id runs a representative kernel
+   [reps] times and emits a <id>-wall-min/-median/-p95 trio, the cells
+   [tukwila bench-diff] gates variance-aware (median vs. median,
+   one-sided, tolerance widened by the repetition spread).  CI sets
+   ADP_BENCH_REPS=3 explicitly to bound job time. *)
+let reps =
+  match Sys.getenv_opt "ADP_BENCH_REPS" with
+  | Some s -> max 1 (int_of_string s)
+  | None -> 3
+
+let wall_stats ~id f =
+  let times =
+    List.init reps (fun _ ->
+        let t0 = Adp_obs.Wallclock.monotonic_s () in
+        ignore (Sys.opaque_identity (f ()));
+        Adp_obs.Wallclock.monotonic_s () -. t0)
+  in
+  let arr = Array.of_list (List.sort compare times) in
+  let n = Array.length arr in
+  let q p =
+    let r = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    arr.(max 0 (min (n - 1) r))
+  in
+  [ Bjson.wall (id ^ "-wall-min") arr.(0);
+    Bjson.wall (id ^ "-wall-median") (q 0.5);
+    Bjson.wall (id ^ "-wall-p95") (q 0.95) ]
+
+(* The default repetition kernel: a fresh (never memoized) corrective
+   run recovering from the documented pessimal plan — the adaptation
+   path most experiments exercise — with observability off unless the
+   caller attaches it. *)
+let wall_kernel ?(model = Source.Local) ?(qid = Workload.Q3A)
+    ?(dataset = uniform) ?trace ?profile ?wall () =
+  let ds = Lazy.force dataset in
+  let q = Workload.query qid in
+  let catalog = Workload.catalog ~with_cardinalities:true ds q in
+  let sources () = Workload.sources ~model ds q () in
+  let sels = Adp_stats.Selectivity.create () in
+  let bad =
+    (Adp_optimizer.Optimizer.pessimal q catalog sels).Adp_optimizer.Optimizer
+      .spec
+  in
+  fun () ->
+    Strategy.run ~label:"wall-kernel" ~initial_plan:bad ?trace ?profile ?wall
+      (Strategy.Corrective corrective_config) q catalog ~sources
 
 let time_cell (o : Strategy.outcome) = seconds o.Strategy.report.Report.time_s
 

@@ -113,4 +113,6 @@ let run () =
     ~title:
       "Fault sweep with no mirror: exhausted budgets degrade to partial \
        results";
-  Bjson.emit ~bench:"faults" (List.rev !json_cells)
+  Bjson.emit ~bench:"faults"
+    (List.rev !json_cells
+    @ Bench_common.wall_stats ~id:"faults" (Bench_common.wall_kernel ()))

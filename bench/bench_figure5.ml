@@ -111,7 +111,8 @@ let run () =
           (String.concat "," (List.map string_of_int counts)))
     results;
   Bjson.emit ~bench:"figure5"
-    (List.concat_map
+    (Bench_common.wall_stats ~id:"figure5" (Bench_common.wall_kernel ())
+    @ List.concat_map
        (fun (label, per_strategy) ->
          let outputs = List.map (fun (_, o) -> o.output) per_strategy in
          let agree =
@@ -177,4 +178,7 @@ let table3 () =
       [ "dataset"; "variant"; "hash out"; "merge out"; "stitch out";
         "routed→merge"; "routed→hash" ]
     rows;
-  Bjson.emit ~bench:"table3" (List.rev !json)
+  Bjson.emit ~bench:"table3"
+    (List.rev !json
+    @ Bench_common.wall_stats ~id:"table3"
+        (Bench_common.wall_kernel ~dataset:Bench_common.skewed ()))

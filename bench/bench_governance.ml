@@ -276,7 +276,7 @@ let run () =
         Printf.sprintf "%d rejected, %d shed" server.Server.r_rejected
           server.Server.r_shed ] ];
   Bjson.emit ~bench:"governance"
-    [ Bjson.count "full-rows" (List.length full_rows);
+    ([ Bjson.count "full-rows" (List.length full_rows);
       Bjson.time "full-time" full_s;
       Bjson.count "deadline50-rows" (List.length rows50);
       Bjson.num "deadline50-coverage" st50.Corrective.coverage;
@@ -303,3 +303,4 @@ let run () =
       Bjson.flag "overload-rejects-named" rejects_named;
       Bjson.flag "overload-degraded-in-flight" degraded;
       Bjson.flag "zero-perturbation" unperturbed ]
+    @ Bench_common.wall_stats ~id:"governance" (Bench_common.wall_kernel ()))

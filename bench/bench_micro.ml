@@ -178,4 +178,5 @@ let run () =
          Bench_common.Bjson.wall
            (Bench_common.Bjson.slug name ^ "/ns-per-op")
            (Option.value ~default:(-1.0) ns))
-       measured)
+       measured
+    @ Bench_common.wall_stats ~id:"micro" (Bench_common.wall_kernel ()))

@@ -101,7 +101,7 @@ let run () =
      | Some (node, q) -> Printf.sprintf "%s (q-error %.2f)" node q
      | None -> "none");
   Bjson.emit ~bench:"profile"
-    [ Bjson.time "time" time_s;
+    ([ Bjson.time "time" time_s;
       Bjson.flag "time-identical" time_identical;
       Bjson.flag "result-identical" result_identical;
       Bjson.count "decisions" (List.length decisions);
@@ -111,3 +111,6 @@ let run () =
       Bjson.wall "wall-profiled" wall_profiled;
       Bjson.wall "overhead-frac" overhead;
       Bjson.flag "overhead-ok" (overhead < 0.25) ]
+    @ wall_stats ~id:"profile" (fun () ->
+          run_one ~profile:(Profile.create ()) ~calibrate:(Calibrate.create ())
+            ()))

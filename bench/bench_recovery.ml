@@ -163,4 +163,5 @@ let run () =
                o.Strategy.report.Report.time_s;
              Bjson.count (key ^ "/resumed-phases") resumed;
              Bjson.flag (key ^ "/matches-baseline") ok ])
-         recoveries)
+         recoveries
+     @ Bench_common.wall_stats ~id:"recovery" (Bench_common.wall_kernel ()))

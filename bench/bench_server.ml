@@ -205,7 +205,7 @@ let run () =
         Printf.sprintf "%d sigs, %s -> %s" warm_b.Server.qr_warm_signatures
           (seconds cold_s) (seconds warm_s) ] ];
   Bjson.emit ~bench:"server"
-    [ Bjson.flag "poll-hits-floor" floor_hit;
+    ([ Bjson.flag "poll-hits-floor" floor_hit;
       Bjson.flag "poll-recovers-ceiling" ceiling_hit;
       Bjson.count "burst-polls" burst.Server.r_polls;
       Bjson.count "burst-busy-polls" burst.Server.r_busy_polls;
@@ -223,3 +223,4 @@ let run () =
       Bjson.flag "warm-faster" (warm_s < cold_s);
       Bjson.time "warm-cold-time" cold_s; Bjson.time "warm-time" warm_s;
       Bjson.count "shared-signatures" warm_r.Server.r_shared_signatures ]
+    @ Bench_common.wall_stats ~id:"server" (Bench_common.wall_kernel ()))

@@ -70,7 +70,8 @@ let breakdown ?(model = Adp_exec.Source.Local) ~bench ~title () =
       variants
   in
   Report.table ~title ~header rows;
-  Bjson.emit ~bench (List.rev !json)
+  Bjson.emit ~bench
+    (List.rev !json @ wall_stats ~id:bench (wall_kernel ~model ()))
 
 let run () =
   breakdown ~bench:"table1"

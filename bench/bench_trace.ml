@@ -80,8 +80,11 @@ let run () =
     (if time_identical then "identical" else "DIVERGED")
     (2 * repeats);
   Bjson.emit ~bench:"trace"
-    [ Bjson.count "events" !events; Bjson.time "time" time_s;
-      Bjson.flag "time-identical" time_identical;
-      Bjson.wall "wall-plain" wall_plain; Bjson.wall "wall-traced" wall_traced;
-      Bjson.wall "overhead-frac" overhead;
-      Bjson.flag "overhead-ok" (overhead < 0.05) ]
+    ([ Bjson.count "events" !events; Bjson.time "time" time_s;
+       Bjson.flag "time-identical" time_identical;
+       Bjson.wall "wall-plain" wall_plain;
+       Bjson.wall "wall-traced" wall_traced;
+       Bjson.wall "overhead-frac" overhead;
+       Bjson.flag "overhead-ok" (overhead < 0.05) ]
+    @ wall_stats ~id:"trace" (fun () ->
+          run_one ~metrics:(Metrics.create ()) ()))

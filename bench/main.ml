@@ -47,10 +47,10 @@ let () =
       (fun name ->
         match List.assoc_opt name experiments with
         | Some (_, run) ->
-          let t0 = Sys.time () (* determinism-ok: progress reporting *) in
+          let t0 = Adp_obs.Wallclock.cpu_now () in
           run ();
           Printf.printf "[%s finished in %.1fs of CPU time]\n%!" name
-            (Sys.time () -. t0) (* determinism-ok: progress reporting *)
+            (Adp_obs.Wallclock.cpu_now () -. t0)
         | None ->
           Printf.printf "unknown experiment %S\n" name;
           usage ();

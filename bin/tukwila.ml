@@ -450,10 +450,20 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let wall_flag_arg =
+  let doc =
+    "Attach the wall-clock sidecar, so the $(b,--metrics) dump gains the \
+     $(b,adp_wall_*) and $(b,adp_gc_*) gauges (wall/CPU seconds, sampler \
+     ticks, allocation and collection totals).  The sidecar only reads \
+     hardware time; the reported virtual times and results are identical \
+     with and without it."
+  in
+  Arg.(value & flag & info [ "wall" ] ~doc)
+
 let query_cmd =
   let run sql scale skew seed cards strategy preagg model faults mirrors
       retry limit ckpt_dir ckpt_every resume crash trace_file metrics_file
-      deadline_s memory_budget memory_ceiling breaker =
+      with_wall deadline_s memory_budget memory_ceiling breaker =
     let ds = dataset scale skew seed in
     let q, order = parse_query_with_order sql in
     let catalog = Workload.catalog ~with_cardinalities:cards ds q in
@@ -563,12 +573,19 @@ let query_cmd =
     let metrics =
       match metrics_file with Some _ -> Some (Adp_obs.Metrics.create ()) | None -> None
     in
+    let wall = if with_wall then Some (Adp_obs.Wallclock.create ()) else None in
     (* Flush the observability sinks even when --crash kills the run: the
        trace of an interrupted run is exactly what --resume explains. *)
     let finish () =
       Option.iter Adp_obs.Trace.close trace;
       match metrics_file, metrics with
       | Some path, Some m ->
+        (* The engine syncs wall gauges at its own boundaries; a final
+           sync here covers crashed runs, whose registry would otherwise
+           miss the last deltas. *)
+        (match wall with
+         | Some w -> Adp_obs.Wallclock.sync_metrics w m
+         | None -> ());
         let contents =
           if Filename.check_suffix path ".prom" then
             Adp_obs.Metrics.to_prometheus m
@@ -579,8 +596,8 @@ let query_cmd =
     in
     let o =
       match
-        Strategy.run ~preagg ~label:"query" ~retry ?trace ?metrics strategy q
-          catalog ~sources
+        Strategy.run ~preagg ~label:"query" ~retry ?trace ?metrics ?wall
+          strategy q catalog ~sources
       with
       | o ->
         finish ();
@@ -596,6 +613,16 @@ let query_cmd =
         exit 1
     in
     Format.printf "%a@.@." Report.pp_run o.Strategy.report;
+    (match wall with
+     | None -> ()
+     | Some w ->
+       let g = Adp_obs.Wallclock.gc_totals w in
+       Format.printf
+         "wall %.1f ms (cpu %.1f ms); GC %s minor + %s major words@.@."
+         (Adp_obs.Wallclock.elapsed_s w *. 1e3)
+         (Adp_obs.Wallclock.cpu_s w *. 1e3)
+         (Report.human_int (int_of_float g.Adp_obs.Wallclock.g_minor_words))
+         (Report.human_int (int_of_float g.Adp_obs.Wallclock.g_major_words)));
     (match o.Strategy.corrective_stats with
      | Some stats when stats.Corrective.phases > 1 ->
        List.iter
@@ -619,8 +646,8 @@ let query_cmd =
     Term.(const run $ sql_arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
           $ strategy_arg $ preagg_arg $ model_arg $ fault_arg $ mirror_arg
           $ retry_arg $ limit_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-          $ resume_arg $ crash_arg $ trace_arg $ metrics_arg $ deadline_arg
-          $ mem_budget_arg $ mem_ceiling_arg $ breaker_arg)
+          $ resume_arg $ crash_arg $ trace_arg $ metrics_arg $ wall_flag_arg
+          $ deadline_arg $ mem_budget_arg $ mem_ceiling_arg $ breaker_arg)
 
 (* ---------------- check ---------------- *)
 
@@ -810,7 +837,9 @@ let profile_cmd =
       (fun wq -> String.lowercase_ascii (Workload.name wq) = lc)
       Workload.evaluated
   in
-  let run arg scale skew seed cards model trace_file =
+  let run arg scale skew seed cards model trace_file with_wall folded_file
+      perfetto_file =
+    let with_wall = with_wall || folded_file <> None || perfetto_file <> None in
     let ds = dataset scale skew seed in
     let q =
       match workload_of_string arg with
@@ -834,6 +863,7 @@ let profile_cmd =
     in
     let profile = Profile.create () in
     let calibrate = Calibrate.create () in
+    let wall = if with_wall then Some (Adp_obs.Wallclock.create ()) else None in
     let trace =
       match trace_file with
       | None -> None
@@ -850,24 +880,77 @@ let profile_cmd =
     in
     let o =
       Strategy.run ~label:"profile" ?initial_plan ?trace ~profile ~calibrate
-        (Strategy.Corrective config) q catalog
+        ?wall (Strategy.Corrective config) q catalog
         ~sources:(Workload.sources ~model ds q)
     in
     Option.iter Adp_obs.Trace.close trace;
     Format.printf "%a@.@." Report.pp_run o.Strategy.report;
     let latest = Calibrate.latest_by_node calibrate in
     let blame = Option.map fst (Calibrate.worst calibrate) in
+    (* Wall shadow per node, aggregated across phases: appended to the
+       calibration annotation so the tree shows virtual time and its
+       hardware cost side by side. *)
+    let wall_by_node =
+      match wall with
+      | None -> []
+      | Some w ->
+        List.map
+          (fun (i : Adp_obs.Wallclock.info) -> (i.Adp_obs.Wallclock.node, i))
+          (Adp_obs.Wallclock.totals w)
+    in
     let annot ~node =
-      match List.assoc_opt node latest with
-      | None -> None
-      | Some ob ->
-        Some
-          (Printf.sprintf "est %.0f / actual %.0f (q %.2f)%s"
-             ob.Calibrate.o_est ob.Calibrate.o_actual ob.Calibrate.o_q
-             (if blame = Some node then "  <- blame" else ""))
+      let cal =
+        match List.assoc_opt node latest with
+        | None -> None
+        | Some ob ->
+          Some
+            (Printf.sprintf "est %.0f / actual %.0f (q %.2f)%s"
+               ob.Calibrate.o_est ob.Calibrate.o_actual ob.Calibrate.o_q
+               (if blame = Some node then "  <- blame" else ""))
+      in
+      let wl =
+        match List.assoc_opt node wall_by_node with
+        | None -> None
+        | Some i ->
+          Some
+            (Printf.sprintf "wall %.2fms, %s minor words"
+               (i.Adp_obs.Wallclock.self_s *. 1e3)
+               (Report.human_int
+                  (int_of_float i.Adp_obs.Wallclock.minor_words)))
+      in
+      match (cal, wl) with
+      | None, None -> None
+      | Some a, None -> Some a
+      | None, Some b -> Some b
+      | Some a, Some b -> Some (a ^ "; " ^ b)
     in
     Format.printf "%a@." (Profile.render ~annot) profile;
-    Format.printf "%a@." Calibrate.render calibrate
+    Format.printf "%a@." Calibrate.render calibrate;
+    (match wall with
+     | None -> ()
+     | Some w ->
+       let g = Adp_obs.Wallclock.gc_totals w in
+       Printf.printf
+         "wall %.1f ms (cpu %.1f ms), %d sampler ticks; GC: %s minor + %s \
+          major words, %d minor / %d major collections\n"
+         (Adp_obs.Wallclock.elapsed_s w *. 1e3)
+         (Adp_obs.Wallclock.cpu_s w *. 1e3)
+         (Adp_obs.Wallclock.sample_count w)
+         (Report.human_int
+            (int_of_float g.Adp_obs.Wallclock.g_minor_words))
+         (Report.human_int
+            (int_of_float g.Adp_obs.Wallclock.g_major_words))
+         g.Adp_obs.Wallclock.g_minor_collections
+         g.Adp_obs.Wallclock.g_major_collections;
+       let export file contents what =
+         match file with
+         | None -> ()
+         | Some path ->
+           Adp_storage.Snapshot.write_text ~path contents;
+           Printf.printf "[wrote %s (%s)]\n" path what
+       in
+       export folded_file (Adp_obs.Wallclock.to_folded w) "collapsed stacks";
+       export perfetto_file (Adp_obs.Wallclock.to_perfetto w) "Perfetto trace")
   in
   let doc =
     "Execute a query under the corrective strategy with the per-node \
@@ -888,10 +971,33 @@ let profile_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
   in
+  let wall_arg =
+    let doc =
+      "Attach the wall-clock sidecar: the plan tree gains per-node wall \
+       self-time and allocation annotations, and a wall/GC summary \
+       follows the calibration ledger.  The sidecar only reads hardware \
+       time — virtual clocks and results stay bit-identical."
+    in
+    Arg.(value & flag & info [ "wall" ] ~doc)
+  in
+  let folded_arg =
+    let doc =
+      "Write collapsed-stack flamegraph lines to $(i,FILE) (render with \
+       $(b,tukwila flame) or any flamegraph tool).  Implies $(b,--wall)."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+  in
+  let perfetto_arg =
+    let doc =
+      "Write a Perfetto/Chrome trace with GC counter tracks and event \
+       marks to $(i,FILE).  Implies $(b,--wall)."
+    in
+    Arg.(value & opt (some string) None & info [ "perfetto" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(const run $ arg $ scale_arg $ skew_arg $ seed_arg $ cards_arg
-          $ model_arg $ trace_arg)
+          $ model_arg $ trace_arg $ wall_arg $ folded_arg $ perfetto_arg)
 
 (* ---------------- serve / server-report ---------------- *)
 
@@ -1177,114 +1283,48 @@ let server_report_cmd =
 (* ---------------- bench-diff ---------------- *)
 
 let bench_diff_cmd =
-  let module J = Adp_obs.Json in
+  let module Benchdiff = Adp_obs.Benchdiff in
   let read path =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    match J.parse s with
-    | Ok j -> j
+    match Adp_obs.Bjson.load path with
+    | Ok doc -> doc
     | Error m ->
       Printf.eprintf "%s: %s\n" path m;
       exit 2
   in
-  let meta path j name get =
-    match Option.bind (J.member name j) get with
-    | Some v -> v
-    | None ->
-      Printf.eprintf "%s: missing or malformed %S field\n" path name;
+  let run base_path new_path time_tol wall_tol =
+    let baseline = read base_path and current = read new_path in
+    match Benchdiff.diff ~time_tol ~wall_tol ~baseline ~current () with
+    | Error m ->
+      Printf.eprintf "%s\n" m;
       exit 2
-  in
-  let cells path j =
-    List.map
-      (fun c ->
-        match
-          ( Option.bind (J.member "id" c) J.get_str,
-            Option.bind (J.member "kind" c) J.get_str,
-            Option.bind (J.member "value" c) J.get_num )
-        with
-        | Some id, Some kind, Some v -> (id, (kind, v))
-        | _ ->
-          Printf.eprintf "%s: malformed cell %s\n" path (J.to_string c);
-          exit 2)
-      (meta path j "cells" J.get_list)
-  in
-  let run base_path new_path time_tol =
-    let base = read base_path and fresh = read new_path in
-    List.iter
-      (fun (path, j) ->
-        if meta path j "schema" J.get_int <> 1 then begin
-          Printf.eprintf "%s: unsupported schema version\n" path;
-          exit 2
-        end)
-      [ base_path, base; new_path, fresh ];
-    let bench p j = meta p j "bench" J.get_str in
-    if bench base_path base <> bench new_path fresh then begin
-      Printf.eprintf "bench id mismatch: %S vs %S\n" (bench base_path base)
-        (bench new_path fresh);
-      exit 2
-    end;
-    let scale p j = meta p j "scale" J.get_num in
-    if scale base_path base <> scale new_path fresh then begin
-      Printf.eprintf
-        "scale factor mismatch (%g vs %g): results are not comparable\n"
-        (scale base_path base) (scale new_path fresh);
-      exit 2
-    end;
-    let bcells = cells base_path base and ncells = cells new_path fresh in
-    let breaches = ref 0 and compared = ref 0 and wall = ref 0 in
-    let breach fmt =
-      incr breaches;
-      Printf.printf fmt
-    in
-    List.iter
-      (fun (id, (kind, bv)) ->
-        match List.assoc_opt id ncells with
-        | None -> breach "BREACH %-10s %s: missing from %s\n" kind id new_path
-        | Some (nkind, _) when nkind <> kind ->
-          breach "BREACH %-10s %s: kind changed to %s\n" kind id nkind
-        | Some (_, nv) -> (
-          match kind with
-          | "wall" -> incr wall
-          | "time" ->
-            incr compared;
-            let rel =
-              Float.abs (nv -. bv) /. Float.max (Float.abs bv) 1e-12
-            in
-            if rel > time_tol then
-              breach "BREACH %-10s %s: %s -> %s (%+.1f%%, tolerance %.0f%%)\n"
-                kind id (J.float_str bv) (J.float_str nv) (100.0 *. rel)
-                (100.0 *. time_tol)
-          | _ ->
-            (* count and bool are deterministic under the virtual clock:
-               any drift is a behavior change, not noise. *)
-            incr compared;
-            if nv <> bv then
-              breach "BREACH %-10s %s: %s -> %s (must match exactly)\n" kind
-                id (J.float_str bv) (J.float_str nv)))
-      bcells;
-    List.iter
-      (fun (id, (kind, _)) ->
-        if List.assoc_opt id bcells = None then
-          Printf.printf "note: new %s cell %s (not in baseline)\n" kind id)
-      ncells;
-    if !breaches > 0 then begin
-      Printf.printf "FAIL %s: %d breach(es) over %d gated cells\n"
-        (bench base_path base) !breaches !compared;
-      exit 1
-    end
-    else
-      Printf.printf
-        "OK %s: %d gated cells within thresholds (%d wall-clock cells \
-         informational)\n"
-        (bench base_path base) !compared !wall
+    | Ok o ->
+      List.iter print_endline o.Benchdiff.o_notes;
+      List.iter print_endline o.Benchdiff.o_breaches;
+      if o.Benchdiff.o_breaches <> [] then begin
+        Printf.printf "FAIL %s: %d breach(es) over %d gated cells\n"
+          o.Benchdiff.o_bench
+          (List.length o.Benchdiff.o_breaches)
+          (o.Benchdiff.o_gated + o.Benchdiff.o_wall_gated);
+        exit 1
+      end
+      else
+        Printf.printf
+          "OK %s: %d gated cells within thresholds (%d wall medians gated \
+           variance-aware, %d wall cells informational)\n"
+          o.Benchdiff.o_bench
+          (o.Benchdiff.o_gated + o.Benchdiff.o_wall_gated)
+          o.Benchdiff.o_wall_gated o.Benchdiff.o_wall_info
   in
   let doc =
     "Compare a freshly produced $(b,BENCH_<id>.json) against a committed \
      baseline with per-metric-kind thresholds: $(b,time) cells (virtual \
      seconds) must stay within $(b,--time-tol) relative, $(b,count) and \
-     $(b,bool) cells must match exactly, $(b,wall) cells are \
+     $(b,bool) cells must match exactly, and $(b,wall) cells gate \
+     variance-aware when present as repetition trios \
+     ($(b,<id>-wall-min/-median/-p95) in both documents): median vs. \
+     median, one-sided (only slowdowns breach), with the $(b,--wall-tol) \
+     tolerance automatically widened to twice the larger document's \
+     repetition spread and a 5 ms noise floor.  Lone wall cells stay \
      informational.  Exits 1 on any breach, 2 on malformed or \
      incomparable inputs (schema, bench id, or scale mismatch)."
   in
@@ -1300,9 +1340,131 @@ let bench_diff_cmd =
     let doc = "Relative tolerance for time-kind cells." in
     Arg.(value & opt float 0.10 & info [ "time-tol" ] ~docv:"FRAC" ~doc)
   in
+  let wall_tol_arg =
+    let doc =
+      "Base relative tolerance for wall-median comparisons (widened by \
+       repetition spread)."
+    in
+    Arg.(value & opt float 0.5 & info [ "wall-tol" ] ~docv:"FRAC" ~doc)
+  in
   Cmd.v
     (Cmd.info "bench-diff" ~doc)
-    Term.(const run $ base_arg $ new_arg $ tol_arg)
+    Term.(const run $ base_arg $ new_arg $ tol_arg $ wall_tol_arg)
+
+(* ---------------- flame ---------------- *)
+
+let flame_cmd =
+  let run path min_pct =
+    let text =
+      try In_channel.with_open_bin path In_channel.input_all
+      with Sys_error m ->
+        Printf.eprintf "%s\n" m;
+        exit 2
+    in
+    let entries =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          match String.rindex_opt line ' ' with
+          | None -> None
+          | Some i -> (
+            let stack = String.sub line 0 i in
+            match
+              int_of_string_opt
+                (String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1)))
+            with
+            | Some c when c > 0 && stack <> "" ->
+              Some (String.split_on_char ';' stack, c)
+            | _ -> None))
+        (String.split_on_char '\n' text)
+    in
+    if entries = [] then begin
+      Printf.eprintf "%s: no stacks (empty or malformed folded file)\n" path;
+      exit 2
+    end;
+    (* Fold the stacks into a prefix tree kept as flat tables: the
+       cumulative weight of every stack prefix, the self weight of every
+       full stack, and each prefix's child frames. *)
+    let total = Hashtbl.create 64 in
+    let self = Hashtbl.create 64 in
+    let kids = Hashtbl.create 64 in
+    let bump tbl k c =
+      Hashtbl.replace tbl k
+        ((match Hashtbl.find_opt tbl k with Some v -> v | None -> 0) + c)
+    in
+    let child parent frame =
+      let cur =
+        match Hashtbl.find_opt kids parent with Some l -> l | None -> []
+      in
+      if not (List.mem frame cur) then Hashtbl.replace kids parent (frame :: cur)
+    in
+    List.iter
+      (fun (stack, c) ->
+        let rec go parent = function
+          | [] -> ()
+          | frame :: rest ->
+            let key = if parent = "" then frame else parent ^ ";" ^ frame in
+            bump total key c;
+            child parent frame;
+            if rest = [] then bump self key c;
+            go key rest
+        in
+        go "" stack)
+      entries;
+    let grand = List.fold_left (fun a (_, c) -> a + c) 0 entries in
+    let pct c = 100.0 *. float_of_int c /. float_of_int grand in
+    let bar p =
+      String.make (max 1 (int_of_float (p *. 0.32 +. 0.5))) '#'
+    in
+    Printf.printf "%s: %d samples across %d stacks\n\n" path grand
+      (List.length entries);
+    let rec render indent parent =
+      let children =
+        List.sort
+          (fun a b ->
+            let ka = if parent = "" then a else parent ^ ";" ^ a in
+            let kb = if parent = "" then b else parent ^ ";" ^ b in
+            match
+              compare (Hashtbl.find total kb) (Hashtbl.find total ka)
+            with
+            | 0 -> String.compare a b
+            | c -> c)
+          (match Hashtbl.find_opt kids parent with Some l -> l | None -> [])
+      in
+      List.iter
+        (fun frame ->
+          let key = if parent = "" then frame else parent ^ ";" ^ frame in
+          let t = Hashtbl.find total key in
+          let s =
+            match Hashtbl.find_opt self key with Some v -> v | None -> 0
+          in
+          if pct t >= min_pct then begin
+            Printf.printf "%6.1f%% %10d  %s%s%s  %s\n" (pct t) t indent frame
+              (if s > 0 && s <> t then Printf.sprintf " (self %d)" s else "")
+              (bar (pct t));
+            render (indent ^ "  ") key
+          end)
+        children
+    in
+    render "" ""
+  in
+  let doc =
+    "Render a collapsed-stack file (as written by $(b,tukwila profile \
+     --folded) or any flamegraph tool: one $(i,frame;frame;...;frame \
+     count) line per stack) as an indented text flamegraph, heaviest \
+     subtrees first, with cumulative percentage, sample count and self \
+     weight per frame."
+  in
+  let arg =
+    let doc = "The .folded collapsed-stack file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FOLDED" ~doc)
+  in
+  let min_arg =
+    let doc = "Hide frames below this cumulative percentage." in
+    Arg.(value & opt float 0.5 & info [ "min-pct" ] ~docv:"PCT" ~doc)
+  in
+  Cmd.v (Cmd.info "flame" ~doc) Term.(const run $ arg $ min_arg)
 
 (* ---------------- lint ---------------- *)
 
@@ -1396,5 +1558,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; explain_cmd; plan_cmd; query_cmd; check_cmd;
-            profile_cmd; serve_cmd; server_report_cmd; bench_diff_cmd;
-            lint_cmd ]))
+            profile_cmd; flame_cmd; serve_cmd; server_report_cmd;
+            bench_diff_cmd; lint_cmd ]))

@@ -21,6 +21,9 @@ type prim_use = {
   p_path : string;  (* "Sys.time" *)
   p_line : int;
   p_waived : bool;
+  p_sanctioned : bool;
+      (* a wall read inside the structurally allowlisted
+         lib/obs/wallclock module: not a finding, generates no taint *)
 }
 
 type call = {
@@ -74,11 +77,21 @@ let collect_unit (u : Src_unit.t) =
                let line = loc.Location.loc_start.Lexing.pos_lnum in
                (match Effect_table.classify path with
                 | Some kind ->
-                  let w = Src_unit.waiver_for u ~line in
+                  let sanctioned =
+                    kind = Effect_table.Wall_clock
+                    && Effect_table.sanctioned_wall_path u.Src_unit.u_path
+                  in
+                  (* Sanctioned reads never consume a waiver, so a
+                     pointless waiver inside the allowlisted module is
+                     still flagged as unused. *)
+                  let w =
+                    if sanctioned then None else Src_unit.waiver_for u ~line
+                  in
                   Option.iter (fun w -> w.Src_unit.w_used <- true) w;
                   d.d_prims <-
                     { p_kind = kind; p_path = Effect_table.dotted path;
-                      p_line = line; p_waived = w <> None }
+                      p_line = line; p_waived = w <> None;
+                      p_sanctioned = sanctioned }
                     :: d.d_prims
                 | None -> d.d_refs <- (path, line) :: d.d_refs)
              | _ -> ());
@@ -188,7 +201,7 @@ let propagate g =
       d.d_taint <-
         List.filter_map
           (fun p ->
-            if p.p_waived then None
+            if p.p_waived || p.p_sanctioned then None
             else
               Some (p.p_kind, W_prim (p.p_path, d.d_unit.Src_unit.u_path,
                                       p.p_line)))

@@ -19,6 +19,7 @@ module Json = Adp_obs.Json
 
 let code_parse_error = "lint-parse-error"
 let code_forbidden_effect = "lint-forbidden-effect"
+let code_wallclock_escape = "lint-wallclock-escape"
 let code_effect_reachable = "lint-effect-reachable"
 let code_waiver_reason = "lint-waiver-reason"
 let code_unused_waiver = "lint-unused-waiver"
@@ -29,10 +30,10 @@ let code_obs_read = "lint-obs-read"
 let code_emit_feedback = "lint-emit-feedback"
 
 let all_codes =
-  [ code_parse_error; code_forbidden_effect; code_effect_reachable;
-    code_waiver_reason; code_unused_waiver; code_unsorted_fold;
-    code_unsorted_iter; code_unguarded_emit; code_obs_read;
-    code_emit_feedback ]
+  [ code_parse_error; code_forbidden_effect; code_wallclock_escape;
+    code_effect_reachable; code_waiver_reason; code_unused_waiver;
+    code_unsorted_fold; code_unsorted_iter; code_unguarded_emit;
+    code_obs_read; code_emit_feedback ]
 
 (* Engine entry points: taint reaching any of these is an error even for
    effect kinds (ambient reads) that are tolerated in harness code. *)
@@ -92,14 +93,28 @@ let analyze ?(entries = default_entries) (units : Src_unit.t list) =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let g = Callgraph.build units in
-  (* pass 1a: direct uses of globally forbidden effects *)
+  (* pass 1a: direct uses of globally forbidden effects.  Wall reads
+     have a structural allowlist — the one sanctioned lib/obs/wallclock
+     module — and escaping it is its own code, so the fix ("route the
+     read through Wallclock") is named rather than inviting a waiver. *)
   List.iter
     (fun (d : Callgraph.def) ->
       List.iter
         (fun (p : Callgraph.prim_use) ->
           match p.p_kind with
-          | (Effect_table.Wall_clock | Effect_table.Unseeded_random)
-            when not p.p_waived ->
+          | _ when p.p_waived || p.p_sanctioned -> ()
+          | Effect_table.Wall_clock ->
+            add
+              (Diagnostic.errorf ~code:code_wallclock_escape
+                 ~path:d.d_unit.Src_unit.u_path
+                 "line %d: %s via %s in %s escapes the sanctioned %s module \
+                  — route it through Adp_obs.Wallclock, or waive with \
+                  (* %s: reason *)"
+                 p.p_line
+                 (Effect_table.kind_name p.p_kind)
+                 p.p_path (Callgraph.qualified d)
+                 Effect_table.sanctioned_wall_suffix Src_unit.marker)
+          | Effect_table.Unseeded_random ->
             add
               (Diagnostic.errorf ~code:code_forbidden_effect
                  ~path:d.d_unit.Src_unit.u_path
@@ -108,7 +123,7 @@ let analyze ?(entries = default_entries) (units : Src_unit.t list) =
                  (Effect_table.kind_name p.p_kind)
                  p.p_path (Callgraph.qualified d) (kind_hint p.p_kind)
                  Src_unit.marker)
-          | _ -> ())
+          | Effect_table.Ambient_read -> ())
         d.d_prims)
     g.g_defs;
   Callgraph.propagate g;

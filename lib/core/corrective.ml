@@ -33,6 +33,7 @@ type config = {
   metrics : Metrics.t option;
   profile : Profile.t option;
   calibrate : Calibrate.t option;
+  wall : Adp_obs.Wallclock.t option;
   stats_seed : Adp_stats.Selectivity.dump option;
 }
 
@@ -45,7 +46,7 @@ let default_config =
     retry = Retry.default_policy; deadline = None; memory_ceiling = None;
     breaker = None; checkpoint = None; resume_from = None;
     crash = []; trace = Trace.null; metrics = None; profile = None;
-    calibrate = None; stats_seed = None }
+    calibrate = None; wall = None; stats_seed = None }
 
 type phase_info = {
   id : int;
@@ -417,7 +418,7 @@ let run ?(config = default_config) query catalog sources =
    | None -> ());
   let ctx =
     Ctx.create ~costs:cfg.costs ~trace:cfg.trace ?metrics:cfg.metrics
-      ?profile:cfg.profile ?calibrate:cfg.calibrate ()
+      ?profile:cfg.profile ?calibrate:cfg.calibrate ?wall:cfg.wall ()
   in
   let order_detectors = attach_order_detectors query sources in
   let hist_attrs =

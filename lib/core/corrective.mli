@@ -105,6 +105,11 @@ type config = {
           cardinality at every re-optimizer poll, phase close and
           stitch-up, plus every switch decision (taken or declined) with
           its blame node *)
+  wall : Adp_obs.Wallclock.t option;
+      (** wall-clock/GC shadow recorder: hardware self-time, allocation
+          and sampling-profiler capture at the same charge sites the
+          profiler uses.  Read-only sidecar — a wall-captured run is
+          bit-identical to a bare one *)
   stats_seed : Adp_stats.Selectivity.dump option;
       (** cross-query warm start: seed the selectivity monitor with
           statistics learned by earlier executions (a server's shared

@@ -21,8 +21,18 @@ let us_to_s v = v /. 1e6
 
 let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
     ?(label = "run") ?initial_plan ?retry ?trace ?metrics ?profile ?calibrate
-    strategy query catalog ~sources =
-  let wall0 = Sys.time () (* determinism-ok: real elapsed time for reports *) in
+    ?wall strategy query catalog ~sources =
+  (* Wall timing goes through the one sanctioned wall-reading module;
+     no per-site lint waiver needed. *)
+  let wall0 = Adp_obs.Wallclock.monotonic_s () in
+  (* The wall shadow attributes by profile span, so wall capture without
+     an explicit profiler gets a private one (attaching a profiler is
+     itself perturbation-free, see test_obs). *)
+  let profile =
+    match profile, wall with
+    | None, Some _ -> Some (Adp_obs.Profile.create ())
+    | _ -> profile
+  in
   (* Static analysis of the query before any strategy runs: catches what
      used to die as [Eddy: unknown relation] or an unqualified column deep
      inside execution, reporting every problem at once. *)
@@ -47,7 +57,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
             calibrate =
               (match calibrate with
                | Some _ -> calibrate
-               | None -> c.calibrate) }
+               | None -> c.calibrate);
+            wall = (match wall with Some _ -> wall | None -> c.wall) }
         | Static | Plan_partitioned _ | Competitive _ | Eddying ->
           (* Static = corrective that never polls and never switches. *)
           { Corrective.default_config with
@@ -56,7 +67,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
             retry =
               Option.value ~default:Corrective.default_config.retry retry;
             trace = Option.value ~default:Adp_obs.Trace.null trace;
-            metrics; profile; calibrate }
+            metrics; profile; calibrate; wall }
       in
       let result, stats = Corrective.run ~config query catalog (sources ()) in
       let report =
@@ -100,7 +111,7 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
       in
       { result; report; corrective_stats = None }
     | Eddying ->
-      let ctx = Ctx.create ~costs ?trace ?metrics () in
+      let ctx = Ctx.create ~costs ?trace ?metrics ?wall () in
       let eddy =
         Eddy.create ctx
           ~sources:
@@ -146,8 +157,8 @@ let run ?(preagg = Optimizer.No_preagg) ?(costs = Cost_model.default)
       in
       { result; report; corrective_stats = None }
   in
-  let wall = Sys.time () -. wall0 (* determinism-ok: real elapsed time *) in
-  { outcome with report = { outcome.report with Report.wall_s = wall } }
+  let wall_s = Adp_obs.Wallclock.monotonic_s () -. wall0 in
+  { outcome with report = { outcome.report with Report.wall_s } }
 
 (* ------------------------------------------------------------------ *)
 (* Naive reference evaluator (test oracle)                             *)

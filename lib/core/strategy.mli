@@ -51,7 +51,13 @@ type outcome = {
     estimate-vs-actual calibration ledger to {!Static} and {!Corrective}
     runs (same override rule as [trace]/[metrics]); like tracing, both
     are zero-perturbation — a profiled run is bit-identical to an
-    unprofiled one. *)
+    unprofiled one.
+
+    [wall] attaches the wall-clock/GC shadow recorder ({!Static},
+    {!Corrective} and {!Eddying} runs).  Wall capture needs profile
+    spans to attribute against, so a run given [wall] without [profile]
+    gets a private profiler.  The recorder is read-only: virtual clock,
+    result multiset and decision ledger stay bit-identical. *)
 val run :
   ?preagg:Optimizer.preagg_strategy ->
   ?costs:Cost_model.t ->
@@ -62,6 +68,7 @@ val run :
   ?metrics:Adp_obs.Metrics.t ->
   ?profile:Adp_obs.Profile.t ->
   ?calibrate:Adp_obs.Calibrate.t ->
+  ?wall:Adp_obs.Wallclock.t ->
   t ->
   Logical.query ->
   Catalog.t ->

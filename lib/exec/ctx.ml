@@ -1,6 +1,7 @@
 module Trace = Adp_obs.Trace
 module Metrics = Adp_obs.Metrics
 module Profile = Adp_obs.Profile
+module Wallclock = Adp_obs.Wallclock
 
 type t = {
   clock : Clock.t;
@@ -9,6 +10,7 @@ type t = {
   metrics : Metrics.t;
   profile : Profile.t option;
   calibrate : Adp_obs.Calibrate.t option;
+  wall : Wallclock.t option;
   tuples_read : Metrics.counter;
   tuples_output : Metrics.counter;
   retries : Metrics.counter;
@@ -23,12 +25,12 @@ type t = {
 }
 
 let create ?(costs = Cost_model.default) ?(trace = Trace.null) ?metrics
-    ?profile ?calibrate () =
+    ?profile ?calibrate ?wall () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
   let c name help = Metrics.counter metrics ~help name in
-  { clock = Clock.create (); costs; trace; metrics; profile; calibrate;
+  { clock = Clock.create (); costs; trace; metrics; profile; calibrate; wall;
     tuples_read = c "adp_tuples_read_total" "source tuples consumed";
     tuples_output = c "adp_tuples_output_total" "result tuples emitted";
     retries = c "adp_retries_total" "source reconnect attempts issued";
@@ -51,21 +53,43 @@ let create ?(costs = Cost_model.default) ?(trace = Trace.null) ?metrics
       c "adp_degraded_total"
         "queries deliberately degraded by deadline or memory governance" }
 
-let charge t c = Clock.charge t.clock c
+(* The wall recorder is a read-only sidecar: it stamps hardware time at
+   the same choke points that charge the virtual clock, and nothing it
+   computes flows back — so wall capture preserves the zero-perturbation
+   contract the same way tracing and profiling do. *)
+let walled t = Option.is_some t.wall
+
+let charge t c =
+  Clock.charge t.clock c;
+  match t.wall with None -> () | Some w -> Wallclock.attribute w None
+
 let now t = Clock.now t.clock
 let traced t = Trace.enabled t.trace
+
 let emit t ev =
-  if traced t then Trace.emit t.trace ~at:(Clock.now t.clock) ev
+  if traced t then begin
+    (match t.wall with
+     | None -> ()
+     | Some w -> Wallclock.note_event w (Trace.event_name ev));
+    Trace.emit t.trace ~at:(Clock.now t.clock) ev
+  end
 
 let profiled t = Option.is_some t.profile
 
 (* [charge_span t sp c] is [charge t c] that also attributes the same
    amount to span [sp] — the attribution adds the float it was handed,
    it never reads the clock, so a profiled run's virtual time is
-   bit-identical to an unprofiled one's. *)
+   bit-identical to an unprofiled one's.  The wall shadow stamps
+   hardware elapsed time against the same span. *)
 let charge_span t sp c =
   Clock.charge t.clock c;
+  (match t.wall with None -> () | Some w -> Wallclock.attribute w sp);
   match sp with None -> () | Some sp -> Profile.add_time sp c
+
+(* Bucket the wall time of a blocking wait (source arrival, retry
+   backoff) so it never pollutes the next operator's span. *)
+let wall_wait t name =
+  match t.wall with None -> () | Some w -> Wallclock.note_wait w name
 
 let span t ?depth node =
   match t.profile with
@@ -73,6 +97,9 @@ let span t ?depth node =
   | Some p -> Some (Profile.span p ?depth node)
 
 let set_profile_phase t phase =
+  (match t.wall with
+   | None -> ()
+   | Some w -> Wallclock.set_phase w phase);
   match t.profile with
   | None -> ()
   | Some p -> Profile.set_phase p phase
@@ -91,4 +118,7 @@ let sync_metrics t =
   Metrics.set
     (g "adp_clock_retry_idle_seconds"
        "virtual idle time attributable to retry backoff")
-    (Clock.retry_idle t.clock /. 1e6)
+    (Clock.retry_idle t.clock /. 1e6);
+  match t.wall with
+  | None -> ()
+  | Some w -> Wallclock.sync_metrics w t.metrics

@@ -16,6 +16,8 @@ type t = {
       (** per-node span profiler; [None] = profiling disabled *)
   calibrate : Adp_obs.Calibrate.t option;
       (** estimate-vs-actual calibration ledger; [None] = disabled *)
+  wall : Adp_obs.Wallclock.t option;
+      (** wall-clock/GC shadow recorder; [None] = wall capture off *)
   tuples_read : Adp_obs.Metrics.counter;  (** source tuples consumed *)
   tuples_output : Adp_obs.Metrics.counter;  (** result tuples emitted *)
   retries : Adp_obs.Metrics.counter;
@@ -45,14 +47,25 @@ val create :
   ?metrics:Adp_obs.Metrics.t ->
   ?profile:Adp_obs.Profile.t ->
   ?calibrate:Adp_obs.Calibrate.t ->
+  ?wall:Adp_obs.Wallclock.t ->
   unit ->
   t
 
-(** Charge CPU cost. *)
+(** Charge CPU cost.  With wall capture on, also stamps the hardware
+    clock into the "(unattributed)" bucket — a read-only sidecar that
+    never perturbs the virtual clock. *)
 val charge : t -> float -> unit
 
 (** Is profiling enabled? *)
 val profiled : t -> bool
+
+(** Is the wall-clock shadow recorder attached? *)
+val walled : t -> bool
+
+(** Bucket the wall time of a blocking wait (e.g. ["(driver wait)"]) so
+    it never pollutes the next operator's span.  No-op without wall
+    capture. *)
+val wall_wait : t -> string -> unit
 
 (** [charge_span t sp c]: {!charge}, plus attribute the same [c] virtual
     microseconds to span [sp] (when profiling).  The attribution re-uses

@@ -1,0 +1,200 @@
+(* Variance-aware comparison of two BENCH_<id>.json documents — the
+   library behind [tukwila bench-diff], factored out of the CLI so the
+   gating rules are unit-testable.
+
+   Deterministic kinds are gated as before: [time] within a relative
+   tolerance, [count]/[bool] exactly.  The division-by-zero hazard of
+   the old CLI math is closed here: values at or below [eps] (1 ns of
+   virtual time) are treated as zero, two zeros compare equal, and the
+   relative error denominator is floored at [eps]; non-finite values
+   (NaN/inf, e.g. from a corrupted run) are explicit breaches rather
+   than silently passing every [<>] or [>] test.
+
+   Wall cells gate only as repetition trios.  A benchmark that runs its
+   kernel K times emits <base>-wall-min / -median / -p95; when both
+   documents carry the full trio, the medians are compared one-sided
+   (only slowdowns breach — baselines are machine-specific, so a faster
+   machine must never fail the gate) under an effective tolerance that
+   widens with the measured noise:
+
+     spread(d)  = (p95 - min) / max(median, floor)
+     tol_eff    = max(wall_tol, 2 * max(spread_base, spread_new))
+     breach    <=> median_new > max(median_base, floor) * (1 + tol_eff)
+
+   and trios whose medians both sit under [floor] (5 ms) are noise by
+   definition and stay informational.  Lone wall cells (no trio in both
+   documents) remain informational, as before. *)
+
+type outcome = {
+  o_bench : string;
+  o_gated : int;  (* deterministic cells compared under a gate *)
+  o_wall_gated : int;  (* wall medians gated variance-aware *)
+  o_wall_info : int;  (* wall cells that stayed informational *)
+  o_breaches : string list;
+  o_notes : string list;
+}
+
+let eps = 1e-9
+let floor_s = 5e-3
+
+let finite v = Float.is_finite v
+
+let median_suffix = "-wall-median"
+
+let strip_suffix ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  if n >= m && String.sub s (n - m) m = suffix then
+    Some (String.sub s 0 (n - m))
+  else None
+
+(* The wall trio rooted at [base], when all three cells are present. *)
+let trio cells base =
+  let find id =
+    List.find_opt (fun (c : Bjson.cell) -> c.id = id && c.kind = Bjson.Wall)
+      cells
+  in
+  match
+    ( find (base ^ "-wall-min"),
+      find (base ^ "-wall-median"),
+      find (base ^ "-wall-p95") )
+  with
+  | Some mn, Some md, Some p95 ->
+    Some (mn.Bjson.value, md.Bjson.value, p95.Bjson.value)
+  | _ -> None
+
+let spread ~mn ~md ~p95 = (p95 -. mn) /. Float.max md floor_s
+
+let diff ?(time_tol = 0.10) ?(wall_tol = 0.5) ~(baseline : Bjson.doc)
+    ~(current : Bjson.doc) () =
+  if baseline.Bjson.bench <> current.Bjson.bench then
+    Error
+      (Printf.sprintf "bench id mismatch: %S vs %S" baseline.Bjson.bench
+         current.Bjson.bench)
+  else if baseline.Bjson.scale <> current.Bjson.scale then
+    Error
+      (Printf.sprintf
+         "scale factor mismatch (%g vs %g): results are not comparable"
+         baseline.Bjson.scale current.Bjson.scale)
+  else begin
+    let breaches = ref [] and notes = ref [] in
+    let gated = ref 0 and wall_gated = ref 0 and wall_info = ref 0 in
+    let breach fmt = Printf.ksprintf (fun s -> breaches := s :: !breaches) fmt in
+    let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+    let ncells = current.Bjson.cells in
+    let lookup id = List.find_opt (fun (c : Bjson.cell) -> c.id = id) ncells in
+    (* Wall trios gate through their median; every wall id belonging to a
+       gated trio is accounted for there. *)
+    let gated_wall_ids =
+      List.concat_map
+        (fun (c : Bjson.cell) ->
+          if c.kind <> Bjson.Wall then []
+          else
+            match strip_suffix ~suffix:median_suffix c.id with
+            | None -> []
+            | Some base ->
+              if
+                trio baseline.Bjson.cells base <> None
+                && trio ncells base <> None
+              then
+                [ base ^ "-wall-min"; base ^ "-wall-median";
+                  base ^ "-wall-p95" ]
+              else [])
+        baseline.Bjson.cells
+    in
+    List.iter
+      (fun (b : Bjson.cell) ->
+        let kind = Bjson.kind_name b.kind in
+        match lookup b.id with
+        | None -> breach "BREACH %-10s %s: missing from the new document" kind b.id
+        | Some n when n.Bjson.kind <> b.kind ->
+          breach "BREACH %-10s %s: kind changed to %s" kind b.id
+            (Bjson.kind_name n.Bjson.kind)
+        | Some n -> (
+          let bv = b.Bjson.value and nv = n.Bjson.value in
+          match b.kind with
+          | Bjson.Wall ->
+            if not (List.mem b.id gated_wall_ids) then begin
+              incr wall_info;
+              if not (finite nv) then
+                note "note: wall cell %s is non-finite (%s)" b.id
+                  (Json.float_str nv)
+            end
+            else if
+              strip_suffix ~suffix:median_suffix b.id <> None
+            then begin
+              (* One gate per trio, keyed off the median cell. *)
+              let base = Option.get (strip_suffix ~suffix:median_suffix b.id) in
+              let bmn, bmd, bp95 = Option.get (trio baseline.Bjson.cells base) in
+              let nmn, nmd, np95 = Option.get (trio ncells base) in
+              if
+                not
+                  (List.for_all finite [ bmn; bmd; bp95; nmn; nmd; np95 ])
+              then
+                breach "BREACH %-10s %s: non-finite value in repetition trio"
+                  kind b.id
+              else if bmd < floor_s && nmd < floor_s then begin
+                incr wall_info;
+                note
+                  "note: wall trio %s under the %.0f ms noise floor \
+                   (informational)"
+                  base (floor_s *. 1e3)
+              end
+              else begin
+                incr wall_gated;
+                let tol_eff =
+                  Float.max wall_tol
+                    (2.0
+                    *. Float.max
+                         (spread ~mn:bmn ~md:bmd ~p95:bp95)
+                         (spread ~mn:nmn ~md:nmd ~p95:np95))
+                in
+                if nmd > Float.max bmd floor_s *. (1.0 +. tol_eff) then
+                  breach
+                    "BREACH %-10s %s: median %s -> %s s (%+.0f%%, effective \
+                     tolerance %.0f%%)"
+                    kind b.id (Json.float_str bmd) (Json.float_str nmd)
+                    (100.0 *. ((nmd /. Float.max bmd eps) -. 1.0))
+                    (100.0 *. tol_eff)
+              end
+            end
+          | Bjson.Time ->
+            incr gated;
+            if not (finite bv && finite nv) then
+              breach "BREACH %-10s %s: non-finite value (%s -> %s)" kind b.id
+                (Json.float_str bv) (Json.float_str nv)
+            else if Float.abs bv <= eps && Float.abs nv <= eps then ()
+            else begin
+              let rel = Float.abs (nv -. bv) /. Float.max (Float.abs bv) eps in
+              if rel > time_tol then
+                breach
+                  "BREACH %-10s %s: %s -> %s (%+.1f%%, tolerance %.0f%%)"
+                  kind b.id (Json.float_str bv) (Json.float_str nv)
+                  (100.0 *. rel) (100.0 *. time_tol)
+            end
+          | Bjson.Count | Bjson.Bool ->
+            (* count and bool are deterministic under the virtual clock:
+               any drift is a behavior change, not noise. *)
+            incr gated;
+            if not (finite bv && finite nv) then
+              breach "BREACH %-10s %s: non-finite value (%s -> %s)" kind b.id
+                (Json.float_str bv) (Json.float_str nv)
+            else if nv <> bv then
+              breach "BREACH %-10s %s: %s -> %s (must match exactly)" kind
+                b.id (Json.float_str bv) (Json.float_str nv)))
+      baseline.Bjson.cells;
+    List.iter
+      (fun (n : Bjson.cell) ->
+        if
+          not
+            (List.exists
+               (fun (b : Bjson.cell) -> b.Bjson.id = n.Bjson.id)
+               baseline.Bjson.cells)
+        then
+          note "note: new %s cell %s (not in baseline)"
+            (Bjson.kind_name n.Bjson.kind) n.Bjson.id)
+      ncells;
+    Ok
+      { o_bench = baseline.Bjson.bench; o_gated = !gated;
+        o_wall_gated = !wall_gated; o_wall_info = !wall_info;
+        o_breaches = List.rev !breaches; o_notes = List.rev !notes }
+  end

@@ -1,0 +1,37 @@
+(** Variance-aware comparison of two {!Bjson} documents — the gating
+    logic behind [tukwila bench-diff].
+
+    Deterministic kinds gate as before ([time] within a relative
+    tolerance, [count]/[bool] exactly), with the zero/NaN hazards
+    closed: two values at or below 1 ns compare equal, relative error
+    denominators are floored, and non-finite values are explicit
+    breaches.
+
+    Wall cells gate only as repetition trios
+    ([<base>-wall-min]/[-median]/[-p95] present in both documents):
+    median-vs-median, one-sided (only slowdowns breach), under an
+    effective tolerance [max(wall_tol, 2 * max(spread_base,
+    spread_new))] where a document's spread is [(p95 - min) /
+    max(median, 5ms)].  Trios with both medians under the 5 ms noise
+    floor, and lone wall cells, are informational. *)
+
+type outcome = {
+  o_bench : string;
+  o_gated : int;  (** deterministic cells compared under a gate *)
+  o_wall_gated : int;  (** wall medians gated variance-aware *)
+  o_wall_info : int;  (** wall cells that stayed informational *)
+  o_breaches : string list;  (** printable breach lines; empty = pass *)
+  o_notes : string list;  (** non-gating observations *)
+}
+
+(** [diff ~baseline ~current ()] compares cell-by-cell.  [Error _] means
+    the documents are not comparable (bench id or scale mismatch) —
+    distinct from a breach.  [time_tol] defaults to 0.10, [wall_tol]
+    to 0.5. *)
+val diff :
+  ?time_tol:float ->
+  ?wall_tol:float ->
+  baseline:Bjson.doc ->
+  current:Bjson.doc ->
+  unit ->
+  (outcome, string) result

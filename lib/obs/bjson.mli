@@ -1,0 +1,41 @@
+(** The [BENCH_<id>.json] schema (version 1) shared by the benchmark
+    harness, [tukwila bench-diff] and the tests.
+
+    A document is a bench id, the TPC scale factor it ran at, and a list
+    of cells.  Cell kinds carry their diff semantics (see {!Benchdiff}):
+    [Time] gates with a relative tolerance, [Count] and [Bool] must
+    match exactly, [Wall] gates variance-aware when emitted as a
+    repetition trio ([<base>-wall-min] / [-median] / [-p95]) and is
+    informational otherwise. *)
+
+type kind = Time | Count | Bool | Wall
+
+type cell = { id : string; kind : kind; value : float }
+
+type doc = { bench : string; scale : float; cells : cell list }
+
+(** {2 Cell constructors} *)
+
+val time : string -> float -> cell
+val count : string -> int -> cell
+
+(** A [Count]-kind cell holding a non-integer exact value. *)
+val num : string -> float -> cell
+
+val flag : string -> bool -> cell
+val wall : string -> float -> cell
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+(** Path-like slug for cell ids: lowercase, [[a-z0-9./%+-]] kept,
+    everything else collapsed to ['-']. *)
+val slug : string -> string
+
+(** {2 Serialization} *)
+
+val to_string : doc -> string
+val of_json : Json.t -> (doc, string) result
+val of_string : string -> (doc, string) result
+val load : string -> (doc, string) result
+val write : string -> doc -> unit

@@ -52,6 +52,10 @@ let span t ?(depth = 0) node =
     t.rev <- sp :: t.rev;
     sp
 
+let span_phase sp = sp.sp_phase
+let span_node sp = sp.sp_node
+let span_depth sp = sp.sp_depth
+
 let add_time sp us = sp.sp_self_us <- sp.sp_self_us +. us
 let add_in sp n = sp.sp_in <- sp.sp_in + n
 let add_out sp n = sp.sp_out <- sp.sp_out + n

@@ -48,6 +48,13 @@ val phase : t -> string
     on first use.  Idempotent per (phase, node). *)
 val span : t -> ?depth:int -> string -> span
 
+(** {2 Identity} — cheap field reads used by the wall-clock shadow to
+    mirror a span without touching the registry. *)
+
+val span_phase : span -> string
+val span_node : span -> string
+val span_depth : span -> int
+
 (** {2 Accumulation} — all O(1), no clock access. *)
 
 val add_time : span -> float -> unit

@@ -1,0 +1,348 @@
+(* The one sanctioned wall-reading module.  Everything here reads
+   hardware time (Unix.gettimeofday, Sys.time) and allocator state
+   (Gc.quick_stat); the effect lint allowlists exactly this file and
+   flags any wall read elsewhere as [lint-wallclock-escape].
+
+   A recorder is a *sidecar*: it observes the engine through the same
+   attribution choke points the virtual-time profiler uses
+   ([Ctx.charge_span]) but never feeds a value back, so a run with a
+   recorder attached is bit-identical — virtual clock, result multiset,
+   decision ledger — to a bare run.  Wall self-time is attributed by
+   delta-since-last-stamp: each attribution charges the hardware time
+   elapsed since the previous one to the span being charged, which is
+   exact in aggregate and costs one clock read per charge.  Every
+   [sample_every]-th attribution is a sampling-profiler tick: it takes a
+   [Gc.quick_stat], charges the allocation delta to the sampled span,
+   and records a sample (wall timestamp, reconstructed span stack, GC
+   counters) for the collapsed-stack and Perfetto exports. *)
+
+type gc_totals = {
+  g_minor_words : float;
+  g_major_words : float;
+  g_promoted_words : float;
+  g_minor_collections : int;
+  g_major_collections : int;
+  g_compactions : int;
+  g_top_heap_words : int;
+}
+
+type info = {
+  phase : string;
+  node : string;
+  depth : int;
+  order : int;
+  self_s : float;
+  samples : int;
+  minor_words : float;
+  major_words : float;
+}
+
+type wspan = {
+  w_phase : string;
+  w_node : string;
+  w_depth : int;
+  w_order : int;
+  w_bucket : bool;  (* wait/unattributed bucket: never a parent *)
+  w_parent : wspan option;
+  mutable w_self_s : float;
+  mutable w_samples : int;
+  mutable w_minor_words : float;
+  mutable w_major_words : float;
+}
+
+type sample = {
+  s_at_s : float;  (* seconds since the recorder's epoch *)
+  s_minor_words : float;  (* cumulative since epoch *)
+  s_major_words : float;
+  s_heap_words : int;
+  s_stack : string list;  (* root first, leaf last; head is the phase *)
+}
+
+type t = {
+  sample_every : int;
+  epoch : float;
+  cpu_epoch : float;
+  gc0 : Gc.stat;
+  tbl : (string * string, wspan) Hashtbl.t;
+  mutable rev : wspan list;  (* newest first *)
+  mutable next_order : int;
+  mutable cur_phase : string;
+  mutable cur_scope : string;
+  mutable last_abs : float;  (* monotonic clamp over gettimeofday *)
+  mutable last_stamp : float;  (* relative seconds at last attribution *)
+  mutable ticks : int;
+  mutable memo : (Profile.span * wspan) option;  (* last attribution target *)
+  mutable samples : sample list;  (* newest first *)
+  mutable marks : (float * string) list;  (* event sidecar, newest first *)
+  mutable last_minor : float;  (* words at the previous sampler tick *)
+  mutable last_major : float;
+}
+
+(* ---------------- timebase ---------------- *)
+
+(* Hybrid timebase: [Unix.gettimeofday] gives real elapsed time but can
+   step backwards (NTP); clamping to the last reading makes the local
+   view monotonic non-decreasing, which is all span deltas need.
+   [Sys.time] rides along as the CPU-seconds shadow. *)
+
+let mono_last = ref neg_infinity
+
+let monotonic_s () =
+  let raw = Unix.gettimeofday () in
+  if raw < !mono_last then !mono_last
+  else begin
+    mono_last := raw;
+    raw
+  end
+
+let cpu_now () = Sys.time ()
+
+let create ?(sample_every = 64) () =
+  let epoch = monotonic_s () in
+  { sample_every = max 1 sample_every; epoch; cpu_epoch = cpu_now ();
+    gc0 = Gc.quick_stat (); tbl = Hashtbl.create 64; rev = [];
+    next_order = 0; cur_phase = "phase 0"; cur_scope = "";
+    last_abs = epoch; last_stamp = 0.0; ticks = 0; memo = None;
+    samples = []; marks = []; last_minor = 0.0; last_major = 0.0 }
+
+let now_s t =
+  let raw = Unix.gettimeofday () in
+  let abs = if raw < t.last_abs then t.last_abs else raw in
+  t.last_abs <- abs;
+  abs -. t.epoch
+
+let elapsed_s t = now_s t
+let cpu_s t = cpu_now () -. t.cpu_epoch
+
+(* ---------------- phases, scopes and spans ---------------- *)
+
+let phase_key t =
+  if t.cur_scope = "" then t.cur_phase
+  else t.cur_scope ^ ":" ^ t.cur_phase
+
+let set_phase t phase =
+  if phase <> t.cur_phase then begin
+    t.cur_phase <- phase;
+    t.memo <- None
+  end
+
+let set_scope t scope =
+  if scope <> t.cur_scope then begin
+    t.cur_scope <- scope;
+    t.memo <- None
+  end
+
+let find_span ?(bucket = false) t ~depth node =
+  let ph = phase_key t in
+  match Hashtbl.find_opt t.tbl (ph, node) with
+  | Some w -> w
+  | None ->
+    (* Parent: the most recently registered non-bucket span of the same
+       phase with a smaller depth — the pre-order ancestor, mirroring
+       how [Profile] renders its indented tree.  Buckets hang off the
+       phase root and never adopt children. *)
+    let parent =
+      if bucket then None
+      else
+        let rec go = function
+          | [] -> None
+          | w :: rest ->
+            if w.w_phase = ph && w.w_depth < depth && not w.w_bucket then
+              Some w
+            else go rest
+        in
+        go t.rev
+    in
+    let w =
+      { w_phase = ph; w_node = node; w_depth = depth; w_bucket = bucket;
+        w_order = t.next_order; w_parent = parent; w_self_s = 0.0;
+        w_samples = 0; w_minor_words = 0.0; w_major_words = 0.0 }
+    in
+    t.next_order <- t.next_order + 1;
+    Hashtbl.add t.tbl (ph, node) w;
+    t.rev <- w :: t.rev;
+    w
+
+let rec stack_of w =
+  match w.w_parent with
+  | None -> [ w.w_phase; w.w_node ]
+  | Some p -> stack_of p @ [ w.w_node ]
+
+let sample_tick t w at =
+  let q = Gc.quick_stat () in
+  let minor = q.Gc.minor_words -. t.gc0.Gc.minor_words in
+  let major = q.Gc.major_words -. t.gc0.Gc.major_words in
+  w.w_minor_words <- w.w_minor_words +. (minor -. t.last_minor);
+  w.w_major_words <- w.w_major_words +. (major -. t.last_major);
+  t.last_minor <- minor;
+  t.last_major <- major;
+  w.w_samples <- w.w_samples + 1;
+  t.samples <-
+    { s_at_s = at; s_minor_words = minor; s_major_words = major;
+      s_heap_words = q.Gc.heap_words; s_stack = stack_of w }
+    :: t.samples
+
+let stamp t w =
+  let at = now_s t in
+  w.w_self_s <- w.w_self_s +. (at -. t.last_stamp);
+  t.last_stamp <- at;
+  t.ticks <- t.ticks + 1;
+  if t.ticks mod t.sample_every = 0 then sample_tick t w at
+
+(* [attribute t sp] charges the wall time elapsed since the last stamp
+   to the wall shadow of virtual-profile span [sp] (or to the
+   "(unattributed)" bucket when the charge carried no span).  The memo
+   makes the common case — many consecutive charges to one span — a
+   physical-equality check instead of a hash lookup. *)
+let attribute t sp =
+  let w =
+    match sp with
+    | None -> find_span ~bucket:true t ~depth:0 "(unattributed)"
+    | Some sp -> (
+      match t.memo with
+      | Some (sp', w) when sp' == sp -> w
+      | _ ->
+        let w =
+          (* The wall registry mirrors Profile's keying, but re-resolves
+             the phase itself: Ctx keeps both in lockstep. *)
+          find_span t ~depth:(Profile.span_depth sp) (Profile.span_node sp)
+        in
+        t.memo <- Some (sp, w);
+        w)
+  in
+  stamp t w
+
+(* Wait points (the driver blocking on source arrival or retry backoff)
+   stamp into a named bucket so the wall cost of waiting never pollutes
+   the next operator's span. *)
+let note_wait t name = stamp t (find_span ~bucket:true t ~depth:0 name)
+
+(* Event sidecar: wall timestamps riding the trace, without touching the
+   trace's own virtual-time stamps.  Reading the clock here does not
+   advance [last_stamp]; the read itself is attributed to whichever span
+   is charged next, which is noise-level. *)
+let note_event t name = t.marks <- (now_s t, name) :: t.marks
+let marks t = List.rev t.marks
+
+(* ---------------- reads ---------------- *)
+
+let info w =
+  { phase = w.w_phase; node = w.w_node; depth = w.w_depth;
+    order = w.w_order; self_s = w.w_self_s; samples = w.w_samples;
+    minor_words = w.w_minor_words; major_words = w.w_major_words }
+
+let spans t = List.rev_map info t.rev
+
+let totals t =
+  let order = ref [] and tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (i : info) ->
+      match Hashtbl.find_opt tbl i.node with
+      | None ->
+        order := i.node :: !order;
+        Hashtbl.add tbl i.node { i with phase = "*" }
+      | Some acc ->
+        Hashtbl.replace tbl i.node
+          { acc with
+            self_s = acc.self_s +. i.self_s;
+            samples = acc.samples + i.samples;
+            minor_words = acc.minor_words +. i.minor_words;
+            major_words = acc.major_words +. i.major_words })
+    (spans t);
+  List.rev_map (Hashtbl.find tbl) !order
+
+let sample_count t = List.length t.samples
+
+let gc_totals t =
+  let q = Gc.quick_stat () in
+  { g_minor_words = q.Gc.minor_words -. t.gc0.Gc.minor_words;
+    g_major_words = q.Gc.major_words -. t.gc0.Gc.major_words;
+    g_promoted_words = q.Gc.promoted_words -. t.gc0.Gc.promoted_words;
+    g_minor_collections =
+      q.Gc.minor_collections - t.gc0.Gc.minor_collections;
+    g_major_collections =
+      q.Gc.major_collections - t.gc0.Gc.major_collections;
+    g_compactions = q.Gc.compactions - t.gc0.Gc.compactions;
+    g_top_heap_words = q.Gc.top_heap_words }
+
+(* ---------------- exports ---------------- *)
+
+(* Collapsed-stack ("folded") flamegraph lines: one line per span,
+   "phase;ancestor;...;node count", count = sampler ticks that landed in
+   the span.  When the run was too short for the sampler to fire at all,
+   fall back to weighting by wall self-time in microseconds so the
+   export is never empty for a timed run. *)
+let to_folded t =
+  let use_samples = List.exists (fun w -> w.w_samples > 0) t.rev in
+  let lines =
+    List.filter_map
+      (fun w ->
+        let count =
+          if use_samples then w.w_samples
+          else int_of_float (Float.round (w.w_self_s *. 1e6))
+        in
+        if count <= 0 then None
+        else
+          Some (String.concat ";" (stack_of w) ^ " " ^ string_of_int count))
+      (List.rev t.rev)
+  in
+  String.concat "" (List.map (fun l -> l ^ "\n") lines)
+
+(* Perfetto / Chrome trace JSON: a counter track per GC series (ph "C")
+   sampled at the profiler ticks, plus instant events (ph "i") for the
+   wall timestamps of the trace-event sidecar.  Timestamps are wall
+   microseconds since the recorder's epoch. *)
+let to_perfetto t =
+  let counter at name value =
+    Json.Obj
+      [ ("name", Json.Str name); ("ph", Json.Str "C");
+        ("ts", Json.Num (at *. 1e6)); ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+        ("args", Json.Obj [ ("value", Json.Num value) ]) ]
+  in
+  let counters =
+    List.concat_map
+      (fun s ->
+        [ counter s.s_at_s "adp_gc_minor_words" s.s_minor_words;
+          counter s.s_at_s "adp_gc_major_words" s.s_major_words;
+          counter s.s_at_s "adp_gc_heap_words"
+            (float_of_int s.s_heap_words) ])
+      (List.rev t.samples)
+  in
+  let instants =
+    List.map
+      (fun (at, name) ->
+        Json.Obj
+          [ ("name", Json.Str name); ("ph", Json.Str "i");
+            ("ts", Json.Num (at *. 1e6)); ("pid", Json.Num 1.0);
+            ("tid", Json.Num 1.0); ("s", Json.Str "t") ])
+      (List.rev t.marks)
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("traceEvents", Json.List (counters @ instants));
+         ("displayTimeUnit", Json.Str "ms") ])
+
+let sync_metrics t m =
+  let g name help v = Metrics.set (Metrics.gauge m ~help name) v in
+  let gc = gc_totals t in
+  g "adp_wall_elapsed_seconds" "wall-clock seconds since wall capture began"
+    (elapsed_s t);
+  g "adp_wall_cpu_seconds" "process CPU seconds since wall capture began"
+    (cpu_s t);
+  g "adp_wall_samples" "sampling-profiler ticks recorded"
+    (float_of_int (sample_count t));
+  g "adp_gc_minor_words" "words allocated in the minor heap"
+    gc.g_minor_words;
+  g "adp_gc_major_words" "words allocated in the major heap"
+    gc.g_major_words;
+  g "adp_gc_promoted_words" "words promoted minor -> major"
+    gc.g_promoted_words;
+  g "adp_gc_minor_collections" "minor collections"
+    (float_of_int gc.g_minor_collections);
+  g "adp_gc_major_collections" "major collection cycles"
+    (float_of_int gc.g_major_collections);
+  g "adp_gc_compactions" "heap compactions"
+    (float_of_int gc.g_compactions);
+  g "adp_gc_top_heap_words" "largest major heap size reached"
+    (float_of_int gc.g_top_heap_words)

@@ -1,0 +1,122 @@
+(** Wall-clock shadow of the virtual-time observability stack.
+
+    This is the {e one} module allowed to read hardware time and GC
+    state — the effect lint structurally allowlists this file and flags
+    any wall read elsewhere as [lint-wallclock-escape].
+
+    A recorder attaches to a run as a sidecar: [Ctx.charge_span] calls
+    {!attribute} at the exact points it charges the virtual clock, so
+    every virtual-time measurement gains a hardware-time shadow.  The
+    recorder only ever {e reads}; nothing it computes flows back into
+    the engine, and a run with wall capture on is bit-identical to a
+    bare run (virtual clock, result multiset, decision ledger).
+
+    Attribution is delta-since-last-stamp: each call charges the wall
+    time elapsed since the previous call to the span being charged
+    (exact in aggregate, one clock read per charge).  Every
+    [sample_every]-th attribution is a sampler tick: it captures a
+    [Gc.quick_stat] delta, charges the allocation to the sampled span,
+    and records a (timestamp, span stack, GC counters) sample that the
+    collapsed-stack ({!to_folded}) and Perfetto ({!to_perfetto})
+    exports fold up. *)
+
+type t
+
+(** Cumulative GC activity since the recorder was created. *)
+type gc_totals = {
+  g_minor_words : float;
+  g_major_words : float;
+  g_promoted_words : float;
+  g_minor_collections : int;
+  g_major_collections : int;
+  g_compactions : int;
+  g_top_heap_words : int;
+}
+
+(** Immutable view of one wall span (the wall shadow of a profile
+    span). *)
+type info = {
+  phase : string;
+  node : string;
+  depth : int;
+  order : int;
+  self_s : float;  (** wall seconds attributed to this span *)
+  samples : int;  (** sampler ticks that landed in this span *)
+  minor_words : float;  (** minor-heap words allocated under this span *)
+  major_words : float;
+}
+
+(** [sample_every] is the sampler period in attribution ticks
+    (default 64): smaller = finer flamegraphs, more [Gc.quick_stat]
+    calls. *)
+val create : ?sample_every:int -> unit -> t
+
+(** {2 Timebase} *)
+
+(** Monotonically-clamped [Unix.gettimeofday]: real elapsed seconds
+    that never step backwards.  The module-level probe is for harness
+    code (bench repetitions, progress reporting) that needs a wall
+    reading without a recorder. *)
+val monotonic_s : unit -> float
+
+(** Process CPU seconds ([Sys.time]), for harness code. *)
+val cpu_now : unit -> float
+
+(** Wall seconds since this recorder was created. *)
+val elapsed_s : t -> float
+
+(** Same, relative seconds (alias used at stamp points). *)
+val now_s : t -> float
+
+(** CPU seconds since this recorder was created. *)
+val cpu_s : t -> float
+
+(** {2 Attribution} — called from [Ctx] at the charge points. *)
+
+(** Mirror of [Profile.set_phase]: subsequent spans register under this
+    phase. *)
+val set_phase : t -> string -> unit
+
+(** Server-side per-query scope: a non-empty scope prefixes phase keys
+    as ["scope:phase"].  Reset with [""]. *)
+val set_scope : t -> string -> unit
+
+(** Charge the wall time since the last stamp to the wall shadow of
+    [sp] ([None] goes to the "(unattributed)" bucket). *)
+val attribute : t -> Profile.span option -> unit
+
+(** Stamp into a named bucket (e.g. ["(driver wait)"]) so waiting time
+    never pollutes the next operator's span. *)
+val note_wait : t -> string -> unit
+
+(** Record a wall timestamp for a trace event (the sidecar annotation
+    channel); shows up as instant events in the Perfetto export. *)
+val note_event : t -> string -> unit
+
+(** Recorded (wall seconds, event name) marks, oldest first. *)
+val marks : t -> (float * string) list
+
+(** {2 Reads} *)
+
+val spans : t -> info list
+(** All wall spans in registration order. *)
+
+val totals : t -> info list
+(** Aggregated across phases, keyed by node; [phase] is ["*"]. *)
+
+val sample_count : t -> int
+val gc_totals : t -> gc_totals
+
+(** {2 Exports} *)
+
+val to_folded : t -> string
+(** Collapsed-stack flamegraph lines ("phase;anc;...;node count", one
+    per span, count = sampler ticks; falls back to µs-of-self-time
+    weights when the run was too short for any tick). *)
+
+val to_perfetto : t -> string
+(** Chrome/Perfetto trace JSON: GC counter tracks (ph ["C"]) at the
+    sampler ticks plus instant events for the trace-event sidecar. *)
+
+val sync_metrics : t -> Metrics.t -> unit
+(** Publish [adp_wall_*] / [adp_gc_*] gauges into a metrics registry. *)

@@ -399,8 +399,8 @@ let lint ?entries ~path src = Lint.analyze ?entries [ unit_of ~path src ]
 let lint_codes ?entries ~path src = Diagnostic.codes (lint ?entries ~path src)
 
 let test_lint_forbidden_effect () =
-  Alcotest.(check (list string)) "wall clock flagged"
-    [ "lint-forbidden-effect" ]
+  Alcotest.(check (list string)) "wall clock flagged as an escape"
+    [ "lint-wallclock-escape" ]
     (lint_codes ~path:"lib/x.ml" "let f () = Sys.time ()\n");
   Alcotest.(check (list string)) "unseeded randomness flagged"
     [ "lint-forbidden-effect" ]
@@ -412,11 +412,42 @@ let test_lint_forbidden_effect () =
        "let f () = Sys.time () (* determinism-ok: harness timing *)\n");
   (match lint ~path:"lib/x.ml" "let a = 1\nlet t = Unix.gettimeofday ()\n" with
    | [ d ] ->
-     Alcotest.(check string) "code" "lint-forbidden-effect" d.Diagnostic.code;
+     Alcotest.(check string) "code" "lint-wallclock-escape" d.Diagnostic.code;
      Alcotest.(check string) "path" "lib/x.ml" d.Diagnostic.path;
      Alcotest.(check bool) "message carries the line" true
-       (has_sub ~sub:"line 2" d.Diagnostic.message)
+       (has_sub ~sub:"line 2" d.Diagnostic.message);
+     Alcotest.(check bool) "message names the sanctioned module" true
+       (has_sub ~sub:"obs/wallclock.ml" d.Diagnostic.message)
    | ds -> Alcotest.fail (Diagnostic.to_string ds))
+
+(* The structural allowlist: the one sanctioned wall-reading module is
+   clean by construction (no waivers needed), and the same code moved
+   anywhere else — the seeded mutation — is flagged immediately. *)
+let test_lint_wallclock_allowlist () =
+  let probe =
+    "let monotonic_s () = Unix.gettimeofday ()\n\
+     let cpu_now () = Sys.time ()\n\
+     let alloc () = Gc.quick_stat ()\n"
+  in
+  Alcotest.(check (list string)) "sanctioned module is clean, unwaived" []
+    (lint_codes ~path:"lib/obs/wallclock.ml" probe);
+  Alcotest.(check (list string)) "same code elsewhere escapes"
+    [ "lint-wallclock-escape" ]
+    (lint_codes ~path:"lib/exec/clocky.ml" probe);
+  Alcotest.(check int) "all three reads reported"
+    3
+    (List.length (lint ~path:"lib/exec/clocky.ml" probe));
+  (* GC introspection counts as a wall read: allocation totals are
+     hardware state, not virtual time. *)
+  Alcotest.(check (list string)) "Gc.quick_stat classified as wall read"
+    [ "lint-wallclock-escape" ]
+    (lint_codes ~path:"lib/x.ml" "let f () = Gc.quick_stat ()\n");
+  (* Sanctioned reads must not consume waivers: a stale waiver inside
+     the sanctioned module is still reported as unused. *)
+  Alcotest.(check (list string)) "waiver in sanctioned module is unused"
+    [ "lint-unused-waiver" ]
+    (lint_codes ~path:"lib/obs/wallclock.ml"
+       "let f () = Sys.time () (* determinism-ok: stale *)\n")
 
 (* The old substring scanner flagged banned names inside strings and
    comments; the AST-based lint must not. *)
@@ -557,11 +588,21 @@ let test_lint_catches_seeded_mutations () =
     let path rel = Filename.concat root rel in
     let ctx = read_file (path "lib/exec/ctx.ml") in
     let unguarded =
-      replace ~sub:"if traced t then Trace.emit" ~by:"Trace.emit" ctx
+      replace ~sub:"if traced t then begin" ~by:"begin" ctx
     in
     Alcotest.(check bool) "dropped traced guard caught" true
       (List.mem "lint-unguarded-emit"
          (lint_codes ~path:"lib/exec/ctx.ml" unguarded));
+    (* The wallclock escape mutation: a hardware clock read seeded into
+       engine code — outside the one sanctioned module — must be named
+       as an escape. *)
+    let wall_read =
+      replace ~sub:"let traced t"
+        ~by:"let drift () = Unix.gettimeofday ()\nlet traced t" ctx
+    in
+    Alcotest.(check bool) "seeded wall read caught as escape" true
+      (List.mem "lint-wallclock-escape"
+         (lint_codes ~path:"lib/exec/ctx.ml" wall_read));
     let jittered =
       replace ~sub:"let traced t"
         ~by:"let jitter () = Random.int 3\nlet traced t" ctx
@@ -731,6 +772,8 @@ let suite =
     Alcotest.test_case "knob ranges" `Quick test_knobs;
     Alcotest.test_case "lint: forbidden effects" `Quick
       test_lint_forbidden_effect;
+    Alcotest.test_case "lint: wallclock structural allowlist" `Quick
+      test_lint_wallclock_allowlist;
     Alcotest.test_case "lint: strings and comments immune" `Quick
       test_lint_string_comment_immune;
     Alcotest.test_case "lint: waiver audit" `Quick test_lint_waiver_audit;

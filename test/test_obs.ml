@@ -19,6 +19,9 @@ module Profile = Adp_obs.Profile
 module Calibrate = Adp_obs.Calibrate
 module Checkpoint = Adp_recovery.Checkpoint
 module Crash = Adp_recovery.Crash
+module Wallclock = Adp_obs.Wallclock
+module Bjson = Adp_obs.Bjson
+module Benchdiff = Adp_obs.Benchdiff
 
 (* Naive substring search (the test image has no [str] dependency). *)
 let contains ~needle hay =
@@ -322,7 +325,7 @@ let q3a_dataset =
 (* A mis-costed CQP workload: pessimal initial plan over Q3A, windowed
    pre-aggregation, a tight poll — guaranteed to switch (same setup as the
    strategies suite). *)
-let run_q3a ?trace ?metrics ?profile ?calibrate () =
+let run_q3a ?trace ?metrics ?profile ?calibrate ?wall () =
   let q = Workload.query Workload.Q3A in
   let catalog = Workload.catalog ~with_cardinalities:true q3a_dataset q in
   let sources () = Workload.sources q3a_dataset q () in
@@ -333,8 +336,8 @@ let run_q3a ?trace ?metrics ?profile ?calibrate () =
       poll_interval = 5e3; switch_threshold = 0.95; min_leaf_seen = 100 }
   in
   Strategy.run ~preagg:Optimizer.Auto ~label:"obs" ~initial_plan:bad
-    ?trace ?metrics ?profile ?calibrate (Strategy.Corrective cfg) q catalog
-    ~sources
+    ?trace ?metrics ?profile ?calibrate ?wall (Strategy.Corrective cfg) q
+    catalog ~sources
 
 let normalize r = { r with Report.wall_s = 0.0 }
 
@@ -875,6 +878,232 @@ let test_explain_renders_run () =
        (count_events trace
           (function Trace.Plan_switch _ -> true | _ -> false)))
 
+(* ---------------- wall-clock sidecar ---------------- *)
+
+(* The tentpole invariant extended to hardware time: attaching the wall
+   recorder (which reads gettimeofday and Gc state at every charge)
+   changes nothing the engine computes — bit-identical report, same
+   answer, bit-identical decision ledger — while the recorder still
+   attributes real time and allocation to the run's spans. *)
+let test_wall_capture_is_free () =
+  let cal_plain = Calibrate.create () in
+  let plain = run_q3a ~calibrate:cal_plain () in
+  let cal_wall = Calibrate.create () in
+  let wall = Wallclock.create ~sample_every:4 () in
+  let walled = run_q3a ~calibrate:cal_wall ~wall () in
+  check_same_report "wall-captured report = bare report"
+    plain.Strategy.report walled.Strategy.report;
+  check_bag "wall-captured result = bare result"
+    (Relation.to_list plain.Strategy.result)
+    (Relation.to_list walled.Strategy.result);
+  Alcotest.(check bool) "decision ledger bit-identical" true
+    (Calibrate.decisions cal_plain = Calibrate.decisions cal_wall);
+  (* ... and the sidecar actually recorded the run. *)
+  let infos = Wallclock.spans wall in
+  Alcotest.(check bool) "wall spans recorded" true (infos <> []);
+  Alcotest.(check bool) "wall self-time attributed" true
+    (List.exists (fun (i : Wallclock.info) -> i.Wallclock.self_s > 0.0) infos);
+  Alcotest.(check bool) "sampler ticked" true (Wallclock.sample_count wall > 0);
+  let g = Wallclock.gc_totals wall in
+  Alcotest.(check bool) "allocation observed" true
+    (g.Wallclock.g_minor_words > 0.0);
+  Alcotest.(check bool) "folded export non-empty" true
+    (Wallclock.to_folded wall <> "");
+  (match Json.parse (Wallclock.to_perfetto wall) with
+   | Error m -> Alcotest.fail ("perfetto export is not JSON: " ^ m)
+   | Ok j ->
+     Alcotest.(check bool) "perfetto export has events" true
+       (match Json.member "traceEvents" j with
+        | Some (Json.List (_ :: _)) -> true
+        | _ -> false));
+  let m = Metrics.create () in
+  Wallclock.sync_metrics wall m;
+  let prom = Metrics.to_prometheus m in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("prometheus dump carries " ^ name) true
+        (contains ~needle:name prom))
+    [ "adp_wall_elapsed_seconds"; "adp_wall_samples"; "adp_gc_minor_words";
+      "adp_gc_major_collections" ]
+
+(* Recorder mechanics that don't need an engine run: the monotonic
+   timebase, scoped phase keys, wait buckets staying out of the span
+   tree, and the µs fallback for runs too short to tick the sampler. *)
+let test_wall_recorder_mechanics () =
+  let a = Wallclock.monotonic_s () in
+  let b = Wallclock.monotonic_s () in
+  Alcotest.(check bool) "monotonic probe never steps back" true (b >= a);
+  let w = Wallclock.create ~sample_every:1000000 () in
+  Wallclock.set_scope w "q:42";
+  Wallclock.set_phase w "phase 0";
+  Wallclock.attribute w None;
+  Wallclock.note_wait w "(driver wait)";
+  Wallclock.note_event w "poll";
+  Wallclock.set_scope w "";
+  (match Wallclock.spans w with
+   | [] -> Alcotest.fail "no spans"
+   | infos ->
+     Alcotest.(check bool) "scope prefixes the phase key" true
+       (List.for_all
+          (fun (i : Wallclock.info) -> i.Wallclock.phase = "q:42:phase 0")
+          infos));
+  Alcotest.(check int) "marks recorded" 1 (List.length (Wallclock.marks w));
+  Alcotest.(check int) "sampler never ticked" 0 (Wallclock.sample_count w);
+  (* Zero sampler ticks still yields a folded export (µs weights). *)
+  Alcotest.(check bool) "folded export falls back to self-time" true
+    (Wallclock.to_folded w <> "");
+  (* Buckets must not adopt children: nothing may claim a wait span as
+     its stack parent. *)
+  let folded = Wallclock.to_folded w in
+  List.iter
+    (fun line ->
+      if line <> "" && contains ~needle:"(driver wait);" line then
+        Alcotest.failf "wait bucket adopted a child: %s" line)
+    (String.split_on_char '\n' folded)
+
+(* ---------------- histogram quantile edges ---------------- *)
+
+let test_histogram_quantile_edges () =
+  let m = Metrics.create () in
+  let empty = Metrics.histogram m ~buckets:[ 1.0; 10.0 ] "adp_empty" in
+  Alcotest.(check int) "empty: count" 0 (Metrics.histogram_count empty);
+  Alcotest.(check (float 0.0)) "empty: sum" 0.0 (Metrics.histogram_sum empty);
+  Alcotest.(check (float 0.0)) "empty: max" 0.0 (Metrics.histogram_max empty);
+  Alcotest.(check (float 0.0)) "empty: p50 is 0" 0.0
+    (Metrics.histogram_quantile empty 0.5);
+  let single = Metrics.histogram m ~buckets:[ 1.0; 10.0 ] "adp_single" in
+  Metrics.observe single 5.0;
+  Alcotest.(check int) "single: count" 1 (Metrics.histogram_count single);
+  Alcotest.(check (float 0.0)) "single: max is the sample" 5.0
+    (Metrics.histogram_max single);
+  Alcotest.(check (float 0.0)) "single: p100 is the sample" 5.0
+    (Metrics.histogram_quantile single 1.0);
+  let p50 = Metrics.histogram_quantile single 0.5 in
+  Alcotest.(check bool) "single: p50 within the sample's bucket" true
+    (p50 > 1.0 && p50 <= 5.0);
+  let equal = Metrics.histogram m ~buckets:[ 1.0; 10.0 ] "adp_equal" in
+  for _ = 1 to 10 do Metrics.observe equal 7.0 done;
+  Alcotest.(check int) "all-equal: count" 10 (Metrics.histogram_count equal);
+  Alcotest.(check (float 1e-9)) "all-equal: sum" 70.0
+    (Metrics.histogram_sum equal);
+  Alcotest.(check (float 0.0)) "all-equal: p100 is the sample" 7.0
+    (Metrics.histogram_quantile equal 1.0);
+  List.iter
+    (fun q ->
+      let v = Metrics.histogram_quantile equal q in
+      Alcotest.(check bool)
+        (Printf.sprintf "all-equal: p%.0f bounded by the max" (100.0 *. q))
+        true
+        (v > 0.0 && v <= 7.0))
+    [ 0.25; 0.5; 0.95 ]
+
+(* ---------------- variance-aware bench gating ---------------- *)
+
+let doc cells = { Bjson.bench = "t"; scale = 0.02; cells }
+
+let trio id (mn, md, p95) =
+  [ Bjson.wall (id ^ "-wall-min") mn; Bjson.wall (id ^ "-wall-median") md;
+    Bjson.wall (id ^ "-wall-p95") p95 ]
+
+let diff_ok ?time_tol ?wall_tol b c =
+  match Benchdiff.diff ?time_tol ?wall_tol ~baseline:b ~current:c () with
+  | Ok o -> o
+  | Error m -> Alcotest.fail m
+
+let test_benchdiff_zero_and_nan () =
+  (* Regression: a zero-valued baseline time cell used to make the old
+     relative-error math fragile.  Two zeros are equal... *)
+  let z = doc [ Bjson.time "t/zero" 0.0; Bjson.time "t/busy" 1.0 ] in
+  let o = diff_ok z z in
+  Alcotest.(check (list string)) "zero baseline vs zero current passes" []
+    o.Benchdiff.o_breaches;
+  Alcotest.(check int) "both time cells gated" 2 o.Benchdiff.o_gated;
+  (* ...and zero -> nonzero is a real breach, not a NaN pass. *)
+  let n =
+    doc [ Bjson.time "t/zero" 0.1; Bjson.time "t/busy" 1.0 ]
+  in
+  let o = diff_ok z n in
+  Alcotest.(check int) "zero -> nonzero breaches" 1
+    (List.length o.Benchdiff.o_breaches);
+  (* A wall trio with a 0 cell must not divide by zero: spread uses the
+     5 ms floor and the gate still fires on a real slowdown. *)
+  let b = doc (trio "k" (0.0, 0.010, 0.010)) in
+  let c = doc (trio "k" (0.0, 0.200, 0.200)) in
+  let o = diff_ok b c in
+  Alcotest.(check int) "zero-valued wall cell still gates" 1
+    (List.length o.Benchdiff.o_breaches);
+  (* Non-finite values are explicit breaches, never silent passes. *)
+  let bad = doc [ Bjson.time "t/busy" Float.nan ] in
+  let o = diff_ok (doc [ Bjson.time "t/busy" 1.0 ]) bad in
+  Alcotest.(check int) "NaN current breaches" 1
+    (List.length o.Benchdiff.o_breaches);
+  let o = diff_ok bad bad in
+  Alcotest.(check int) "NaN baseline breaches too" 1
+    (List.length o.Benchdiff.o_breaches)
+
+let test_benchdiff_wall_gate () =
+  let base = doc (trio "k" (0.010, 0.011, 0.012)) in
+  (* Unchanged rebuild: identical trio passes and is counted as gated. *)
+  let o = diff_ok base base in
+  Alcotest.(check (list string)) "unchanged trio passes" []
+    o.Benchdiff.o_breaches;
+  Alcotest.(check int) "median gated variance-aware" 1
+    o.Benchdiff.o_wall_gated;
+  (* A ~2x slowdown with tight repetitions breaches... *)
+  let slow = doc (trio "k" (0.021, 0.022, 0.023)) in
+  let o = diff_ok base slow in
+  Alcotest.(check int) "2x slowdown gated" 1
+    (List.length o.Benchdiff.o_breaches);
+  (* ...a speedup never does (one-sided)... *)
+  let fast = doc (trio "k" (0.004, 0.005, 0.006)) in
+  let o = diff_ok base fast in
+  Alcotest.(check (list string)) "speedup passes" [] o.Benchdiff.o_breaches;
+  (* ...noisy repetitions widen the effective tolerance past the same
+     2x delta... *)
+  let noisy_base = doc (trio "k" (0.010, 0.011, 0.030)) in
+  let o = diff_ok noisy_base slow in
+  Alcotest.(check (list string)) "spread widens the tolerance" []
+    o.Benchdiff.o_breaches;
+  (* ...and sub-floor trios are informational noise. *)
+  let tiny = doc (trio "k" (0.0005, 0.001, 0.0015)) in
+  let tiny2 = doc (trio "k" (0.001, 0.002, 0.003)) in
+  let o = diff_ok tiny tiny2 in
+  Alcotest.(check (list string)) "sub-floor trio passes" []
+    o.Benchdiff.o_breaches;
+  Alcotest.(check int) "sub-floor trio not gated" 0 o.Benchdiff.o_wall_gated;
+  (* Lone wall cells (no trio) stay informational, as before. *)
+  let lone_b = doc [ Bjson.wall "w" 0.010 ] in
+  let lone_c = doc [ Bjson.wall "w" 10.0 ] in
+  let o = diff_ok lone_b lone_c in
+  Alcotest.(check (list string)) "lone wall cell informational" []
+    o.Benchdiff.o_breaches;
+  Alcotest.(check int) "lone wall cell counted" 1 o.Benchdiff.o_wall_info;
+  (* Incomparable documents are errors, not breaches. *)
+  (match
+     Benchdiff.diff ~baseline:base
+       ~current:{ base with Bjson.bench = "other" } ()
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bench id mismatch must be an error");
+  match
+    Benchdiff.diff ~baseline:base ~current:{ base with Bjson.scale = 0.1 } ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scale mismatch must be an error"
+
+(* Bjson documents written by the harness parse back bit-equal. *)
+let test_bjson_roundtrip () =
+  let d =
+    { Bjson.bench = "roundtrip"; scale = 0.02;
+      cells =
+        [ Bjson.time "a/t" 1.25; Bjson.count "a/n" 7; Bjson.flag "a/ok" true;
+          Bjson.wall "a-wall-median" 0.0105; Bjson.num "a/frac" 0.75 ] }
+  in
+  match Bjson.of_string (Bjson.to_string d) with
+  | Error m -> Alcotest.fail m
+  | Ok d' ->
+    Alcotest.(check bool) "document roundtrips bit-equal" true (d = d')
+
 let suite =
   [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json edge cases" `Quick test_json_edge_cases;
@@ -899,4 +1128,14 @@ let suite =
       test_resume_traced_equals_untraced;
     Alcotest.test_case "kill+resume profiled = unprofiled" `Quick
       test_resume_profiled_equals_unprofiled;
-    Alcotest.test_case "explain replay" `Quick test_explain_renders_run ]
+    Alcotest.test_case "explain replay" `Quick test_explain_renders_run;
+    Alcotest.test_case "wall capture is free" `Quick test_wall_capture_is_free;
+    Alcotest.test_case "wall recorder mechanics" `Quick
+      test_wall_recorder_mechanics;
+    Alcotest.test_case "histogram quantile edges" `Quick
+      test_histogram_quantile_edges;
+    Alcotest.test_case "bench-diff zero and NaN cells" `Quick
+      test_benchdiff_zero_and_nan;
+    Alcotest.test_case "bench-diff variance-aware wall gate" `Quick
+      test_benchdiff_wall_gate;
+    Alcotest.test_case "bjson roundtrip" `Quick test_bjson_roundtrip ]
