@@ -20,6 +20,7 @@ let experiments =
     "trace", ("observability overhead and clock-perturbation check", Bench_trace.run);
     "profile", ("profiler overhead, zero-perturbation and blame check", Bench_profile.run);
     "server", ("multi-query server: supervision, adaptive polling, warm starts", Bench_server.run);
+    "timeseries", ("server telemetry: sampling determinism, SLOs, zero perturbation", Bench_timeseries.run);
     "governance", ("resource governance: deadlines, memory ceilings, breakers, overload", Bench_governance.run);
     "micro", ("bechamel micro-benchmarks", Bench_micro.run) ]
 

@@ -76,6 +76,31 @@ let diff ?(time_tol = 0.10) ?(wall_tol = 0.5) ~(baseline : Bjson.doc)
          "scale factor mismatch (%g vs %g): results are not comparable"
          baseline.Bjson.scale current.Bjson.scale)
   else begin
+    (* Shape gate: both documents must carry exactly the same cell ids.
+       A missing or extra cell means the bench's schema changed — a
+       different program, not a regression — and is reported as
+       [Error] (exit 2 at the CLI) with the sorted offender lists,
+       distinct from a value breach (exit 1). *)
+    let ids cells = List.map (fun (c : Bjson.cell) -> c.Bjson.id) cells in
+    let bids = ids baseline.Bjson.cells and nids = ids current.Bjson.cells in
+    let missing =
+      List.sort compare (List.filter (fun id -> not (List.mem id nids)) bids)
+    and extra =
+      List.sort compare (List.filter (fun id -> not (List.mem id bids)) nids)
+    in
+    if missing <> [] || extra <> [] then
+      let part label = function
+        | [] -> []
+        | l ->
+          [ Printf.sprintf "%s %d cell%s: %s" label (List.length l)
+              (if List.length l = 1 then "" else "s")
+              (String.concat ", " l) ]
+      in
+      Error
+        (String.concat "; "
+           ("cell shape mismatch"
+           :: (part "missing" missing @ part "extra" extra)))
+    else begin
     let breaches = ref [] and notes = ref [] in
     let gated = ref 0 and wall_gated = ref 0 and wall_info = ref 0 in
     let breach fmt = Printf.ksprintf (fun s -> breaches := s :: !breaches) fmt in
@@ -105,7 +130,7 @@ let diff ?(time_tol = 0.10) ?(wall_tol = 0.5) ~(baseline : Bjson.doc)
       (fun (b : Bjson.cell) ->
         let kind = Bjson.kind_name b.kind in
         match lookup b.id with
-        | None -> breach "BREACH %-10s %s: missing from the new document" kind b.id
+        | None -> ()  (* unreachable: the shape gate already passed *)
         | Some n when n.Bjson.kind <> b.kind ->
           breach "BREACH %-10s %s: kind changed to %s" kind b.id
             (Bjson.kind_name n.Bjson.kind)
@@ -182,19 +207,9 @@ let diff ?(time_tol = 0.10) ?(wall_tol = 0.5) ~(baseline : Bjson.doc)
               breach "BREACH %-10s %s: %s -> %s (must match exactly)" kind
                 b.id (Json.float_str bv) (Json.float_str nv)))
       baseline.Bjson.cells;
-    List.iter
-      (fun (n : Bjson.cell) ->
-        if
-          not
-            (List.exists
-               (fun (b : Bjson.cell) -> b.Bjson.id = n.Bjson.id)
-               baseline.Bjson.cells)
-        then
-          note "note: new %s cell %s (not in baseline)"
-            (Bjson.kind_name n.Bjson.kind) n.Bjson.id)
-      ncells;
     Ok
       { o_bench = baseline.Bjson.bench; o_gated = !gated;
         o_wall_gated = !wall_gated; o_wall_info = !wall_info;
         o_breaches = List.rev !breaches; o_notes = List.rev !notes }
+    end
   end

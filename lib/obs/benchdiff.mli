@@ -25,9 +25,11 @@ type outcome = {
 }
 
 (** [diff ~baseline ~current ()] compares cell-by-cell.  [Error _] means
-    the documents are not comparable (bench id or scale mismatch) —
-    distinct from a breach.  [time_tol] defaults to 0.10, [wall_tol]
-    to 0.5. *)
+    the documents are not comparable — bench id mismatch, scale
+    mismatch, or a cell {e shape} mismatch (any id missing from or extra
+    to the baseline, reported as sorted lists) — distinct from a value
+    breach: the CLI exits 2 on [Error] and 1 on breaches.  [time_tol]
+    defaults to 0.10, [wall_tol] to 0.5. *)
 val diff :
   ?time_tol:float ->
   ?wall_tol:float ->

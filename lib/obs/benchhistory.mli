@@ -1,0 +1,32 @@
+(** Longitudinal benchmark trajectories — the library behind
+    [tukwila bench-history].
+
+    Each run of a benchmark appends its [BENCH_<id>.json] document as
+    one line of [<dir>/<id>.jsonl] (seq-numbered, atomic rewrite);
+    {!render} draws the per-cell trend and {!gate} checks the newest run
+    against its history: [time] cells within a relative tolerance of the
+    {e median of the prior runs}, [count]/[bool] cells exactly against
+    the most recent prior run, [wall] cells never (histories may span
+    machines). *)
+
+type entry = { e_seq : int; e_doc : Bjson.doc }
+
+(** [<dir>/<bench>.jsonl]. *)
+val path : dir:string -> bench:string -> string
+
+(** Entries oldest-first; [Ok []] when the file does not exist yet.
+    [Error] carries the first offending line. *)
+val load : string -> (entry list, string) result
+
+(** Append [doc] to its history under [dir] (created if missing) and
+    return the new entry's seq (1-based, monotonic). *)
+val append : dir:string -> Bjson.doc -> (int, string) result
+
+(** Trend table of the newest entry's cells: one sparkline per cell
+    across the history, first/last/median values. *)
+val render : Format.formatter -> entry list -> unit
+
+(** Breach lines gating the newest entry against its predecessors
+    (empty = pass; fewer than two entries trivially passes).
+    [time_tol] defaults to 0.10. *)
+val gate : ?time_tol:float -> entry list -> string list

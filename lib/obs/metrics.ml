@@ -157,6 +157,21 @@ let histogram_quantile h q =
     go 0 0 0.0
   end
 
+(* Point-in-time snapshot of a cell, the read side the telemetry
+   sampler consumes: histograms are collapsed to the count/sum plus the
+   p50/p95/max the dashboards plot, so one reading is a handful of
+   floats however many buckets back it. *)
+type reading =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      hr_n : int;
+      hr_sum : float;
+      hr_p50 : float;
+      hr_p95 : float;
+      hr_max : float;
+    }
+
 let counter_total t name =
   List.fold_left
     (fun acc e ->
@@ -173,6 +188,18 @@ let sorted t =
       | 0 -> compare a.labels b.labels
       | c -> c)
     t.store.entries
+
+let read_cell = function
+  | Counter c -> Counter_v c.c
+  | Gauge g -> Gauge_v g.g
+  | Histogram h ->
+    Histogram_v
+      { hr_n = h.h_n; hr_sum = h.h_sum;
+        hr_p50 = histogram_quantile h 0.5;
+        hr_p95 = histogram_quantile h 0.95; hr_max = histogram_max h }
+
+let readings t =
+  List.map (fun e -> (e.name, e.labels, read_cell e.cell)) (sorted t)
 
 let to_json t =
   let labels_json labels =
@@ -236,56 +263,88 @@ let prom_num f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 
+(* Scrape-format discipline: every family gets exactly one HELP and one
+   TYPE line (a synthesized HELP when none was registered), and all of a
+   family's samples stay contiguous — which is why the p50/p95/max
+   quantile estimates of a histogram cannot ride inline next to its
+   buckets.  A {quantile=...} label would clash with the histogram TYPE
+   declaration, so they are exported as sibling gauge families
+   (name_p50, ...) appended after every primary family. *)
 let to_prometheus t =
   let b = Buffer.create 4096 in
-  let headered = Hashtbl.create 16 in
+  let siblings = Buffer.create 512 in
+  let header buf name kind help =
+    let help = if help = "" then name else help in
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  let rec families = function
+    | [] -> []
+    | e :: rest ->
+      let same, rest = List.partition (fun e' -> e'.name = e.name) rest in
+      (e :: same) :: families rest
+  in
   List.iter
-    (fun e ->
-      if not (Hashtbl.mem headered e.name) then begin
-        Hashtbl.add headered e.name ();
-        if e.help <> "" then
-          Buffer.add_string b
-            (Printf.sprintf "# HELP %s %s\n" e.name e.help);
-        Buffer.add_string b
-          (Printf.sprintf "# TYPE %s %s\n" e.name (kind_name e.cell))
-      end;
-      match e.cell with
-      | Counter c ->
-        Buffer.add_string b
-          (Printf.sprintf "%s%s %d\n" e.name (prom_labels e.labels) c.c)
-      | Gauge g ->
-        Buffer.add_string b
-          (Printf.sprintf "%s%s %s\n" e.name (prom_labels e.labels)
-             (prom_num g.g))
-      | Histogram h ->
-        let cum = ref 0 in
-        Array.iteri
-          (fun i le ->
-            cum := !cum + h.h_counts.(i);
+    (fun family ->
+      let first = List.hd family in
+      let help =
+        match List.find_opt (fun e -> e.help <> "") family with
+        | Some e -> e.help
+        | None -> ""
+      in
+      header b first.name (kind_name first.cell) help;
+      List.iter
+        (fun e ->
+          match e.cell with
+          | Counter c ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %d\n" e.name (prom_labels e.labels) c.c)
+          | Gauge g ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" e.name (prom_labels e.labels)
+                 (prom_num g.g))
+          | Histogram h ->
+            let cum = ref 0 in
+            Array.iteri
+              (fun i le ->
+                cum := !cum + h.h_counts.(i);
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" e.name
+                     (prom_labels (e.labels @ [ ("le", prom_num le) ]))
+                     !cum))
+              h.h_le;
             Buffer.add_string b
               (Printf.sprintf "%s_bucket%s %d\n" e.name
-                 (prom_labels (e.labels @ [ ("le", prom_num le) ]))
-                 !cum))
-          h.h_le;
-        Buffer.add_string b
-          (Printf.sprintf "%s_bucket%s %d\n" e.name
-             (prom_labels (e.labels @ [ ("le", "+Inf") ]))
-             h.h_n);
-        Buffer.add_string b
-          (Printf.sprintf "%s_sum%s %s\n" e.name (prom_labels e.labels)
-             (prom_num h.h_sum));
-        Buffer.add_string b
-          (Printf.sprintf "%s_count%s %d\n" e.name (prom_labels e.labels)
-             h.h_n);
-        (* Scrape-usable quantile estimates as separate (untyped) sample
-           names: a {quantile=...} label would clash with the histogram
-           TYPE declaration, so p50/p95/max ride as siblings. *)
-        List.iter
-          (fun (suffix, v) ->
+                 (prom_labels (e.labels @ [ ("le", "+Inf") ]))
+                 h.h_n);
             Buffer.add_string b
-              (Printf.sprintf "%s_%s%s %s\n" e.name suffix
-                 (prom_labels e.labels) (prom_num v)))
-          [ ("p50", histogram_quantile h 0.5);
-            ("p95", histogram_quantile h 0.95); ("max", histogram_max h) ])
-    (sorted t);
+              (Printf.sprintf "%s_sum%s %s\n" e.name (prom_labels e.labels)
+                 (prom_num h.h_sum));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count%s %d\n" e.name (prom_labels e.labels)
+                 h.h_n))
+        family;
+      (match first.cell with
+       | Histogram _ ->
+         List.iter
+           (fun (suffix, what, read) ->
+             header siblings (first.name ^ "_" ^ suffix) "gauge"
+               (Printf.sprintf "%s of %s." what first.name);
+             List.iter
+               (fun e ->
+                 match e.cell with
+                 | Histogram h ->
+                   Buffer.add_string siblings
+                     (Printf.sprintf "%s_%s%s %s\n" e.name suffix
+                        (prom_labels e.labels) (prom_num (read h)))
+                 | _ -> ())
+               family)
+           [ ("p50", "Estimated 0.5 quantile",
+              fun h -> histogram_quantile h 0.5);
+             ("p95", "Estimated 0.95 quantile",
+              fun h -> histogram_quantile h 0.95);
+             ("max", "Largest observation", histogram_max) ]
+       | _ -> ()))
+    (families (sorted t));
+  Buffer.add_buffer b siblings;
   Buffer.contents b

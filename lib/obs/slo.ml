@@ -1,0 +1,139 @@
+(* Service-level objectives over telemetry series: a tiny declaration
+   grammar ("NAME=METRIC [AGG] OP BOUND") and a monitor that tracks, per
+   objective, whether the watched aggregate currently satisfies it —
+   reporting only the *transitions* (healthy -> violated and back), which
+   is what the trace and the metrics want. *)
+
+type agg = Last | Rate | Min | Median | P95 | Max
+type op = Lt | Le | Gt | Ge
+
+type objective = {
+  o_name : string;
+  o_metric : string;
+  o_agg : agg;
+  o_op : op;
+  o_bound : float;
+}
+
+let agg_name = function
+  | Last -> "last"
+  | Rate -> "rate"
+  | Min -> "min"
+  | Median -> "median"
+  | P95 -> "p95"
+  | Max -> "max"
+
+let agg_of_name = function
+  | "last" -> Some Last
+  | "rate" -> Some Rate
+  | "min" -> Some Min
+  | "median" -> Some Median
+  | "p95" -> Some P95
+  | "max" -> Some Max
+  | _ -> None
+
+let op_name = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let op_of_name = function
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | _ -> None
+
+let holds op value bound =
+  match op with
+  | Lt -> value < bound
+  | Le -> value <= bound
+  | Gt -> value > bound
+  | Ge -> value >= bound
+
+let to_string o =
+  Printf.sprintf "%s=%s %s %s %s" o.o_name o.o_metric (agg_name o.o_agg)
+    (op_name o.o_op) (Json.float_str o.o_bound)
+
+let usage = "expected NAME=METRIC [last|rate|min|median|p95|max] OP BOUND"
+
+let parse text =
+  match String.index_opt text '=' with
+  | None -> Error (Printf.sprintf "%S: missing '='; %s" text usage)
+  | Some i ->
+    let name = String.trim (String.sub text 0 i) in
+    let rest =
+      String.sub text (i + 1) (String.length text - i - 1)
+    in
+    let tokens =
+      List.filter (fun t -> t <> "") (String.split_on_char ' ' rest)
+    in
+    if name = "" then Error (Printf.sprintf "%S: empty name; %s" text usage)
+    else begin
+      let finish metric agg op bound =
+        match (op_of_name op, float_of_string_opt bound) with
+        | None, _ ->
+          Error (Printf.sprintf "%S: unknown operator %S; %s" text op usage)
+        | _, None ->
+          Error (Printf.sprintf "%S: bad bound %S; %s" text bound usage)
+        | Some o_op, Some o_bound ->
+          Ok { o_name = name; o_metric = metric; o_agg = agg; o_op; o_bound }
+      in
+      match tokens with
+      | [ metric; agg; op; bound ] -> (
+        match agg_of_name agg with
+        | Some a -> finish metric a op bound
+        | None ->
+          Error
+            (Printf.sprintf "%S: unknown aggregate %S; %s" text agg usage))
+      | [ metric; op; bound ] -> finish metric Last op bound
+      | _ ->
+        Error (Printf.sprintf "%S: expected 3 or 4 tokens after '='; %s"
+                 text usage)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Monitor                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type state = { s_objective : objective; mutable s_violated : bool }
+type monitor = state list
+
+type transition = {
+  t_objective : objective;
+  t_violated : bool;
+  t_value : float;
+}
+
+let monitor objectives =
+  List.map (fun o -> { s_objective = o; s_violated = false }) objectives
+
+let objectives m = List.map (fun s -> s.s_objective) m
+let active_violations m =
+  List.filter_map
+    (fun s -> if s.s_violated then Some s.s_objective else None)
+    m
+
+(* One evaluation pass at a sample point.  [values ~metric agg] yields
+   the current aggregate for every series carrying that name (one entry
+   per label-set; empty when nothing has been sampled yet — treated as
+   healthy).  An objective is violated when ANY matching series breaks
+   it; the reported value is the worst offender (largest for upper
+   bounds, smallest for lower bounds). *)
+let evaluate m ~values =
+  List.filter_map
+    (fun s ->
+      let o = s.s_objective in
+      let vs = values ~metric:o.o_metric o.o_agg in
+      let violating = List.filter (fun v -> not (holds o.o_op v o.o_bound)) vs in
+      let violated = violating <> [] in
+      if violated = s.s_violated then None
+      else begin
+        s.s_violated <- violated;
+        let worst l =
+          match (o.o_op, l) with
+          | _, [] -> 0.0
+          | (Lt | Le), v :: tl -> List.fold_left Float.max v tl
+          | (Gt | Ge), v :: tl -> List.fold_left Float.min v tl
+        in
+        let value = if violated then worst violating else worst vs in
+        Some { t_objective = o; t_violated = violated; t_value = value }
+      end)
+    m

@@ -1,0 +1,73 @@
+(** Service-level objectives over telemetry series.
+
+    An objective is declared as a one-line expression
+    ["NAME=METRIC [AGG] OP BOUND"] (the [--slo] flag of
+    [tukwila serve]), e.g.:
+
+    {v
+      queue=adp_server_queue_depth p95 < 4
+      degraded=adp_server_queries_total rate <= 0.5
+      alive=adp_server_workers_alive >= 1
+    v}
+
+    where [AGG] is one of [last] (default), [rate], [min], [median],
+    [p95] or [max], evaluated by {!Adp_obs.Timeseries} over the trailing
+    sample window of the named series.
+
+    The {!monitor} tracks per-objective health across samples and
+    reports only {e transitions} — entering violation and recovering —
+    which the server turns into [Slo_violation]/[Slo_recovered] trace
+    events and [adp_slo_*] metrics. *)
+
+type agg = Last | Rate | Min | Median | P95 | Max
+type op = Lt | Le | Gt | Ge
+
+type objective = {
+  o_name : string;  (** declared name, e.g. ["queue"] *)
+  o_metric : string;  (** telemetry series name to watch *)
+  o_agg : agg;
+  o_op : op;
+  o_bound : float;
+}
+
+val agg_name : agg -> string
+val op_name : op -> string
+
+(** [holds op value bound] — does [value OP bound] hold? *)
+val holds : op -> float -> float -> bool
+
+(** Re-render an objective in the declaration grammar. *)
+val to_string : objective -> string
+
+(** Parse ["NAME=METRIC [AGG] OP BOUND"]; [Error] explains the
+    offending token. *)
+val parse : string -> (objective, string) result
+
+(** {2 Monitor} *)
+
+type monitor
+
+type transition = {
+  t_objective : objective;
+  t_violated : bool;  (** [true]: entered violation; [false]: recovered *)
+  t_value : float;  (** the aggregate that decided the transition *)
+}
+
+(** All objectives start healthy. *)
+val monitor : objective list -> monitor
+
+val objectives : monitor -> objective list
+
+(** Objectives currently in violation, in declaration order. *)
+val active_violations : monitor -> objective list
+
+(** Evaluate every objective at one sample point and flip states.
+    [values ~metric agg] returns the current aggregate for each series
+    carrying [metric] (one entry per label-set; [[]] before any sample —
+    treated as healthy).  An objective is violated when any matching
+    series breaks it.  Returns only the objectives whose state changed,
+    in declaration order. *)
+val evaluate :
+  monitor ->
+  values:(metric:string -> agg -> float list) ->
+  transition list

@@ -85,6 +85,28 @@ type event =
       to_state : string;
       failures : int;
     }
+  | Query_attempt of {
+      query : string;
+      attempt : int;
+      worker : int;
+      events : int;  (* length of the re-stamped block that follows *)
+    }
+  | Slo_violation of {
+      slo : string;
+      metric : string;
+      agg : string;
+      op : string;
+      value : float;
+      bound : float;
+    }
+  | Slo_recovered of {
+      slo : string;
+      metric : string;
+      agg : string;
+      op : string;
+      value : float;
+      bound : float;
+    }
 
 type stamped = float * event
 
@@ -147,6 +169,9 @@ let event_name = function
   | Budget_exhausted _ -> "budget_exhausted"
   | Query_degraded _ -> "query_degraded"
   | Breaker_state_changed _ -> "breaker_state_changed"
+  | Query_attempt _ -> "query_attempt"
+  | Slo_violation _ -> "slo_violation"
+  | Slo_recovered _ -> "slo_recovered"
 
 let decision_str = function Keep -> "keep" | Switch -> "switch"
 
@@ -223,6 +248,13 @@ let fields ev : (string * Json.t) list =
   | Breaker_state_changed { source; from_state; to_state; failures } ->
     [ ("source", str source); ("from", str from_state);
       ("to", str to_state); ("failures", int failures) ]
+  | Query_attempt { query; attempt; worker; events } ->
+    [ ("query", str query); ("attempt", int attempt);
+      ("worker", int worker); ("events", int events) ]
+  | Slo_violation { slo; metric; agg; op; value; bound }
+  | Slo_recovered { slo; metric; agg; op; value; bound } ->
+    [ ("slo", str slo); ("metric", str metric); ("agg", str agg);
+      ("op", str op); ("value", num value); ("bound", num bound) ]
 
 let to_json (at, ev) =
   Json.Obj
@@ -344,6 +376,18 @@ let of_json j =
         Breaker_state_changed
           { source = str "source"; from_state = str "from";
             to_state = str "to"; failures = int "failures" }
+      | "query_attempt" ->
+        Query_attempt
+          { query = str "query"; attempt = int "attempt";
+            worker = int "worker"; events = int "events" }
+      | "slo_violation" ->
+        Slo_violation
+          { slo = str "slo"; metric = str "metric"; agg = str "agg";
+            op = str "op"; value = num "value"; bound = num "bound" }
+      | "slo_recovered" ->
+        Slo_recovered
+          { slo = str "slo"; metric = str "metric"; agg = str "agg";
+            op = str "op"; value = num "value"; bound = num "bound" }
       | other -> raise (Bad (Printf.sprintf "unknown event %S" other))
     in
     Ok (at, ev)
@@ -545,6 +589,17 @@ let pp_event ppf ev =
       "circuit breaker: %s %s -> %s (%d failure%s in window)" source
       from_state to_state failures
       (if failures = 1 then "" else "s")
+  | Query_attempt { query; attempt; worker; events } ->
+    Format.fprintf ppf
+      "query %s attempt %d on worker %d: %d re-stamped event%s" query
+      attempt worker events
+      (if events = 1 then "" else "s")
+  | Slo_violation { slo; metric; agg; op; value; bound } ->
+    Format.fprintf ppf "SLO %s VIOLATED: %s %s = %s (objective %s %s)" slo
+      metric agg (fnum value) op (fnum bound)
+  | Slo_recovered { slo; metric; agg; op; value; bound } ->
+    Format.fprintf ppf "SLO %s recovered: %s %s = %s (objective %s %s)" slo
+      metric agg (fnum value) op (fnum bound)
 
 (* Rebuild a [Profile.t] from the Node_profile events a profiled run
    appends to its trace; emission preserved registration order, so the
@@ -582,10 +637,30 @@ let explain ppf evs =
       | Node_profile _ | Calibration _ -> true
       | _ -> false
     in
+    (* Server traces mark each contiguous re-stamped block with a
+       [Query_attempt] header; render the block's events as a per-query
+       lane (prefixed with the query id) instead of anonymous flat
+       lines.  Traces without markers are untouched. *)
+    let lane = ref "" in
+    let lane_left = ref 0 in
     List.iter
       (fun (at, ev) ->
+        let prefix =
+          if !lane_left > 0 then begin
+            decr lane_left;
+            !lane ^ "| "
+          end
+          else ""
+        in
         if summary_ev ev then ()
-        else Format.fprintf ppf "[%12.6f s] %a@." (at /. 1e6) pp_event ev;
+        else
+          Format.fprintf ppf "[%12.6f s] %s%a@." (at /. 1e6) prefix pp_event
+            ev;
+        (match ev with
+         | Query_attempt { query; events; _ } ->
+           lane := query;
+           lane_left := events
+         | _ -> ());
         match ev with
         | Reopt_poll { observed_sel; _ } when observed_sel <> [] ->
           let shown, rest =
@@ -674,6 +749,17 @@ let explain ppf evs =
         "-- server: workers spawned %d; deaths %d; reclaims %d; \
          poll-interval moves %d; load-shed %d@."
         spawns deaths reclaims interval_moves sheds;
+    (* Lane markers and SLO transitions only appear in telemetry-enabled
+       server traces; older replays stay byte-identical. *)
+    let lanes = count (function Query_attempt _ -> true | _ -> false) in
+    if lanes > 0 then
+      Format.fprintf ppf "-- lanes: %d query-attempt block%s@." lanes
+        (if lanes = 1 then "" else "s");
+    let violations = count (function Slo_violation _ -> true | _ -> false) in
+    let recoveries = count (function Slo_recovered _ -> true | _ -> false) in
+    if violations + recoveries > 0 then
+      Format.fprintf ppf "-- slo: violations %d; recoveries %d@." violations
+        recoveries;
     (* Governance events likewise only appear when deadlines, budgets or
        breakers are configured; ungoverned replays stay byte-identical. *)
     let deadline_hits =

@@ -138,6 +138,34 @@ type event =
       to_state : string;
       failures : int;  (** failures in the sliding window at transition *)
     }
+  | Query_attempt of {
+      query : string;
+      attempt : int;  (** 1-based attempt number *)
+      worker : int;
+      events : int;
+          (** length of the contiguous re-stamped inner-event block that
+              follows this marker in the server trace — what lets
+              [tukwila explain] group a serve replay into per-query
+              lanes *)
+    }
+  | Slo_violation of {
+      slo : string;  (** objective name as declared ([--slo NAME=...]) *)
+      metric : string;  (** series the objective watches *)
+      agg : string;  (** "last" | "rate" | "min" | "median" | "p95" | "max" *)
+      op : string;  (** "<" | "<=" | ">" | ">=" *)
+      value : float;  (** the aggregate at the violating sample *)
+      bound : float;
+    }
+  | Slo_recovered of {
+      slo : string;
+      metric : string;
+      agg : string;
+      op : string;
+      value : float;
+      bound : float;
+    }
+      (** SLO transitions from the telemetry monitor: emitted only at
+          state changes (violated <-> healthy), not at every sample. *)
 
 (** Events are stamped with the virtual clock (µs). *)
 type stamped = float * event
